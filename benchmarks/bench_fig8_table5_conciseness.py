@@ -1,0 +1,84 @@
+"""Fig. 8 + Table 5: conciseness of AIQL vs SQL, Cypher and SPL.
+
+For the 17 translatable behaviors (s5/s6 have no SQL/Cypher/SPL
+equivalents, matching the paper) we derive semantically equivalent queries
+and measure the three Sec. 6.4 metrics: number of constraints, number of
+words, number of characters excluding spaces.  Paper headline: "SQL, Neo4j
+Cypher, and Splunk SPL contain at least 2.4x more constraints, 3.1x more
+words, and 4.7x more characters than AIQL"; shape requirement here: AIQL
+strictly most concise on every behavior and every metric, with SQL the most
+verbose overall.
+
+Run: ``pytest benchmarks/bench_fig8_table5_conciseness.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.conciseness import compare, improvement_table
+from repro.workload.corpus import CONCISENESS_QUERY_IDS, by_id
+
+_ROWS: list = []
+
+
+@pytest.mark.parametrize("qid", CONCISENESS_QUERY_IDS)
+def test_translate(benchmark, qid):
+    """Times the full 4-language translation pipeline per behavior."""
+    rows = benchmark.pedantic(
+        lambda: compare(qid, by_id(qid).text), rounds=3, iterations=1
+    )
+    by_lang = {r.language: r for r in rows}
+    aiql = by_lang["aiql"]
+    for lang in ("sql", "cypher", "spl"):
+        assert by_lang[lang].words > aiql.words
+        assert by_lang[lang].characters > aiql.characters
+        assert by_lang[lang].constraints >= aiql.constraints
+    _ROWS.extend(rows)
+
+
+@pytest.mark.benchmark(group="summary")
+def test_zz_fig8_table5_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_query: dict = {}
+    for row in _ROWS:
+        by_query.setdefault(row.qid, {})[row.language] = row
+
+    for metric in ("constraints", "words", "characters"):
+        print(f"\n=== Fig. 8 ({metric}) ===")
+        print(f"{'query':6s} {'AIQL':>6s} {'SQL':>6s} {'Cypher':>7s} {'SPL':>6s}")
+        for qid in CONCISENESS_QUERY_IDS:
+            langs = by_query.get(qid, {})
+            if not langs:
+                continue
+            vals = [getattr(langs[l], metric) for l in ("aiql", "sql", "cypher", "spl")]
+            print(f"{qid:6s} {vals[0]:6d} {vals[1]:6d} {vals[2]:7d} {vals[3]:6d}")
+
+    table = improvement_table(_ROWS)
+    print("\n=== Table 5 (reproduced): average AIQL-relative ratios ===")
+    print(f"{'metric':14s} {'AIQL/SQL':>9s} {'AIQL/Cypher':>12s} {'AIQL/SPL':>9s}")
+    paper = {
+        "constraints": (3.0, 2.4, 4.2),
+        "words": (3.9, 3.1, 3.8),
+        "characters": (5.3, 4.7, 4.7),
+    }
+    for metric in ("constraints", "words", "characters"):
+        sql = table["sql"][metric]
+        cypher = table["cypher"][metric]
+        spl = table["spl"][metric]
+        p = paper[metric]
+        print(
+            f"{metric:14s} {sql:8.2f}x {cypher:11.2f}x {spl:8.2f}x"
+            f"   (paper: {p[0]}x / {p[1]}x / {p[2]}x)"
+        )
+        assert sql > 1.0 and cypher > 1.0 and spl > 1.0
+    # Sec. 6.2.2: c4-8 conciseness spot check
+    c48 = by_query["c4-8"] if "c4-8" in by_query else None
+    if c48:
+        print(
+            "\nc4-8 (largest query): AIQL "
+            f"{c48['aiql'].constraints}/{c48['aiql'].words}/"
+            f"{c48['aiql'].characters} vs SQL "
+            f"{c48['sql'].constraints}/{c48['sql'].words}/"
+            f"{c48['sql'].characters}  (paper: 25/109/463 vs 77/432/2792)"
+        )

@@ -1,0 +1,88 @@
+"""Pattern-count scaling (the Fig. 5 growth-shape claim, Sec. 6.2.2 obs. 3).
+
+"All AIQL queries finish within 15 seconds, and the performance of the
+queries grows linearly with the number of event patterns (rather than the
+exponential growth in PostgreSQL and Neo4j)."
+
+This bench constructs a family of chain queries with k = 1..7 event
+patterns over the APT attack day (each k-query extends the (k-1)-query by
+one pattern, like the iterative investigation does) and measures AIQL vs
+the monolithic-join baseline at each k.  The reproduction target: AIQL's
+time grows roughly linearly in k while the baseline grows super-linearly.
+
+Run: ``pytest benchmarks/bench_scaling_patterns.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from benchmarks.conftest import compile_text
+from repro.baselines.relational import MonolithicJoinEngine
+from repro.engine.executor import MultieventExecutor
+
+# the c4 kill chain, one pattern per link (the paper's deepest chain)
+_PATTERNS = [
+    'proc ps["%sqlservr.exe"] start proc p0["%cmd.exe"] as evt1',
+    'proc p0 write file f0["%dropper.vbs"] as evt2',
+    'proc p0 start proc p1["%wscript.exe"] as evt3',
+    "proc p1 read file f0 as evt4",
+    'proc p1 write file f1["%sbblv.exe"] as evt5',
+    'proc p1 start proc p2["%sbblv.exe"] as evt6',
+    'proc p2 connect ip i1[dstip = "203.0.113.129"] as evt7',
+]
+
+
+def chain_query(k: int) -> str:
+    patterns = _PATTERNS[:k]
+    rels = ", ".join(f"evt{i} before evt{i + 1}" for i in range(1, k))
+    lines = ['agentid = 3 (at "01/05/2017")'] + patterns
+    if rels:
+        lines.append(f"with {rels}")
+    lines.append("return count distinct ps")
+    return "\n".join(lines)
+
+
+_RESULTS: dict = defaultdict(dict)
+
+
+@pytest.mark.parametrize("k", range(1, 8))
+@pytest.mark.parametrize("engine_name", ["aiql", "postgresql"])
+def test_chain_scaling(benchmark, engines, enterprise, engine_name, k):
+    ctx = compile_text(chain_query(k))
+    if engine_name == "aiql":
+        engine = MultieventExecutor(enterprise.store("partitioned"))
+    else:
+        engine = MonolithicJoinEngine(enterprise.store("flat"))
+    result = benchmark.pedantic(lambda: engine.run(ctx), rounds=5, iterations=1)
+    assert result.rows[0][0] >= 1
+    # best-of-rounds: sub-millisecond AIQL timings are noise-dominated and
+    # the growth-shape assertion needs the stable floor, not the mean
+    _RESULTS[engine_name][k] = benchmark.stats["min"]
+
+
+@pytest.mark.benchmark(group="summary")
+def test_zz_scaling_summary(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n=== pattern-count scaling (seconds per query) ===")
+    print(f"{'k':>2s} {'AIQL':>10s} {'PostgreSQL':>12s} {'ratio':>7s}")
+    for k in range(1, 8):
+        aiql = _RESULTS["aiql"].get(k, 0.0)
+        pg = _RESULTS["postgresql"].get(k, 0.0)
+        ratio = pg / aiql if aiql else float("nan")
+        print(f"{k:2d} {aiql:10.5f} {pg:12.5f} {ratio:7.1f}")
+    # Shape assertions on absolute per-pattern slopes (relative growth from
+    # a sub-millisecond base is noise): the baseline must pay far more per
+    # added pattern, and AIQL's deepest chain must still be cheaper than
+    # the baseline's single-pattern query.
+    if _RESULTS["aiql"].get(1) and _RESULTS["postgresql"].get(1):
+        aiql_slope = (_RESULTS["aiql"][7] - _RESULTS["aiql"][1]) / 6
+        pg_slope = (_RESULTS["postgresql"][7] - _RESULTS["postgresql"][1]) / 6
+        print(
+            f"per-pattern slope: AIQL {aiql_slope * 1000:.3f} ms, "
+            f"PostgreSQL {pg_slope * 1000:.3f} ms"
+        )
+        assert pg_slope > 5 * aiql_slope
+        assert _RESULTS["aiql"][7] < _RESULTS["postgresql"][1]

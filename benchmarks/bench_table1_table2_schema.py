@@ -1,0 +1,51 @@
+"""Tables 1-2: the data model schema, printed and timed at ingest scale.
+
+Tables 1 and 2 of the paper are descriptive (the entity/event attribute
+schema).  This module (a) prints both tables from the live data model so
+EXPERIMENTS.md can quote them, and (b) benchmarks the ingest path — the
+substrate those tables describe — end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.entities import ATTRIBUTES_BY_TYPE, EntityType
+from repro.model.events import EVENT_ATTRIBUTES, OPERATIONS_BY_OBJECT
+from repro.storage.database import EventStore
+from repro.storage.ingest import Ingestor
+from repro.workload.generator import BackgroundGenerator, GeneratorConfig
+from repro.workload.topology import HOSTS
+
+
+def test_table1_table2_schema(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n=== Table 1 (reproduced): entity attributes ===")
+    for etype in EntityType:
+        attrs = ", ".join(ATTRIBUTES_BY_TYPE[etype])
+        print(f"{etype.value:6s} {attrs}")
+    print("\n=== Table 2 (reproduced): event attributes ===")
+    print(", ".join(EVENT_ATTRIBUTES))
+    print("\noperations by object type:")
+    for etype, ops in OPERATIONS_BY_OBJECT.items():
+        print(f"  {etype.value:6s} {', '.join(sorted(o.value for o in ops))}")
+    assert "exe_name" in ATTRIBUTES_BY_TYPE[EntityType.PROCESS]
+    assert "optype" in EVENT_ATTRIBUTES
+
+
+def test_ingest_throughput(benchmark):
+    """Events/second through validation + partitioning + indexing."""
+
+    def ingest_one_day() -> int:
+        ingestor = Ingestor()
+        store = EventStore(registry=ingestor.registry)
+        ingestor.attach(store)
+        config = GeneratorConfig(
+            seed=7, hosts=HOSTS[:5], days=1, events_per_host_day=400
+        )
+        return BackgroundGenerator(ingestor, config).run()
+
+    events = benchmark.pedantic(ingest_one_day, rounds=3, iterations=1)
+    assert events > 1000
+    rate = events / benchmark.stats["mean"]
+    print(f"\ningest throughput: {rate:,.0f} events/s")

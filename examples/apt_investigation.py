@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The paper's Sec. 6.2 case study, end to end.
+
+Deploys the simulated enterprise (15 hosts, 16 days, the Fig. 4 APT
+injected on 2017-01-05), then replays the investigation narrative of
+Sec. 6.2.1: start from the two anomaly detectors' alerts and iterate AIQL
+queries backwards through the kill chain, c5 -> c1.
+
+Run: ``python examples/apt_investigation.py``
+"""
+
+from repro.core.investigate import InvestigationSession
+from repro.core.system import AIQLSystem
+from repro.workload.corpus import by_id
+from repro.workload.loader import build_enterprise
+
+
+def main() -> None:
+    print("deploying the enterprise (background noise + APT injection)...")
+    enterprise = build_enterprise(events_per_host_day=200)
+    system = AIQLSystem.over(
+        enterprise.store("partitioned"), ingestor=enterprise.ingestor
+    )
+    print(f"events: {enterprise.total_events}\n")
+
+    session = InvestigationSession(system=system, name="APT case study")
+
+    # -- step c5: the database server's transfer detector fired ------------
+    print(">>> c5: investigating the large-transfer alert (Query 5)")
+    result = session.run(
+        "c5 anomaly starter",
+        by_id("c5-anomaly").text,
+        note="moving average (SMA3) over network writes to XXX.129",
+    )
+    print(result.to_text())
+    suspect = sorted(session.finding("p"))[0]
+    print(f"-> suspicious process: {suspect}\n")
+
+    print(">>> c5: where did its data come from? (Query 6)")
+    result = session.run("c5 data sources", by_id("c5-2").text)
+    print(result.to_text())
+    print("-> suspicious file: BACKUP1.DMP\n")
+
+    print(">>> c5: who created the dump? who drove osql?")
+    print(session.run("c5 dump creator", by_id("c5-3").text).to_text())
+    print()
+    print(">>> c5: the complete exfiltration query (Query 7)")
+    print(session.run("c5 complete", by_id("c5-7").text).to_text())
+    print()
+
+    # -- step c4: how did the attacker get onto the DB server? -------------
+    print(">>> c4: what started sbblv.exe? (dropper chain)")
+    print(session.run("c4 dropper", by_id("c4-3").text).to_text())
+    print()
+    print(">>> c4: the largest query of the study (c4-8, 7 patterns)")
+    print(session.run("c4 complete", by_id("c4-8").text).to_text())
+    print()
+
+    # -- step c3: privilege escalation on the client ------------------------
+    print(">>> c3: credential theft on the Windows client")
+    print(session.run("c3 gsecdump", by_id("c3-1").text).to_text())
+    print()
+
+    # -- step c2: the process-creation detector's alert ---------------------
+    print(">>> c2: malware infection chain")
+    print(session.run("c2 complete", by_id("c2-7").text).to_text())
+    print()
+
+    # -- step c1: initial compromise ----------------------------------------
+    print(">>> c1: the phishing attachment")
+    print(session.run("c1 phishing", by_id("c1-1").text).to_text())
+    print()
+
+    print(session.report())
+    print(
+        "\npaper: the same investigation took ~3 minutes in AIQL vs "
+        "~5.9 h (PostgreSQL) / ~7.5 h (Neo4j) on 2.5 B events."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: ingest monitoring events, ask AIQL questions.
+
+Builds a tiny two-host deployment by hand (no workload generator), then
+runs the three kinds of AIQL query: a multievent pattern search, a
+dependency-style chain, and a sliding-window anomaly query.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import AIQLSystem
+
+BASE = 1483228800.0  # 2017-01-01 00:00:00 UTC — matches (at "01/01/2017")
+
+
+def ingest_scenario(system: AIQLSystem) -> None:
+    """A miniature intrusion: shell -> dropper -> exfiltration."""
+    ing = system.ingestor
+
+    # benign noise on host 1
+    shell = ing.process(1, 100, "bash", user="alice")
+    editor = ing.process(1, 101, "vim", user="alice")
+    notes = ing.file(1, "/home/alice/notes.txt", owner="alice")
+    ing.emit(1, BASE + 100, "start", shell, editor)
+    ing.emit(1, BASE + 130, "write", editor, notes, amount=2048)
+
+    # the interesting chain on host 1
+    wget = ing.process(1, 102, "wget", user="alice")
+    dropper = ing.file(1, "/tmp/.dropper", owner="alice")
+    malware = ing.process(1, 103, ".dropper", user="alice")
+    c2 = ing.connection(1, "10.0.0.1", 40000, "203.0.113.99", 443)
+    ing.emit(1, BASE + 200, "start", shell, wget)
+    ing.emit(1, BASE + 210, "write", wget, dropper, amount=700000)
+    ing.emit(1, BASE + 240, "start", shell, malware)
+    ing.emit(1, BASE + 250, "read", malware, dropper, amount=700000)
+    ing.emit(1, BASE + 300, "connect", malware, c2)
+    # steady beaconing, then a burst
+    for k in range(20):
+        ing.emit(1, BASE + 320 + 10 * k, "write", malware, c2, amount=2048)
+    for k in range(4):
+        ing.emit(1, BASE + 540 + 10 * k, "write", malware, c2, amount=5000000)
+
+
+def main() -> None:
+    system = AIQLSystem()
+    ingest_scenario(system)
+    print(f"ingested {system.stats()['events']} events\n")
+
+    print("--- multievent: who dropped and ran a file from /tmp? ---")
+    result = system.query('''
+        agentid = 1
+        (at "01/01/2017")
+        proc p1 write file f1["/tmp/%"] as evt1
+        proc p2 read file f1 as evt2
+        with evt1 before evt2
+        return distinct p1, f1, p2
+    ''')
+    print(result.to_text(), "\n")
+
+    print("--- dependency: forward-track the dropper's ramification ---")
+    result = system.query('''
+        (at "01/01/2017")
+        forward: proc p1["%wget%"] ->[write] file f1["/tmp/%"]
+                 <-[read] proc p2
+        return p1, f1, p2
+    ''')
+    print(result.to_text(), "\n")
+
+    print("--- anomaly: network transfer spikes (SMA3, paper Query 5) ---")
+    result = system.query('''
+        (at "01/01/2017")
+        agentid = 1
+        window = 1 min, step = 10 sec
+        proc p write ip i as evt
+        return p, avg(evt.amount) as amt
+        group by p
+        having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+    ''')
+    print(result.to_text(), "\n")
+
+    print("--- execution plan for the first query ---")
+    print(system.explain('''
+        agentid = 1
+        (at "01/01/2017")
+        proc p1 write file f1["/tmp/%"] as evt1
+        proc p2 read file f1 as evt2
+        with evt1 before evt2
+        return distinct p1, f1, p2
+    '''))
+
+
+if __name__ == "__main__":
+    main()

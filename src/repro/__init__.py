@@ -1,0 +1,36 @@
+"""AIQL: Enabling Efficient Attack Investigation from System Monitoring Data.
+
+Full Python reproduction of Gao et al., USENIX ATC 2018.  The package
+provides:
+
+* :class:`~repro.core.system.AIQLSystem` -- the end-to-end system: optimized
+  storage, the AIQL language, and the relationship-based query engine;
+* :mod:`repro.lang` -- lexer, parser, semantic compiler for the AIQL query
+  language (multievent, dependency and anomaly syntax);
+* :mod:`repro.storage` -- partitioned/flat/MPP event stores;
+* :mod:`repro.engine` -- relationship-based and fetch-and-filter schedulers,
+  anomaly sliding windows, dependency rewriting, parallel execution;
+* :mod:`repro.baselines` -- the PostgreSQL-, Neo4j- and Greenplum-like
+  comparison systems and the SQL/Cypher/SPL conciseness corpus;
+* :mod:`repro.workload` -- the synthetic enterprise and the paper's attack
+  scenarios (APT case study, dependency chains, malware, abnormal behavior).
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.system import AIQLSystem
+from repro.engine.result import ResultSet
+from repro.lang.errors import AIQLError, AIQLSemanticError, AIQLSyntaxError
+from repro.lang.parser import parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIQLError",
+    "AIQLSemanticError",
+    "AIQLSyntaxError",
+    "AIQLSystem",
+    "ResultSet",
+    "SystemConfig",
+    "parse",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Baseline query systems the paper compares against (Sec. 6).
+
+* :mod:`repro.baselines.relational` — PostgreSQL: one big written-order
+  nested-loop join;
+* :mod:`repro.baselines.graph` — Neo4j: property graph + Cypher-style
+  backtracking path matching;
+* :mod:`repro.baselines.mpp` — Greenplum scheduling vs AIQL parallel
+  scheduling over the segmented store;
+* :mod:`repro.baselines.translators` — semantically equivalent SQL /
+  Cypher / SPL query generation;
+* :mod:`repro.baselines.conciseness` — the Sec. 6.4 metrics.
+"""
+
+from repro.baselines.conciseness import (
+    ConcisenessRow,
+    LANGUAGES,
+    compare,
+    count_aiql_constraints,
+    improvement_table,
+    text_metrics,
+    translate_all,
+)
+from repro.baselines.graph import GraphEngine, GraphStore
+from repro.baselines.mpp import (
+    aiql_parallel_anomaly_engine,
+    aiql_parallel_engine,
+    greenplum_engine,
+)
+from repro.baselines.relational import MonolithicJoinEngine
+from repro.baselines.translators import (
+    TranslatedQuery,
+    to_cypher,
+    to_spl,
+    to_sql,
+)
+
+__all__ = [
+    "ConcisenessRow",
+    "GraphEngine",
+    "GraphStore",
+    "LANGUAGES",
+    "MonolithicJoinEngine",
+    "TranslatedQuery",
+    "aiql_parallel_anomaly_engine",
+    "aiql_parallel_engine",
+    "compare",
+    "count_aiql_constraints",
+    "greenplum_engine",
+    "improvement_table",
+    "text_metrics",
+    "to_cypher",
+    "to_spl",
+    "to_sql",
+    "translate_all",
+]

@@ -1,0 +1,181 @@
+"""Conciseness metrics (paper Sec. 6.4, Fig. 8, Table 5).
+
+Three metrics per query and language: the number of query constraints, the
+number of words, and the number of characters excluding spaces.  AIQL
+constraints are counted on the AST (every attribute comparison, operation
+leaf, global constraint and event relationship the analyst had to write);
+SQL/Cypher/SPL constraints are counted during generation in
+:mod:`repro.baselines.translators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.translators import (
+    TranslatedQuery,
+    to_cypher,
+    to_spl,
+    to_sql,
+)
+from repro.engine.dependency import compile_dependency
+from repro.lang import ast
+from repro.lang.context import QueryContext, compile_multievent
+from repro.lang.parser import parse
+
+LANGUAGES = ("aiql", "sql", "cypher", "spl")
+
+
+@dataclass(frozen=True)
+class ConcisenessRow:
+    qid: str
+    language: str
+    constraints: int
+    words: int
+    characters: int
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        if "//" in line:
+            line = line.split("//", 1)[0]
+        lines.append(line)
+    return "\n".join(lines).strip()
+
+
+def text_metrics(text: str) -> Tuple[int, int]:
+    """(words, characters-excluding-spaces) of a query text."""
+    cleaned = _strip_comments(text)
+    words = len(cleaned.split())
+    characters = sum(1 for ch in cleaned if not ch.isspace())
+    return words, characters
+
+
+# -- AIQL constraint counting (on the AST, i.e. what the analyst wrote) ------
+
+
+def _count_cstr(node: Optional[ast.CstrNode]) -> int:
+    if node is None:
+        return 0
+    if isinstance(node, ast.CstrLeaf):
+        return 1
+    if isinstance(node, ast.CstrNot):
+        return _count_cstr(node.child)
+    if isinstance(node, (ast.CstrAnd, ast.CstrOr)):
+        return _count_cstr(node.left) + _count_cstr(node.right)
+    raise AssertionError(node)
+
+
+def _count_op(node: ast.OpNode) -> int:
+    if isinstance(node, ast.OpLeaf):
+        return 1
+    if isinstance(node, ast.OpNot):
+        return _count_op(node.child)
+    if isinstance(node, (ast.OpAnd, ast.OpOr)):
+        return _count_op(node.left) + _count_op(node.right)
+    raise AssertionError(node)
+
+
+def count_aiql_constraints(tree: ast.Query) -> int:
+    """Constraints the analyst wrote: globals + patterns + relationships."""
+    count = 0
+    for item in tree.globals:
+        if isinstance(item, ast.GlobalConstraint):
+            count += 1
+        elif isinstance(item, ast.TimeWindowSpec):
+            count += 1
+        elif isinstance(item, ast.SlidingWindowSpec):
+            count += 2  # window = ..., step = ...
+    if isinstance(tree, ast.MultieventQuery):
+        for pattern in tree.patterns:
+            count += _count_op(pattern.operation)
+            count += _count_cstr(pattern.subject.constraints)
+            count += _count_cstr(pattern.object.constraints)
+            count += _count_cstr(pattern.event_constraints)
+            if pattern.window is not None:
+                count += 1
+        count += len(tree.relationships)
+        filters = tree.filters
+    else:
+        for node in tree.nodes:
+            count += _count_cstr(node.constraints)
+        for edge in tree.edges:
+            count += _count_op(edge.operation)
+        if tree.direction:
+            count += 1  # the forward/backward ordering constraint
+        filters = tree.filters
+    if filters.having is not None:
+        count += 1
+    return count
+
+
+# -- per-query comparison -----------------------------------------------------
+
+
+def _compile(tree: ast.Query) -> QueryContext:
+    if isinstance(tree, ast.DependencyQuery):
+        return compile_dependency(tree)
+    return compile_multievent(tree)
+
+
+def translate_all(text: str) -> Dict[str, TranslatedQuery]:
+    """AIQL source -> {language: TranslatedQuery} for all four languages."""
+    tree = parse(text)
+    ctx = _compile(tree)
+    cleaned = _strip_comments(text)
+    aiql = TranslatedQuery(
+        language="aiql",
+        text=cleaned,
+        constraints=count_aiql_constraints(tree),
+    )
+    return {
+        "aiql": aiql,
+        "sql": to_sql(ctx),
+        "cypher": to_cypher(ctx),
+        "spl": to_spl(ctx),
+    }
+
+
+def compare(qid: str, text: str) -> List[ConcisenessRow]:
+    rows = []
+    for language, translated in translate_all(text).items():
+        words, characters = text_metrics(translated.text)
+        rows.append(
+            ConcisenessRow(
+                qid=qid,
+                language=language,
+                constraints=translated.constraints,
+                words=words,
+                characters=characters,
+            )
+        )
+    return rows
+
+
+def improvement_table(rows: List[ConcisenessRow]) -> Dict[str, Dict[str, float]]:
+    """Average AIQL-relative ratios per language (the paper's Table 5)."""
+    by_query: Dict[str, Dict[str, ConcisenessRow]] = {}
+    for row in rows:
+        by_query.setdefault(row.qid, {})[row.language] = row
+    out: Dict[str, Dict[str, float]] = {}
+    for language in ("sql", "cypher", "spl"):
+        ratios = {"constraints": [], "words": [], "characters": []}
+        for per_lang in by_query.values():
+            if language not in per_lang or "aiql" not in per_lang:
+                continue
+            base = per_lang["aiql"]
+            other = per_lang[language]
+            if base.constraints:
+                ratios["constraints"].append(other.constraints / base.constraints)
+            if base.words:
+                ratios["words"].append(other.words / base.words)
+            if base.characters:
+                ratios["characters"].append(other.characters / base.characters)
+        out[language] = {
+            metric: round(mean(values), 2) if values else float("nan")
+            for metric, values in ratios.items()
+        }
+    return out

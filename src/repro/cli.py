@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``demo``    — deploy the simulated enterprise and open a query loop (or
+  run ``--query``/``--file`` non-interactively);
+* ``explain`` — show the execution plan for a query without running it;
+* ``corpus``  — list the paper's query corpus (``--run`` executes it);
+* ``translate`` — print the SQL/Cypher/SPL equivalents of an AIQL query.
+
+The CLI exists for exploration; programmatic use goes through
+:class:`repro.AIQLSystem`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.system import AIQLSystem
+from repro.lang.errors import AIQLError
+
+
+def _build_system(rate: int) -> AIQLSystem:
+    from repro.workload.loader import build_enterprise
+
+    print(f"deploying the simulated enterprise (rate={rate})...", file=sys.stderr)
+    enterprise = build_enterprise(events_per_host_day=rate)
+    system = AIQLSystem.over(
+        enterprise.store("partitioned"), ingestor=enterprise.ingestor
+    )
+    print(f"{enterprise.total_events} events ready", file=sys.stderr)
+    return system
+
+
+def _run_one(system: AIQLSystem, text: str) -> int:
+    try:
+        started = time.perf_counter()
+        result = system.query(text)
+        elapsed = (time.perf_counter() - started) * 1000
+    except AIQLError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(result.to_text())
+    print(f"({len(result)} row(s) in {elapsed:.1f} ms)")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    system = _build_system(args.rate)
+    if args.query:
+        return _run_one(system, args.query)
+    if args.file:
+        with open(args.file) as handle:
+            return _run_one(system, handle.read())
+    print("AIQL demo shell — end a query with an empty line; 'quit' exits.")
+    buffer: List[str] = []
+    while True:
+        try:
+            prompt = "aiql> " if not buffer else "  ... "
+            line = input(prompt)
+        except EOFError:
+            return 0
+        if line.strip().lower() in ("quit", "exit") and not buffer:
+            return 0
+        if line.strip():
+            buffer.append(line)
+            continue
+        if buffer:
+            _run_one(system, "\n".join(buffer))
+            buffer = []
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    system = AIQLSystem()
+    text = args.query or open(args.file).read()
+    try:
+        print(system.explain(text))
+    except AIQLError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.workload.corpus import ALL_QUERIES, by_id
+
+    if args.show:
+        query = by_id(args.show)
+        print(f"-- {query.qid} ({query.kind})")
+        print(query.text.strip())
+        return 0
+    if args.run:
+        system = _build_system(args.rate)
+        failures = 0
+        for query in ALL_QUERIES:
+            try:
+                started = time.perf_counter()
+                result = system.query(query.text)
+                elapsed = (time.perf_counter() - started) * 1000
+                status = "ok" if len(result) >= query.min_rows else "EMPTY"
+                failures += status != "ok"
+                print(f"{query.qid:12s} {status:5s} {len(result):5d} row(s) "
+                      f"{elapsed:8.1f} ms")
+            except AIQLError as exc:
+                failures += 1
+                print(f"{query.qid:12s} ERROR {exc}")
+        return 1 if failures else 0
+    for query in ALL_QUERIES:
+        print(f"{query.qid:12s} {query.group:3s} {query.kind}")
+    return 0
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    from repro.baselines.conciseness import translate_all
+
+    text = args.query or open(args.file).read()
+    try:
+        translated = translate_all(text)
+    except AIQLError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    wanted = args.language.split(",") if args.language else list(translated)
+    for language in wanted:
+        query = translated[language.strip().lower()]
+        print(f"=== {query.language.upper()} ({query.constraints} constraints) ===")
+        print(query.text.strip())
+        print()
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AIQL (USENIX ATC'18) reproduction — attack "
+        "investigation queries over system monitoring data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="deploy the enterprise and run queries")
+    demo.add_argument("--rate", type=int, default=200,
+                      help="background events per host-day (default 200)")
+    demo.add_argument("--query", "-q", help="run one query and exit")
+    demo.add_argument("--file", "-f", help="run the query in FILE and exit")
+    demo.set_defaults(func=cmd_demo)
+
+    explain = sub.add_parser("explain", help="show a query's execution plan")
+    group = explain.add_mutually_exclusive_group(required=True)
+    group.add_argument("--query", "-q")
+    group.add_argument("--file", "-f")
+    explain.set_defaults(func=cmd_explain)
+
+    corpus = sub.add_parser("corpus", help="list/run the paper's query corpus")
+    corpus.add_argument("--run", action="store_true",
+                        help="execute the whole corpus against a deployment")
+    corpus.add_argument("--show", metavar="QID", help="print one query's text")
+    corpus.add_argument("--rate", type=int, default=120)
+    corpus.set_defaults(func=cmd_corpus)
+
+    translate = sub.add_parser(
+        "translate", help="derive SQL/Cypher/SPL equivalents"
+    )
+    group = translate.add_mutually_exclusive_group(required=True)
+    group.add_argument("--query", "-q")
+    group.add_argument("--file", "-f")
+    translate.add_argument(
+        "--language", "-l", help="comma list: aiql,sql,cypher,spl"
+    )
+    translate.set_defaults(func=cmd_translate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Public facade for the AIQL reproduction."""
+
+from repro.core.config import BACKENDS, SCHEDULINGS, SystemConfig
+from repro.core.investigate import InvestigationSession, InvestigationStep
+from repro.core.system import AIQLSystem
+
+__all__ = [
+    "AIQLSystem",
+    "BACKENDS",
+    "InvestigationSession",
+    "InvestigationStep",
+    "SCHEDULINGS",
+    "SystemConfig",
+]

@@ -1,0 +1,50 @@
+"""Configuration knobs for an AIQL system instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BACKENDS = ("partitioned", "flat", "segmented")
+SCHEDULINGS = ("relationship", "relationship_cardinality", "fetch_filter")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Storage + engine configuration.
+
+    backend
+        ``partitioned`` — the AIQL-optimized store (default);
+        ``flat`` — single heap (the stock-PostgreSQL data layout);
+        ``segmented`` — MPP segments (the Greenplum substrate).
+    scheduling
+        ``relationship`` (Algorithm 1, constraint-count scores),
+        ``relationship_cardinality`` (the Sec. 7 statistical scoring
+        extension) or ``fetch_filter`` (the FF baseline).
+    parallel
+        parallelize scans over partitions/segments (temporal & spatial
+        parallelization, paper Sec. 5.2).
+    agents_per_group
+        spatial partition width of the partitioned store.
+    segments / distribution
+        segment count and distribution policy of the segmented store
+        (``domain`` = AIQL's semantics-aware placement, ``arrival`` =
+        ingest-order placement).
+    """
+
+    backend: str = "partitioned"
+    scheduling: str = "relationship"
+    parallel: bool = False
+    agents_per_group: int = 10
+    segments: int = 5
+    distribution: str = "domain"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.scheduling not in SCHEDULINGS:
+            raise ValueError(
+                f"unknown scheduling {self.scheduling!r}; "
+                f"expected one of {SCHEDULINGS}"
+            )

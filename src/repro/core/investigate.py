@@ -1,0 +1,91 @@
+"""Interactive investigation sessions (the paper's Sec. 6.2.1 workflow).
+
+Attack investigation is iterative: start from a detector alert, run an
+anomaly query, pull the suspicious entities out of the result, refine into
+multievent queries, repeat — "4-5 iterations are needed before finding a
+complete query with 5-7 event patterns".  :class:`InvestigationSession`
+captures that loop: it keeps the query history, per-query timing, and the
+entity values discovered so far, so an analyst (or the example scripts) can
+replay a full investigation and render a report at the end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.system import AIQLSystem
+from repro.engine.result import ResultSet
+
+
+@dataclass
+class InvestigationStep:
+    """One executed query inside a session."""
+
+    label: str
+    query: str
+    result: ResultSet
+    seconds: float
+    note: str = ""
+
+    @property
+    def rows(self) -> int:
+        return len(self.result)
+
+
+@dataclass
+class InvestigationSession:
+    """Iterative query-refine loop over one AIQL system."""
+
+    system: AIQLSystem
+    name: str = "investigation"
+    steps: List[InvestigationStep] = field(default_factory=list)
+    findings: Dict[str, Set[object]] = field(default_factory=dict)
+
+    def run(self, label: str, query: str, note: str = "") -> ResultSet:
+        """Execute a query, record timing, and harvest findings."""
+        started = time.perf_counter()
+        result = self.system.query(query)
+        elapsed = time.perf_counter() - started
+        self.steps.append(
+            InvestigationStep(
+                label=label,
+                query=query.strip(),
+                result=result,
+                seconds=elapsed,
+                note=note,
+            )
+        )
+        for column in result.columns:
+            values = self.findings.setdefault(column, set())
+            for value in result.column(column):
+                if value is not None:
+                    values.add(value)
+        return result
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(step.seconds for step in self.steps)
+
+    def finding(self, column: str) -> Set[object]:
+        return self.findings.get(column, set())
+
+    def report(self) -> str:
+        """Text report of the whole investigation."""
+        lines = [f"=== {self.name} ===", ""]
+        for i, step in enumerate(self.steps, 1):
+            lines.append(
+                f"[{i}] {step.label} — {step.rows} row(s) in "
+                f"{step.seconds * 1000:.1f} ms"
+            )
+            if step.note:
+                lines.append(f"    {step.note}")
+        lines.append("")
+        lines.append(
+            f"total: {len(self.steps)} queries, "
+            f"{self.total_seconds * 1000:.1f} ms"
+        )
+        return "\n".join(lines)

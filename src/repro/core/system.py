@@ -1,0 +1,167 @@
+"""The AIQL system facade (paper Fig. 2).
+
+:class:`AIQLSystem` wires the three components together: optimized data
+storage (Sec. 3), the language parser (Sec. 4) and the query execution
+engine (Sec. 5).  Typical use::
+
+    from repro import AIQLSystem
+
+    system = AIQLSystem()
+    ingestor = system.ingestor
+    # ... feed events (e.g. via repro.workload generators) ...
+    result = system.query('''
+        agentid = 1
+        (at "01/01/2017")
+        proc p2 start proc p1 as evt1
+        proc p3 read file[".viminfo" || ".bash_history"] as evt2
+        with p1 = p3, evt1 before evt2
+        return p2, p1
+    ''')
+    print(result.to_text())
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SystemConfig
+from repro.engine.anomaly import AnomalyExecutor
+from repro.engine.dependency import compile_dependency
+from repro.engine.executor import MultieventExecutor
+from repro.engine.result import ResultSet
+from repro.lang import ast
+from repro.lang.context import QueryContext, compile_multievent
+from repro.lang.parser import parse
+from repro.model.entities import EntityRegistry
+from repro.storage.database import EventStore
+from repro.storage.flat import FlatStore
+from repro.storage.ingest import Ingestor
+from repro.storage.partition import PartitionScheme
+from repro.storage.segments import SegmentedStore
+
+
+def _build_store(config: SystemConfig, registry: EntityRegistry):
+    if config.backend == "partitioned":
+        return EventStore(
+            registry=registry,
+            scheme=PartitionScheme(agents_per_group=config.agents_per_group),
+        )
+    if config.backend == "flat":
+        return FlatStore(registry=registry)
+    return SegmentedStore(
+        registry=registry,
+        segments=config.segments,
+        policy=config.distribution,
+    )
+
+
+class AIQLSystem:
+    """End-to-end AIQL deployment: ingestion, storage, parsing, execution."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        ingestor: Optional[Ingestor] = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.ingestor = ingestor or Ingestor()
+        self.store = _build_store(self.config, self.ingestor.registry)
+        self.ingestor.attach(self.store)
+        self._multievent = MultieventExecutor(
+            self.store,
+            scheduling=self.config.scheduling,
+            parallel=self.config.parallel,
+        )
+        self._anomaly = AnomalyExecutor(
+            self.store,
+            scheduling=self.config.scheduling,
+            parallel=self.config.parallel,
+        )
+
+    @classmethod
+    def over(
+        cls,
+        store,
+        ingestor: Optional[Ingestor] = None,
+        config: Optional[SystemConfig] = None,
+    ) -> "AIQLSystem":
+        """Wrap an already-populated store (e.g. one built by
+        :func:`repro.workload.loader.build_enterprise`)."""
+        self = cls.__new__(cls)
+        self.config = config or SystemConfig()
+        if ingestor is None:
+            ingestor = Ingestor(registry=store.registry)
+            ingestor.attach(store)
+        self.ingestor = ingestor
+        self.store = store
+        self._multievent = MultieventExecutor(
+            store,
+            scheduling=self.config.scheduling,
+            parallel=self.config.parallel,
+        )
+        self._anomaly = AnomalyExecutor(
+            store,
+            scheduling=self.config.scheduling,
+            parallel=self.config.parallel,
+        )
+        return self
+
+    # -- query pipeline ------------------------------------------------------
+
+    def compile(self, text: str) -> QueryContext:
+        """Parse + semantic analysis, without executing."""
+        tree = parse(text)
+        if isinstance(tree, ast.DependencyQuery):
+            return compile_dependency(tree)
+        return compile_multievent(tree)
+
+    def query(self, text: str) -> ResultSet:
+        """Parse, compile, optimize and execute one AIQL query."""
+        ctx = self.compile(text)
+        return self.execute(ctx)
+
+    def execute(self, ctx: QueryContext) -> ResultSet:
+        if ctx.kind == "anomaly":
+            return self._anomaly.run(ctx)
+        return self._multievent.run(ctx)
+
+    def explain(self, text: str) -> str:
+        """Human-readable execution plan (pattern scores, rel order)."""
+        ctx = self.compile(text)
+        lines = [f"kind: {ctx.kind}"]
+        if ctx.agent_ids is not None:
+            lines.append(f"agents: {sorted(ctx.agent_ids)}")
+        if ctx.window.start is not None or ctx.window.end is not None:
+            lines.append(f"window: [{ctx.window.start}, {ctx.window.end})")
+        for pattern in ctx.patterns:
+            flt = pattern.filter
+            ops = (
+                ",".join(sorted(op.value for op in flt.operations))
+                if flt.operations
+                else "*"
+            )
+            lines.append(
+                f"pattern {pattern.index} ({pattern.event_name}): "
+                f"{pattern.subject_name} -[{ops}]-> {pattern.object_name} "
+                f"({pattern.object_type.value}; score={pattern.score})"
+            )
+        for rel in ctx.attr_relationships:
+            lines.append(
+                f"attr rel: p{rel.left.pattern}.{rel.left.role}.{rel.left.attr} "
+                f"{rel.op} p{rel.right.pattern}.{rel.right.role}.{rel.right.attr}"
+            )
+        for rel in ctx.temp_relationships:
+            bounds = ""
+            if rel.low is not None or rel.high is not None:
+                bounds = f"[{rel.low or 0}-{rel.high}s]"
+            lines.append(f"temp rel: evt{rel.left} {rel.kind}{bounds} evt{rel.right}")
+        return "\n".join(lines)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def last_scheduler_stats(self):
+        return self._multievent.last_stats or self._anomaly.last_stats
+
+    def stats(self) -> dict:
+        return dict(self.store.stats())

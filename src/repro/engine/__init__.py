@@ -1,0 +1,45 @@
+"""The AIQL query execution engine (paper Sec. 5, Fig. 3).
+
+Execution pipeline for a multievent query: the semantic compiler hands a
+:class:`~repro.lang.context.QueryContext` to a scheduler
+(:mod:`repro.engine.scheduler`), which synthesizes one data query per event
+pattern (:mod:`repro.engine.data_query`), executes them — relationship-based
+or fetch-and-filter — into tuple sets (:mod:`repro.engine.tuples`), and the
+executor (:mod:`repro.engine.executor`) projects the final tuple set through
+the return clause.  Dependency queries are rewritten to multievent queries
+(:mod:`repro.engine.dependency`); anomaly queries run the sliding-window
+machinery (:mod:`repro.engine.anomaly`).
+"""
+
+from repro.engine.anomaly import AnomalyExecutor
+from repro.engine.data_query import DataQuery
+from repro.engine.dependency import compile_dependency, rewrite_dependency
+from repro.engine.executor import MultieventExecutor, evaluate_returns
+from repro.engine.parallel import scan_split, split_window
+from repro.engine.result import ResultSet
+from repro.engine.scheduler import (
+    SCHEDULERS,
+    FetchFilterScheduler,
+    RelationshipScheduler,
+    SchedulerStats,
+    make_scheduler,
+)
+from repro.engine.tuples import TupleSet
+
+__all__ = [
+    "AnomalyExecutor",
+    "DataQuery",
+    "FetchFilterScheduler",
+    "MultieventExecutor",
+    "RelationshipScheduler",
+    "ResultSet",
+    "SCHEDULERS",
+    "SchedulerStats",
+    "TupleSet",
+    "compile_dependency",
+    "evaluate_returns",
+    "make_scheduler",
+    "rewrite_dependency",
+    "scan_split",
+    "split_window",
+]

@@ -1,0 +1,192 @@
+"""Anomaly query execution (paper Sec. 4.3, Queries 4-5).
+
+An anomaly query is a multievent query with a global sliding window
+(``window = 1 min, step = 10 sec``).  Execution:
+
+1. resolve the matched tuples once over the whole global time window (the
+   engine "maintains the aggregate results as historical states");
+2. slide the window across the global range; each position aggregates the
+   tuples whose anchor event (the first pattern) starts inside it;
+3. per group (the ``group by`` keys), keep the aggregate series aligned
+   across window positions — a group absent from a window contributes 0 —
+   giving the history states ``freq[1]``, ``freq[2]``... and the moving
+   average inputs;
+4. evaluate the ``having`` expression at each position, skipping positions
+   earlier than the deepest history index referenced (there is no history
+   to compare against yet);
+5. emit one row per (window, group) that fires, with a trailing
+   ``window_start`` column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.result import ResultSet
+from repro.engine.scheduler import make_scheduler
+from repro.engine.tuples import TupleSet
+from repro.lang.context import QueryContext
+from repro.lang.errors import AIQLSemanticError
+from repro.lang.expr import MappingEnv, evaluate_bool, max_history_depth
+from repro.model.time import format_timestamp
+
+
+class AnomalyExecutor:
+    """Executes anomaly query contexts against a store."""
+
+    def __init__(
+        self,
+        store,
+        scheduling: str = "relationship",
+        parallel: bool = False,
+    ) -> None:
+        self.store = store
+        self.scheduling = scheduling
+        self.parallel = parallel
+        self.last_stats = None
+
+    def run(self, ctx: QueryContext) -> ResultSet:
+        if ctx.kind != "anomaly" or ctx.sliding is None:
+            raise AIQLSemanticError(
+                "AnomalyExecutor requires an anomaly query",
+                hint="add 'window = ...' and 'step = ...' global constraints",
+            )
+        if not ctx.window.is_bounded():
+            raise AIQLSemanticError(
+                "anomaly queries require a bounded global time window"
+            )
+
+        scheduler = make_scheduler(self.scheduling, self.store, self.parallel)
+        tuples = scheduler.run(ctx)
+        self.last_stats = scheduler.stats
+        return self._slide(ctx, tuples)
+
+    # -- sliding-window machinery -------------------------------------------
+
+    def _slide(self, ctx: QueryContext, tuples: TupleSet) -> ResultSet:
+        entity_of = self.store.registry.get
+        col = {p: i for i, p in enumerate(tuples.patterns)}
+        anchor_col = col[ctx.patterns[0].index]
+
+        window = ctx.sliding.window_seconds
+        step = ctx.sliding.step_seconds
+        t0, t1 = ctx.window.start, ctx.window.end
+        assert t0 is not None and t1 is not None
+
+        starts: List[float] = []
+        start = t0
+        while start + window <= t1 + 1e-9:
+            starts.append(start)
+            start += step
+        if not starts:
+            starts = [t0]
+
+        group_items = list(ctx.group_by)
+        if not group_items:
+            group_items = [i for i in ctx.return_items if not i.is_aggregate]
+        agg_items = [i for i in ctx.return_items if i.is_aggregate]
+        if not agg_items:
+            raise AIQLSemanticError(
+                "anomaly queries need at least one aggregate in the return clause"
+            )
+
+        def group_key(row: tuple) -> tuple:
+            return tuple(
+                item.ref.extract(row[col[item.ref.pattern]], entity_of)
+                for item in group_items
+            )
+
+        # Bucket rows once: row -> the window positions containing its anchor.
+        rows_sorted = sorted(
+            tuples.rows, key=lambda r: r[anchor_col].start_time
+        )
+
+        # series[group][label] = per-window list of aggregate values
+        all_groups: Dict[tuple, None] = {}
+        window_rows: List[Dict[tuple, List[tuple]]] = []
+        for ws in starts:
+            we = ws + window
+            members: Dict[tuple, List[tuple]] = {}
+            for row in rows_sorted:
+                t = row[anchor_col].start_time
+                if t < ws:
+                    continue
+                if t >= we:
+                    break
+                key = group_key(row)
+                members.setdefault(key, []).append(row)
+                all_groups[key] = None
+            window_rows.append(members)
+
+        from repro.engine.executor import _compute_aggregate
+
+        series: Dict[tuple, Dict[str, List[float]]] = {
+            key: {item.label: [] for item in agg_items} for key in all_groups
+        }
+        for members in window_rows:
+            for key in all_groups:
+                rows = members.get(key, [])
+                for item in agg_items:
+                    value = (
+                        float(_compute_aggregate(item, rows, entity_of, col))
+                        if rows
+                        else 0.0
+                    )
+                    series[key][item.label].append(value)
+
+        min_index = (
+            max_history_depth(ctx.having) if ctx.having is not None else 0
+        )
+
+        out_rows: List[tuple] = []
+        for k, ws in enumerate(starts):
+            if k < min_index:
+                continue
+            for key in all_groups:
+                group_series = series[key]
+                current = {
+                    label: values[k] for label, values in group_series.items()
+                }
+                if all(v == 0.0 for v in current.values()):
+                    continue  # group inactive in this window
+                if ctx.having is not None:
+                    env = MappingEnv(
+                        {
+                            label: values[: k + 1]
+                            for label, values in group_series.items()
+                        }
+                    )
+                    try:
+                        if not evaluate_bool(ctx.having, env):
+                            continue
+                    except AIQLSemanticError:
+                        continue
+                row: List[object] = []
+                key_lookup = dict(
+                    zip((item.ref for item in group_items), key)
+                )
+                for item in ctx.return_items:
+                    if item.is_aggregate:
+                        row.append(current[item.label])
+                    else:
+                        row.append(key_lookup.get(item.ref))
+                row.append(format_timestamp(ws))
+                out_rows.append(tuple(row))
+
+        columns = ctx.labels + ("window_start",)
+        result = ResultSet(
+            columns=columns,
+            rows=out_rows,
+            meta={
+                "windows": len(starts),
+                "window_seconds": window,
+                "step_seconds": step,
+            },
+        )
+        if ctx.return_distinct:
+            result = result.distinct()
+        if ctx.sort is not None:
+            result = result.sorted_by(ctx.sort.attrs, descending=ctx.sort.descending)
+        if ctx.top is not None:
+            result = result.head(ctx.top)
+        return result

@@ -1,0 +1,173 @@
+"""Data query synthesis and constrained execution (paper Secs. 5.1-5.2).
+
+For every event pattern the engine synthesizes one *data query* that
+searches the store for matching events.  The scheduler may execute a data
+query *constrained by* the results of an already-executed pattern
+(Algorithm 1's ``S_j <-execute-(S_i) q_j``): equality attribute
+relationships narrow the entity id sets or inject IN-predicates, and
+temporal relationships narrow the pattern's time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.lang.context import (
+    FieldRef,
+    PatternContext,
+    ResolvedAttrRel,
+    ResolvedTempRel,
+)
+from repro.model.events import SystemEvent
+from repro.model.time import TimeWindow
+from repro.storage.filters import (
+    AttrPredicate,
+    EventFilter,
+    PredicateLeaf,
+    conjoin,
+)
+
+
+@dataclass
+class DataQuery:
+    """One executable pattern search against a store."""
+
+    pattern: PatternContext
+    filter: EventFilter
+
+    @classmethod
+    def for_pattern(cls, pattern: PatternContext) -> "DataQuery":
+        return cls(pattern=pattern, filter=pattern.filter)
+
+    @property
+    def index(self) -> int:
+        return self.pattern.index
+
+    def execute(
+        self,
+        store,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ) -> List[SystemEvent]:
+        return store.scan(
+            self.filter, parallel=parallel, use_entity_index=use_entity_index
+        )
+
+    # -- narrowing ----------------------------------------------------------
+
+    def narrowed_by_values(
+        self, ref: FieldRef, values: Iterable[object]
+    ) -> "DataQuery":
+        """Constrain this query so ``ref`` (a field of *this* pattern) takes
+        one of ``values``.
+
+        ``id`` fields become subject/object id-set narrowings, which the
+        table can serve straight from its postings lists; other attributes
+        become IN-predicates on the corresponding predicate tree.
+        """
+        assert ref.pattern == self.index
+        values = tuple(values)
+        if not values:
+            return replace(self, filter=self.filter.narrowed(subject_ids=frozenset()))
+        if ref.attr == "id" and ref.role in ("subject", "object"):
+            ids = frozenset(int(v) for v in values)  # type: ignore[arg-type]
+            if ref.role == "subject":
+                return replace(self, filter=self.filter.narrowed(subject_ids=ids))
+            return replace(self, filter=self.filter.narrowed(object_ids=ids))
+        leaf = PredicateLeaf(AttrPredicate(attr=ref.attr, op="in", value=values))
+        flt = self.filter
+        if ref.role == "subject":
+            flt = replace(flt, subject_pred=conjoin([flt.subject_pred, leaf]))
+        elif ref.role == "object":
+            flt = replace(flt, object_pred=conjoin([flt.object_pred, leaf]))
+        else:
+            flt = replace(flt, event_pred=conjoin([flt.event_pred, leaf]))
+        return replace(self, filter=flt)
+
+    def narrowed_by_window(self, window: TimeWindow) -> "DataQuery":
+        return replace(self, filter=self.filter.narrowed(window=window))
+
+
+def values_of(
+    ref: FieldRef, events: Sequence[SystemEvent], entity_of
+) -> FrozenSet[object]:
+    """Distinct values of ``ref`` across ``events`` (events of ref's pattern)."""
+    out: Set[object] = set()
+    for event in events:
+        value = ref.extract(event, entity_of)
+        out.add(value.lower() if isinstance(value, str) else value)
+    return frozenset(out)
+
+
+def attr_rel_narrowing(
+    rel: ResolvedAttrRel,
+    executed_index: int,
+    executed_events: Sequence[SystemEvent],
+    entity_of,
+) -> Optional[tuple]:
+    """Narrowing implied by an equality relationship with an executed side.
+
+    Returns ``(pending_ref, values)`` to apply to the pending pattern's data
+    query, or ``None`` when the relationship cannot narrow (non-equality).
+    """
+    if not rel.is_equality:
+        return None
+    if rel.left.pattern == executed_index:
+        executed_ref, pending_ref = rel.left, rel.right
+    elif rel.right.pattern == executed_index:
+        executed_ref, pending_ref = rel.right, rel.left
+    else:
+        return None
+    values = values_of(executed_ref, executed_events, entity_of)
+    return pending_ref, values
+
+
+def temp_rel_narrowing(
+    rel: ResolvedTempRel,
+    executed_index: int,
+    executed_events: Sequence[SystemEvent],
+) -> Optional[TimeWindow]:
+    """Time-window narrowing for the pending side of a temporal relationship.
+
+    If the executed events span ``[tmin, tmax]`` and ``executed before
+    pending``, any matching pending event starts after ``tmin`` (and within
+    ``tmax + high`` when a bound is given).  Soundness: the window must
+    admit every pending event that could pair with *some* executed event.
+    """
+    if not executed_events:
+        return TimeWindow(start=0.0, end=0.0)  # empty — no pairs possible
+    tmin = min(e.start_time for e in executed_events)
+    tmax = max(e.start_time for e in executed_events)
+    if rel.left == executed_index:
+        pending_is_right = True
+    elif rel.right == executed_index:
+        pending_is_right = False
+    else:
+        return None
+
+    # Normalize to: does the pending event come after (True) or before
+    # (False) the executed one, or either side (None, for 'within')?
+    if rel.kind == "before":
+        pending_after = pending_is_right
+    elif rel.kind == "after":
+        pending_after = not pending_is_right
+    else:  # within
+        pending_after = None
+
+    # Window ends are exclusive; bump inclusive upper bounds by epsilon so
+    # boundary events are admitted (the final join re-checks exactly).
+    eps = 1e-6
+    low = rel.low or 0.0
+    if pending_after is True:
+        start = tmin + low
+        end = tmax + rel.high + eps if rel.high is not None else None
+        return TimeWindow(start=start, end=end)
+    if pending_after is False:
+        end = (tmax - low + eps) if low else tmax
+        start = tmin - rel.high if rel.high is not None else None
+        return TimeWindow(start=start, end=end)
+    # within: bounded both sides only if high given
+    if rel.high is not None:
+        return TimeWindow(start=tmin - rel.high, end=tmax + rel.high + eps)
+    return None

@@ -1,0 +1,175 @@
+"""Dependency query rewriting (paper Secs. 4.2, 5.1).
+
+"For an input dependency query, the engine compiles it to an equivalent
+multievent query for execution."  The path syntax
+
+    forward: proc p1[...] ->[write] file f1[...] <-[read] proc p2[...]
+
+becomes one event pattern per edge; shared path nodes reuse entity ids so
+the standard entity-ID-reuse machinery joins adjacent patterns, and the
+``forward``/``backward`` keyword adds the corresponding ``before``/``after``
+temporal chain.
+
+Cross-host tracking (Query 3's ``->[connect]`` between two processes) is
+expanded into two patterns — sender-side and receiver-side network events —
+joined on the connection's full flow tuple (src_ip, src_port, dst_ip,
+dst_port), since the two hosts record the same flow independently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.context import QueryContext, compile_multievent
+from repro.lang.errors import AIQLSemanticError
+from repro.model.entities import EntityType
+from repro.model.events import Operation
+
+_NETWORK_OPS = frozenset(
+    {Operation.CONNECT, Operation.ACCEPT, Operation.SEND, Operation.RECV}
+)
+
+_SEND_SIDE_OPS = ast.OpOr(
+    ast.OpLeaf("connect"), ast.OpOr(ast.OpLeaf("write"), ast.OpLeaf("send"))
+)
+_RECV_SIDE_OPS = ast.OpOr(
+    ast.OpLeaf("accept"), ast.OpOr(ast.OpLeaf("read"), ast.OpLeaf("recv"))
+)
+
+
+def _ops_in(node: ast.OpNode) -> frozenset:
+    """Operations an op-expression can match (ignoring object legality)."""
+
+    def matches(op: Operation, n: ast.OpNode) -> bool:
+        if isinstance(n, ast.OpLeaf):
+            return Operation.parse(n.name) is op
+        if isinstance(n, ast.OpNot):
+            return not matches(op, n.child)
+        if isinstance(n, ast.OpAnd):
+            return matches(op, n.left) and matches(op, n.right)
+        if isinstance(n, ast.OpOr):
+            return matches(op, n.left) or matches(op, n.right)
+        raise AssertionError(n)
+
+    return frozenset(op for op in Operation if matches(op, node))
+
+
+def rewrite_dependency(query: ast.DependencyQuery) -> ast.MultieventQuery:
+    """Compile a dependency query into its equivalent multievent query."""
+    # Name every node so adjacent patterns share entities by ID reuse.
+    taken = {n.entity_id for n in query.nodes if n.entity_id}
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        while True:
+            counter += 1
+            name = f"_{prefix}{counter}"
+            if name not in taken:
+                taken.add(name)
+                return name
+
+    nodes = [
+        node if node.entity_id else ast.EntityPattern(
+            type_name=node.type_name,
+            entity_id=fresh("n"),
+            constraints=node.constraints,
+        )
+        for node in query.nodes
+    ]
+
+    patterns: List[ast.EventPattern] = []
+    chain_events: List[str] = []
+    cross_host_rels: List[Tuple[str, str]] = []
+
+    for i, edge in enumerate(query.edges):
+        left, right = nodes[i], nodes[i + 1]
+        if edge.direction == "->":
+            subject, obj = left, right
+        else:
+            subject, obj = right, left
+
+        subject_type = EntityType.parse(subject.type_name)
+        object_type = EntityType.parse(obj.type_name)
+
+        if (
+            subject_type is EntityType.PROCESS
+            and object_type is EntityType.PROCESS
+            and _ops_in(edge.operation) & _NETWORK_OPS
+        ):
+            # Cross-host hop: split into sender-side and receiver-side
+            # network events correlated on the flow's (dst_ip, dst_port).
+            conn_a = fresh("conn")
+            conn_b = fresh("conn")
+            evt_a = fresh("evt")
+            evt_b = fresh("evt")
+            patterns.append(
+                ast.EventPattern(
+                    subject=subject,
+                    operation=_SEND_SIDE_OPS,
+                    object=ast.EntityPattern(type_name="ip", entity_id=conn_a),
+                    event_id=evt_a,
+                )
+            )
+            patterns.append(
+                ast.EventPattern(
+                    subject=obj,
+                    operation=_RECV_SIDE_OPS,
+                    object=ast.EntityPattern(type_name="ip", entity_id=conn_b),
+                    event_id=evt_b,
+                )
+            )
+            chain_events.extend([evt_a, evt_b])
+            cross_host_rels.append((conn_a, conn_b))
+            continue
+
+        if subject_type is not EntityType.PROCESS:
+            raise AIQLSemanticError(
+                f"dependency edge {i + 1}: the acting side must be a process "
+                f"(got {subject_type.value})",
+                hint="flip the arrow direction or the node order",
+            )
+        event_id = fresh("evt")
+        patterns.append(
+            ast.EventPattern(
+                subject=subject,
+                operation=edge.operation,
+                object=obj,
+                event_id=event_id,
+            )
+        )
+        chain_events.append(event_id)
+
+    relationships: List[ast.Relationship] = []
+    for conn_a, conn_b in cross_host_rels:
+        for attr in ("src_ip", "src_port", "dst_ip", "dst_port"):
+            relationships.append(
+                ast.AttrRel(
+                    left_id=conn_a,
+                    left_attr=attr,
+                    op="=",
+                    right_id=conn_b,
+                    right_attr=attr,
+                )
+            )
+
+    if query.direction in ("forward", "backward"):
+        kind = "before" if query.direction == "forward" else "after"
+        for a, b in zip(chain_events, chain_events[1:]):
+            relationships.append(
+                ast.TempRel(left_event=a, kind=kind, right_event=b)
+            )
+
+    return ast.MultieventQuery(
+        globals=query.globals,
+        patterns=tuple(patterns),
+        relationships=tuple(relationships),
+        returns=query.returns,
+        filters=query.filters,
+    )
+
+
+def compile_dependency(query: ast.DependencyQuery) -> QueryContext:
+    """Rewrite + semantic compilation in one step."""
+    return compile_multievent(rewrite_dependency(query))

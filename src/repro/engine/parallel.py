@@ -1,0 +1,68 @@
+"""Temporal & spatial parallelization of data queries (paper Sec. 5.2).
+
+"The engine partitions the time window of a data query into sub-queries
+with smaller time windows, and executes them in parallel.  Currently, our
+system splits the time window into days for a query over a multi-day time
+window."
+
+:func:`split_window` produces the per-day sub-windows; :func:`scan_split`
+executes the sub-queries on a thread pool against any store and merges the
+sorted results.  (The partitioned :class:`~repro.storage.database.EventStore`
+additionally parallelizes across its own partitions; this module is the
+query-level mechanism that works with *any* storage backend.)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import List
+
+from repro.model.events import SystemEvent
+from repro.model.time import DAY, TimeWindow, day_of
+from repro.storage.filters import EventFilter
+
+
+def split_window(window: TimeWindow, granularity: float = DAY) -> List[TimeWindow]:
+    """Split a bounded window into aligned sub-windows of ``granularity``.
+
+    Unbounded windows cannot be split and are returned whole.
+    """
+    if not window.is_bounded():
+        return [window]
+    if granularity <= 0:
+        raise ValueError("granularity must be positive")
+    start, end = window.start, window.end
+    assert start is not None and end is not None
+    pieces: List[TimeWindow] = []
+    # Align boundaries to multiples of the granularity (days by default),
+    # matching the per-day database layout.
+    first_boundary = (int(start // granularity) + 1) * granularity
+    cursor = start
+    boundary = first_boundary
+    while boundary < end:
+        pieces.append(TimeWindow(start=cursor, end=boundary))
+        cursor = boundary
+        boundary += granularity
+    pieces.append(TimeWindow(start=cursor, end=end))
+    return pieces
+
+
+def scan_split(
+    store,
+    flt: EventFilter,
+    granularity: float = DAY,
+    max_workers: int = 4,
+) -> List[SystemEvent]:
+    """Execute one data query as parallel per-day sub-queries."""
+    pieces = split_window(flt.window, granularity)
+    if len(pieces) <= 1:
+        return store.scan(flt)
+    sub_filters = [replace(flt, window=piece) for piece in pieces]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        chunks = list(pool.map(store.scan, sub_filters))
+    merged: List[SystemEvent] = []
+    for chunk in chunks:
+        merged.extend(chunk)
+    merged.sort(key=lambda e: (e.start_time, e.event_id))
+    return merged

@@ -1,0 +1,92 @@
+"""Result sets returned by query execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+def _sort_key(value: object) -> tuple:
+    """Type-tagged sort key so heterogeneous columns sort deterministically."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value).lower())
+
+
+@dataclass
+class ResultSet:
+    """Named columns + rows, with the manipulation the return clause needs."""
+
+    columns: Tuple[str, ...]
+    rows: List[Tuple[object, ...]]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column(self, name: str) -> List[object]:
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def distinct(self) -> "ResultSet":
+        seen = set()
+        rows: List[Tuple[object, ...]] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return ResultSet(columns=self.columns, rows=rows, meta=dict(self.meta))
+
+    def sorted_by(self, names: Sequence[str], descending: bool = False) -> "ResultSet":
+        indices = []
+        for name in names:
+            try:
+                indices.append(self.columns.index(name))
+            except ValueError:
+                raise KeyError(f"no column named {name!r}") from None
+        rows = sorted(
+            self.rows,
+            key=lambda row: tuple(_sort_key(row[i]) for i in indices),
+            reverse=descending,
+        )
+        return ResultSet(columns=self.columns, rows=rows, meta=dict(self.meta))
+
+    def head(self, n: int) -> "ResultSet":
+        return ResultSet(columns=self.columns, rows=self.rows[:n], meta=dict(self.meta))
+
+    def to_text(self, max_rows: int = 50) -> str:
+        """Render as an aligned text table (for examples and the CLI)."""
+        header = list(self.columns)
+        body = [
+            ["" if v is None else str(v) for v in row]
+            for row in self.rows[:max_rows]
+        ]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,394 @@
+"""Data query schedulers (paper Sec. 5.2, Algorithm 1).
+
+Two strategies are provided:
+
+* :class:`RelationshipScheduler` — the paper's relationship-based
+  scheduling.  Event patterns get a *pruning score* (their number of
+  constraints); relationships are sorted so that process/network event
+  patterns are handled before file event patterns and higher-scoring pairs
+  first; and each data query executed against a relationship is
+  *constrained* by the results already in hand.
+* :class:`FetchFilterScheduler` — the strawman the paper calls
+  *fetch-and-filter* (the ``AIQL FF`` baseline of Fig. 6): execute every
+  data query independently, then join and filter.
+
+All strategies produce the same final tuple set (a correctness invariant
+the test suite checks); they differ only in how much irrelevant data they
+touch.
+
+Scoring models.  The paper estimates pruning power by *constraint count*
+and concedes (Sec. 7) that this "may not accurately represent the size of
+the results"; it proposes "constructing a statistical model of constraint
+pruning power" as future work.  :class:`RelationshipScheduler` implements
+both: ``score_model="constraints"`` (the published heuristic, default) and
+``score_model="cardinality"`` (the Sec. 7 proposal — estimate each
+pattern's result size from index statistics and prioritize the smallest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.data_query import (
+    DataQuery,
+    attr_rel_narrowing,
+    temp_rel_narrowing,
+)
+from repro.engine.tuples import TupleSet
+from repro.lang.context import (
+    QueryContext,
+    ResolvedAttrRel,
+    ResolvedTempRel,
+)
+from repro.model.events import HIGH_PRUNING_EVENT_TYPES
+
+
+@dataclass
+class SchedulerStats:
+    """Observability: how much each strategy fetched and joined."""
+
+    data_queries_executed: int = 0
+    constrained_executions: int = 0
+    events_fetched: int = 0
+    rows_joined: int = 0
+    order: List[int] = field(default_factory=list)
+
+
+_Relationship = Tuple[str, object]  # ('attr', ResolvedAttrRel) | ('temp', ...)
+
+
+def _involved(rel: _Relationship) -> Tuple[int, int]:
+    kind, payload = rel
+    if kind == "attr":
+        return payload.left.pattern, payload.right.pattern  # type: ignore[union-attr]
+    return payload.left, payload.right  # type: ignore[union-attr]
+
+
+class _SchedulerBase:
+    def __init__(self, store, parallel: bool = False) -> None:
+        self.store = store
+        self.parallel = parallel
+        self.stats = SchedulerStats()
+
+    def _entity_of(self, entity_id: int):
+        return self.store.registry.get(entity_id)
+
+    def _execute(self, query: DataQuery, constrained: bool = False):
+        events = query.execute(self.store, parallel=self.parallel)
+        self.stats.data_queries_executed += 1
+        if constrained:
+            self.stats.constrained_executions += 1
+        self.stats.events_fetched += len(events)
+        self.stats.order.append(query.index)
+        return events
+
+    def _relationships(self, ctx: QueryContext) -> List[_Relationship]:
+        rels: List[_Relationship] = [("attr", r) for r in ctx.attr_relationships]
+        rels.extend(("temp", r) for r in ctx.temp_relationships)
+        return rels
+
+    @staticmethod
+    def _rels_between(
+        ctx: QueryContext, bound: Set[int]
+    ) -> Tuple[List[ResolvedAttrRel], List[ResolvedTempRel]]:
+        attr = [
+            r
+            for r in ctx.attr_relationships
+            if r.left.pattern in bound and r.right.pattern in bound
+        ]
+        temp = [
+            r
+            for r in ctx.temp_relationships
+            if r.left in bound and r.right in bound
+        ]
+        return attr, temp
+
+
+SCORE_MODELS = ("constraints", "cardinality")
+
+
+class RelationshipScheduler(_SchedulerBase):
+    """Algorithm 1: relationship-based scheduling."""
+
+    def __init__(
+        self,
+        store,
+        parallel: bool = False,
+        score_model: str = "constraints",
+    ) -> None:
+        super().__init__(store, parallel=parallel)
+        if score_model not in SCORE_MODELS:
+            raise ValueError(
+                f"unknown score model {score_model!r}; "
+                f"expected one of {SCORE_MODELS}"
+            )
+        self.score_model = score_model
+
+    def _pattern_scores(self, ctx: QueryContext) -> Dict[int, float]:
+        if self.score_model == "constraints":
+            return {p.index: float(p.score) for p in ctx.patterns}
+        return {
+            p.index: -float(self._estimated_rows(p)) for p in ctx.patterns
+        }
+
+    def _estimated_rows(self, pattern) -> int:
+        """Result-size estimate from index statistics (Sec. 7 proposal).
+
+        The candidate entity-id sets the attribute indexes would serve
+        bound the number of matching events; a pattern with no servable
+        predicate is pessimistically estimated at the store size.
+        """
+        entity_index = getattr(self.store, "entity_index", None)
+        if entity_index is None:
+            return len(self.store)
+        from repro.storage.database import narrow_with_index
+
+        flt = narrow_with_index(pattern.filter, entity_index)
+        bounds = []
+        if flt.subject_ids is not None:
+            bounds.append(len(flt.subject_ids))
+        if flt.object_ids is not None:
+            bounds.append(len(flt.object_ids))
+        return min(bounds) if bounds else len(self.store)
+
+    def run(self, ctx: QueryContext) -> TupleSet:
+        queries = {p.index: DataQuery.for_pattern(p) for p in ctx.patterns}
+        scores = self._pattern_scores(ctx)
+
+        # Step 2: sort relationships.  Under the published heuristic:
+        # process/network patterns ahead of file patterns, then by the sum
+        # of the involved pruning scores.  Under the cardinality model the
+        # estimated sizes subsume the type ordering.
+        def rel_key(rel: _Relationship) -> tuple:
+            i, j = _involved(rel)
+            if self.score_model == "cardinality":
+                return (0, -(scores[i] + scores[j]))
+            file_patterns = sum(
+                1
+                for idx in (i, j)
+                if ctx.patterns[idx].event_type not in HIGH_PRUNING_EVENT_TYPES
+            )
+            return (file_patterns, -(scores[i] + scores[j]))
+
+        rels_sorted = sorted(self._relationships(ctx), key=rel_key)
+
+        executed: Set[int] = set()
+        events: Dict[int, list] = {}
+        tuple_of: Dict[int, TupleSet] = {}  # the map M
+
+        def replace_vals(old: TupleSet, new: TupleSet) -> None:
+            for key, value in list(tuple_of.items()):
+                if value is old:
+                    tuple_of[key] = new
+
+        # Step 3: main loop over sorted relationships.  All relationships
+        # between the same pattern pair are processed together so joins can
+        # use composite keys (and the pair is constrained/filtered once).
+        processed: Set[int] = set()
+        for kind, rel in rels_sorted:
+            if id(rel) in processed:
+                continue
+            i, j = _involved((kind, rel))
+            if i == j:
+                continue
+            attr_rels = [
+                r
+                for r in ctx.attr_relationships
+                if {r.left.pattern, r.right.pattern} == {i, j}
+            ]
+            temp_rels = [
+                r for r in ctx.temp_relationships if {r.left, r.right} == {i, j}
+            ]
+            for r in attr_rels:
+                processed.add(id(r))
+            for r in temp_rels:
+                processed.add(id(r))
+
+            if i not in executed and j not in executed:
+                first, second = (i, j) if scores[i] >= scores[j] else (j, i)
+                first_events = self._execute(queries[first])
+                events[first] = first_events
+                executed.add(first)
+                second_events = self._constrained_execute(
+                    ctx, queries[second], first, first_events
+                )
+                events[second] = second_events
+                executed.add(second)
+                joined = TupleSet.from_events(first, first_events).join(
+                    TupleSet.from_events(second, second_events),
+                    attr_rels,
+                    temp_rels,
+                    self._entity_of,
+                )
+                self.stats.rows_joined += len(joined)
+                tuple_of[i] = joined
+                tuple_of[j] = joined
+            elif (i in executed) != (j in executed):
+                done, pending = (i, j) if i in executed else (j, i)
+                done_set = tuple_of.get(done)
+                done_events = (
+                    done_set.events_of(done) if done_set is not None else events[done]
+                )
+                pending_events = self._constrained_execute(
+                    ctx, queries[pending], done, done_events
+                )
+                events[pending] = pending_events
+                executed.add(pending)
+                base = (
+                    done_set
+                    if done_set is not None
+                    else TupleSet.from_events(done, events[done])
+                )
+                joined = base.join(
+                    TupleSet.from_events(pending, pending_events),
+                    attr_rels,
+                    temp_rels,
+                    self._entity_of,
+                )
+                self.stats.rows_joined += len(joined)
+                replace_vals(base, joined)
+                tuple_of[pending] = joined
+                tuple_of[done] = joined
+            else:
+                set_i, set_j = tuple_of[i], tuple_of[j]
+                if set_i is set_j:
+                    filtered = set_i.filter(attr_rels, temp_rels, self._entity_of)
+                    replace_vals(set_i, filtered)
+                else:
+                    joined = set_i.join(set_j, attr_rels, temp_rels, self._entity_of)
+                    self.stats.rows_joined += len(joined)
+                    replace_vals(set_i, joined)
+                    replace_vals(set_j, joined)
+
+        # Step 4: leftover patterns without any processed relationship.
+        for pattern in ctx.patterns:
+            if pattern.index not in executed:
+                fetched = self._execute(queries[pattern.index])
+                events[pattern.index] = fetched
+                executed.add(pattern.index)
+                tuple_of[pattern.index] = TupleSet.from_events(
+                    pattern.index, fetched
+                )
+
+        # Step 5: merge remaining distinct tuple sets (cartesian).
+        distinct: List[TupleSet] = []
+        for value in tuple_of.values():
+            if all(value is not seen for seen in distinct):
+                distinct.append(value)
+        merged = distinct[0]
+        for other in distinct[1:]:
+            merged = merged.cross(other)
+        # Re-check every relationship on the final set: relationships whose
+        # endpoints joined through different intermediate sets may not have
+        # been applied to the merged rows yet.
+        attr_rels, temp_rels = self._rels_between(
+            ctx, set(merged.patterns)
+        )
+        return merged.filter(attr_rels, temp_rels, self._entity_of)
+
+    def _constrained_execute(
+        self,
+        ctx: QueryContext,
+        query: DataQuery,
+        executed_index: int,
+        executed_events: Sequence,
+    ) -> list:
+        """Narrow ``query`` using every relationship it shares with the
+        executed pattern, then run it."""
+        narrowed = query
+        for rel in ctx.attr_relationships:
+            if {rel.left.pattern, rel.right.pattern} == {
+                executed_index,
+                query.index,
+            }:
+                narrowing = attr_rel_narrowing(
+                    rel, executed_index, executed_events, self._entity_of
+                )
+                if narrowing is not None:
+                    ref, values = narrowing
+                    # Giant IN lists cost more than they prune (classic
+                    # optimizer guard); id sets stay — postings lists serve
+                    # them directly.
+                    if ref.attr != "id" and len(values) > 256:
+                        continue
+                    narrowed = narrowed.narrowed_by_values(ref, values)
+        for rel in ctx.temp_relationships:
+            if {rel.left, rel.right} == {executed_index, query.index}:
+                window = temp_rel_narrowing(rel, executed_index, executed_events)
+                if window is not None:
+                    narrowed = narrowed.narrowed_by_window(window)
+        return self._execute(narrowed, constrained=True)
+
+
+class FetchFilterScheduler(_SchedulerBase):
+    """Fetch-and-filter: fetch everything, then join and filter."""
+
+    def run(self, ctx: QueryContext) -> TupleSet:
+        sets: Dict[int, TupleSet] = {}
+        for pattern in ctx.patterns:
+            fetched = self._execute(DataQuery.for_pattern(pattern))
+            sets[pattern.index] = TupleSet.from_events(pattern.index, fetched)
+
+        merged: Optional[TupleSet] = None
+        remaining = dict(sets)
+        # Join connected components first (cheaper than pure cross products),
+        # but with no constrained execution and no pruning-score ordering.
+        rels = self._relationships(ctx)
+        current_sets: List[TupleSet] = list(remaining.values())
+
+        def find_set(pattern: int) -> TupleSet:
+            for ts in current_sets:
+                if pattern in ts.patterns:
+                    return ts
+            raise KeyError(pattern)
+
+        for kind, rel in rels:
+            i, j = _involved((kind, rel))
+            if i == j:
+                continue
+            set_i = find_set(i)
+            set_j = find_set(j)
+            attr_rels = [rel] if kind == "attr" else []
+            temp_rels = [rel] if kind == "temp" else []
+            if set_i is set_j:
+                filtered = set_i.filter(attr_rels, temp_rels, self._entity_of)
+                current_sets = [
+                    filtered if ts is set_i else ts for ts in current_sets
+                ]
+            else:
+                joined = set_i.join(set_j, attr_rels, temp_rels, self._entity_of)
+                self.stats.rows_joined += len(joined)
+                current_sets = [
+                    ts for ts in current_sets if ts is not set_i and ts is not set_j
+                ]
+                current_sets.append(joined)
+
+        merged = current_sets[0]
+        for other in current_sets[1:]:
+            merged = merged.cross(other)
+        attr_rels, temp_rels = self._rels_between(ctx, set(merged.patterns))
+        return merged.filter(attr_rels, temp_rels, self._entity_of)
+
+
+SCHEDULERS = {
+    "relationship": lambda store, parallel: RelationshipScheduler(
+        store, parallel=parallel
+    ),
+    "relationship_cardinality": lambda store, parallel: RelationshipScheduler(
+        store, parallel=parallel, score_model="cardinality"
+    ),
+    "fetch_filter": lambda store, parallel: FetchFilterScheduler(
+        store, parallel=parallel
+    ),
+}
+
+
+def make_scheduler(name: str, store, parallel: bool = False) -> _SchedulerBase:
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of {sorted(SCHEDULERS)}"
+        ) from None
+    return factory(store, parallel)

@@ -1,0 +1,171 @@
+"""Event ID tuple sets (the ``M`` map values of Algorithm 1).
+
+A :class:`TupleSet` holds partial join results: one column per event
+pattern already bound, one row per combination of events that satisfies
+every relationship applied so far.  The scheduler creates, joins, filters
+and merges tuple sets as it processes relationships.
+
+Joins prefer hash joins on equality attribute relationships and fall back
+to filtered nested loops for inequality/temporal-only combinations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.context import FieldRef, ResolvedAttrRel, ResolvedTempRel
+from repro.model.events import SystemEvent
+from repro.storage.filters import AttrPredicate
+
+EntityLookup = Callable[[int], object]
+
+
+def _norm(value: object) -> object:
+    return value.lower() if isinstance(value, str) else value
+
+
+@dataclass
+class TupleSet:
+    """Rows of events aligned to ``patterns`` (sorted pattern indices)."""
+
+    patterns: Tuple[int, ...]
+    rows: List[Tuple[SystemEvent, ...]]
+
+    @classmethod
+    def from_events(cls, pattern: int, events: Sequence[SystemEvent]) -> "TupleSet":
+        return cls(patterns=(pattern,), rows=[(e,) for e in events])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column_of(self, pattern: int) -> int:
+        try:
+            return self.patterns.index(pattern)
+        except ValueError:
+            raise KeyError(f"pattern {pattern} not in tuple set") from None
+
+    def events_of(self, pattern: int) -> List[SystemEvent]:
+        """Distinct events bound to ``pattern`` across all rows."""
+        col = self.column_of(pattern)
+        seen: Dict[int, SystemEvent] = {}
+        for row in self.rows:
+            event = row[col]
+            seen.setdefault(event.event_id, event)
+        return list(seen.values())
+
+    # -- relationship evaluation -------------------------------------------
+
+    def _field(self, ref: FieldRef, row: Tuple[SystemEvent, ...], entity_of) -> object:
+        return ref.extract(row[self.column_of(ref.pattern)], entity_of)
+
+    def _check_attr_rel(
+        self, rel: ResolvedAttrRel, row: Tuple[SystemEvent, ...], entity_of
+    ) -> bool:
+        left = self._field(rel.left, row, entity_of)
+        right = self._field(rel.right, row, entity_of)
+        if rel.op == "=":  # hot path: equality joins
+            return _norm(left) == _norm(right)
+        if rel.op == "!=":
+            return _norm(left) != _norm(right)
+        return AttrPredicate(attr=rel.left.attr, op=rel.op, value=right).matches(left)
+
+    def _check_temp_rel(
+        self, rel: ResolvedTempRel, row: Tuple[SystemEvent, ...]
+    ) -> bool:
+        left = row[self.column_of(rel.left)]
+        right = row[self.column_of(rel.right)]
+        return rel.check(left, right)
+
+    def filter(
+        self,
+        attr_rels: Sequence[ResolvedAttrRel],
+        temp_rels: Sequence[ResolvedTempRel],
+        entity_of: EntityLookup,
+    ) -> "TupleSet":
+        """Keep rows satisfying all given relationships (both sides bound)."""
+        rows = [
+            row
+            for row in self.rows
+            if all(self._check_attr_rel(r, row, entity_of) for r in attr_rels)
+            and all(self._check_temp_rel(r, row) for r in temp_rels)
+        ]
+        return TupleSet(patterns=self.patterns, rows=rows)
+
+    # -- joins ---------------------------------------------------------------
+
+    def join(
+        self,
+        other: "TupleSet",
+        attr_rels: Sequence[ResolvedAttrRel],
+        temp_rels: Sequence[ResolvedTempRel],
+        entity_of: EntityLookup,
+    ) -> "TupleSet":
+        """Join two disjoint tuple sets, filtering by the relationships.
+
+        Uses the first equality attribute relationship spanning the two sets
+        as a hash-join key; remaining relationships are checked per joined
+        row.
+        """
+        if set(self.patterns) & set(other.patterns):
+            raise ValueError("join requires disjoint tuple sets")
+        combined_patterns = tuple(sorted(self.patterns + other.patterns))
+
+        # Use a composite hash key over every equality relationship that
+        # spans the two sets: joining on (dst_ip, dst_port) at once avoids
+        # the intermediate blowup of joining on dst_ip and filtering later.
+        hash_rels: List[ResolvedAttrRel] = [
+            rel
+            for rel in attr_rels
+            if rel.is_equality and self._spans(rel, other)
+        ]
+
+        joined_rows: List[Tuple[SystemEvent, ...]] = []
+
+        def combine(
+            left_row: Tuple[SystemEvent, ...], right_row: Tuple[SystemEvent, ...]
+        ) -> Tuple[SystemEvent, ...]:
+            mapping: Dict[int, SystemEvent] = dict(zip(self.patterns, left_row))
+            mapping.update(zip(other.patterns, right_row))
+            return tuple(mapping[p] for p in combined_patterns)
+
+        if hash_rels:
+            key_refs = []
+            for rel in hash_rels:
+                left_ref, right_ref = rel.left, rel.right
+                if left_ref.pattern not in self.patterns:
+                    left_ref, right_ref = right_ref, left_ref
+                key_refs.append((left_ref, right_ref))
+            buckets: Dict[object, List[Tuple[SystemEvent, ...]]] = defaultdict(list)
+            for row in other.rows:
+                key = tuple(
+                    _norm(other._field(ref, row, entity_of))
+                    for _lref, ref in key_refs
+                )
+                buckets[key].append(row)
+            for row in self.rows:
+                key = tuple(
+                    _norm(self._field(ref, row, entity_of))
+                    for ref, _rref in key_refs
+                )
+                for match in buckets.get(key, ()):
+                    joined_rows.append(combine(row, match))
+        else:
+            for left_row in self.rows:
+                for right_row in other.rows:
+                    joined_rows.append(combine(left_row, right_row))
+
+        result = TupleSet(patterns=combined_patterns, rows=joined_rows)
+        residual_attr = [r for r in attr_rels if r not in hash_rels]
+        return result.filter(residual_attr, temp_rels, entity_of)
+
+    def _spans(self, rel: ResolvedAttrRel, other: "TupleSet") -> bool:
+        a, b = rel.left.pattern, rel.right.pattern
+        return (a in self.patterns and b in other.patterns) or (
+            b in self.patterns and a in other.patterns
+        )
+
+    def cross(self, other: "TupleSet") -> "TupleSet":
+        """Unfiltered cartesian product (Algorithm 1 step 5 merges)."""
+        return self.join(other, (), (), lambda _id: None)

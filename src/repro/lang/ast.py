@@ -1,0 +1,316 @@
+"""AST for AIQL (paper Grammar 1).
+
+Nodes mirror the BNF rules: global constraints, event patterns built from
+entities and operation expressions, event relationships (attribute and
+temporal), return/filter clauses, and dependency paths.  The AST is purely
+syntactic; context-aware shortcut resolution happens in
+:mod:`repro.lang.inference` and semantic compilation in
+:mod:`repro.lang.context`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# constraints (<cstr>, <attr_cstr>)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``attr <bop> value`` | bare ``value`` | ``attr [not] in (...)``.
+
+    ``attr is None`` means the default attribute must be inferred from the
+    entity type (Sec. 4.1 attribute inference).
+    """
+
+    attr: Optional[str]
+    op: str  # '=', '!=', '<', '<=', '>', '>=', 'in', 'not in'
+    value: object  # str | int | float | tuple for in-lists
+
+
+@dataclass(frozen=True)
+class CstrLeaf:
+    comparison: Comparison
+
+
+@dataclass(frozen=True)
+class CstrNot:
+    child: "CstrNode"
+
+
+@dataclass(frozen=True)
+class CstrAnd:
+    left: "CstrNode"
+    right: "CstrNode"
+
+
+@dataclass(frozen=True)
+class CstrOr:
+    left: "CstrNode"
+    right: "CstrNode"
+
+
+CstrNode = Union[CstrLeaf, CstrNot, CstrAnd, CstrOr]
+
+# ---------------------------------------------------------------------------
+# operation expressions (<op_exp>)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpLeaf:
+    name: str
+
+
+@dataclass(frozen=True)
+class OpNot:
+    child: "OpNode"
+
+
+@dataclass(frozen=True)
+class OpAnd:
+    left: "OpNode"
+    right: "OpNode"
+
+
+@dataclass(frozen=True)
+class OpOr:
+    left: "OpNode"
+    right: "OpNode"
+
+
+OpNode = Union[OpLeaf, OpNot, OpAnd, OpOr]
+
+# ---------------------------------------------------------------------------
+# time windows and global constraints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimeWindowSpec:
+    """``(at "01/01/2017")`` or ``from <dt> to <dt>``."""
+
+    kind: str  # 'at' | 'range'
+    start_text: str
+    end_text: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SlidingWindowSpec:
+    """``window = 1 min`` / ``step = 10 sec`` pair (anomaly queries)."""
+
+    window_seconds: float
+    step_seconds: float
+
+
+@dataclass(frozen=True)
+class GlobalConstraint:
+    """A bare global comparison such as ``agentid = 1``."""
+
+    comparison: Comparison
+
+
+GlobalItem = Union[GlobalConstraint, TimeWindowSpec, SlidingWindowSpec]
+
+# ---------------------------------------------------------------------------
+# entities and event patterns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EntityPattern:
+    """``proc p1["%apache%"]`` — type, optional id, optional constraints."""
+
+    type_name: str  # 'proc' | 'file' | 'ip'
+    entity_id: Optional[str] = None
+    constraints: Optional[CstrNode] = None
+
+
+@dataclass(frozen=True)
+class EventPattern:
+    """``<entity> <op_exp> <entity> (as evt[cstr])? ((twind))?``."""
+
+    subject: EntityPattern
+    operation: OpNode
+    object: EntityPattern
+    event_id: Optional[str] = None
+    event_constraints: Optional[CstrNode] = None
+    window: Optional[TimeWindowSpec] = None
+
+
+# ---------------------------------------------------------------------------
+# event relationships (<evt_rel>)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttrRel:
+    """``p1.attr <bop> p3.attr`` (attrs optional -> inferred as ``id``)."""
+
+    left_id: str
+    left_attr: Optional[str]
+    op: str
+    right_id: str
+    right_attr: Optional[str]
+
+
+@dataclass(frozen=True)
+class TempRel:
+    """``evt1 before[1-2 minutes] evt2`` and friends."""
+
+    left_event: str
+    kind: str  # 'before' | 'after' | 'within'
+    right_event: str
+    low: Optional[float] = None  # seconds
+    high: Optional[float] = None  # seconds
+
+
+Relationship = Union[AttrRel, TempRel]
+
+# ---------------------------------------------------------------------------
+# having-clause expressions (anomaly queries)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class Name:
+    """A reference to a return-clause result, with optional history index.
+
+    ``freq`` -> Name('freq', 0); ``freq[2]`` -> Name('freq', 2): the value of
+    ``freq`` two sliding-window steps earlier (paper Sec. 4.3 history states).
+    """
+
+    name: str
+    history: int = 0
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # '+', '-', '*', '/', '=', '!=', '<', '<=', '>', '>=', '&&', '||'
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Built-in function: moving averages (SMA/CMA/WMA/EWMA), abs..."""
+
+    name: str
+    args: Tuple["ExprNode", ...]
+
+
+ExprNode = Union[Num, Name, BinOp, FuncCall]
+
+# ---------------------------------------------------------------------------
+# return clause and filters
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResAttr:
+    """``p1`` or ``p1.exe_name`` or ``evt1.optype``."""
+
+    ref: str
+    attr: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ResAgg:
+    """``count(distinct ipp)`` / ``avg(evt.amount)``..."""
+
+    func: str
+    arg: ResAttr
+    distinct: bool = False
+
+
+ResExpr = Union[ResAttr, ResAgg]
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    expr: ResExpr
+    rename: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ReturnClause:
+    items: Tuple[ReturnItem, ...]
+    count: bool = False
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SortSpec:
+    attrs: Tuple[str, ...]
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Filters:
+    """The optional trailing clauses: group by / having / sort by / top."""
+
+    group_by: Tuple[ResExpr, ...] = ()
+    having: Optional[ExprNode] = None
+    sort: Optional[SortSpec] = None
+    top: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultieventQuery:
+    globals: Tuple[GlobalItem, ...]
+    patterns: Tuple[EventPattern, ...]
+    relationships: Tuple[Relationship, ...]
+    returns: ReturnClause
+    filters: Filters = field(default_factory=Filters)
+
+    @property
+    def sliding_window(self) -> Optional[SlidingWindowSpec]:
+        for item in self.globals:
+            if isinstance(item, SlidingWindowSpec):
+                return item
+        return None
+
+    @property
+    def is_anomaly(self) -> bool:
+        """Anomaly queries are multievent queries with a sliding window."""
+        return self.sliding_window is not None
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """``->[op_exp]`` or ``<-[op_exp]`` between two path nodes."""
+
+    direction: str  # '->' | '<-'
+    operation: OpNode
+
+
+@dataclass(frozen=True)
+class DependencyQuery:
+    globals: Tuple[GlobalItem, ...]
+    direction: Optional[str]  # 'forward' | 'backward' | None
+    nodes: Tuple[EntityPattern, ...]
+    edges: Tuple[DependencyEdge, ...]
+    returns: ReturnClause
+    filters: Filters = field(default_factory=Filters)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.edges) + 1:
+            raise ValueError(
+                "dependency path must have exactly one more node than edges"
+            )
+
+
+Query = Union[MultieventQuery, DependencyQuery]

@@ -1,0 +1,53 @@
+"""Error types for the AIQL language front-end (paper Fig. 2 Error Reporting).
+
+All language errors carry source positions so an interactive investigation
+session can point at the offending token — the paper's architecture calls
+this the *error reporting* component of the parser.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AIQLError(Exception):
+    """Base class for all AIQL language / semantic errors."""
+
+
+class AIQLSyntaxError(AIQLError):
+    """Lexical or grammatical error, with line/column context."""
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        source: Optional[str] = None,
+    ) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        self.source = source
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        location = f" at line {self.line}, column {self.column}" if self.line else ""
+        rendered = f"syntax error{location}: {self.message}"
+        if self.source and self.line:
+            lines = self.source.splitlines()
+            if 0 < self.line <= len(lines):
+                rendered += "\n  " + lines[self.line - 1]
+                rendered += "\n  " + " " * max(self.column - 1, 0) + "^"
+        return rendered
+
+
+class AIQLSemanticError(AIQLError):
+    """Valid syntax, invalid meaning (unknown ids, bad attributes...)."""
+
+    def __init__(self, message: str, hint: Optional[str] = None) -> None:
+        self.message = message
+        self.hint = hint
+        text = f"semantic error: {message}"
+        if hint:
+            text += f" (hint: {hint})"
+        super().__init__(text)

@@ -1,0 +1,218 @@
+"""Evaluator for having-clause expressions (paper Sec. 4.3).
+
+Anomaly queries compare aggregates against *historical states*: ``freq[1]``
+is the value of ``freq`` one sliding-window step earlier, and the built-in
+moving averages (SMA, CMA, WMA, EWMA [44]) smooth over a series of past
+values.  The evaluator works against an :class:`ExprEnv` that supplies the
+current value and the aligned history series of each named result.
+
+Moving-average semantics (over the series *including* the current window,
+oldest -> newest):
+
+* ``SMA(x, n)``  — arithmetic mean of the last ``n`` values;
+* ``CMA(x)``     — cumulative mean of all values so far;
+* ``WMA(x, n)``  — linearly weighted mean of the last ``n`` values
+  (weight ``i`` for the ``i``-th oldest of the window);
+* ``EWMA(x, a)`` — recursive smoothing ``S_t = a*S_{t-1} + (1-a)*x_t``
+  seeded with the first value.  ``a`` close to 1 weights history heavily,
+  matching the paper's baseline usage ``EWMA(freq, 0.9)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, Sequence
+
+from repro.lang.ast import BinOp, ExprNode, FuncCall, Name, Num
+from repro.lang.errors import AIQLSemanticError
+
+
+class ExprEnv(Protocol):
+    """Value source for expression evaluation."""
+
+    def value(self, name: str, history: int) -> float:
+        """Value of ``name``, ``history`` steps back (0 = current)."""
+
+    def series(self, name: str) -> Sequence[float]:
+        """Aligned value series for ``name``, oldest -> newest (incl. current)."""
+
+
+class MappingEnv:
+    """Simple env over per-name series lists (oldest -> newest)."""
+
+    def __init__(self, data: Dict[str, Sequence[float]]) -> None:
+        self._data = {k: list(v) for k, v in data.items()}
+
+    def value(self, name: str, history: int) -> float:
+        series = self._series(name)
+        idx = len(series) - 1 - history
+        if idx < 0:
+            raise AIQLSemanticError(
+                f"not enough history for {name}[{history}]",
+                hint="windows earlier than the deepest history index are skipped",
+            )
+        return series[idx]
+
+    def series(self, name: str) -> Sequence[float]:
+        return self._series(name)
+
+    def _series(self, name: str) -> List[float]:
+        if name not in self._data:
+            raise AIQLSemanticError(f"unknown result name {name!r} in having clause")
+        return self._data[name]
+
+
+def sma(series: Sequence[float], n: int) -> float:
+    if n < 1:
+        raise AIQLSemanticError("SMA window must be >= 1")
+    window = list(series[-n:])
+    if not window:
+        return 0.0
+    return sum(window) / len(window)
+
+
+def cma(series: Sequence[float]) -> float:
+    if not series:
+        return 0.0
+    return sum(series) / len(series)
+
+
+def wma(series: Sequence[float], n: int) -> float:
+    if n < 1:
+        raise AIQLSemanticError("WMA window must be >= 1")
+    window = list(series[-n:])
+    if not window:
+        return 0.0
+    weights = range(1, len(window) + 1)
+    total_weight = sum(weights)
+    return sum(w * x for w, x in zip(weights, window)) / total_weight
+
+
+def ewma(series: Sequence[float], alpha: float) -> float:
+    if not 0.0 <= alpha <= 1.0:
+        raise AIQLSemanticError("EWMA smoothing factor must be in [0, 1]")
+    if not series:
+        return 0.0
+    smoothed = series[0]
+    for x in series[1:]:
+        smoothed = alpha * smoothed + (1.0 - alpha) * x
+    return smoothed
+
+
+def _check_arity(name: str, args: tuple, expected: int) -> None:
+    if len(args) != expected:
+        raise AIQLSemanticError(
+            f"{name.upper()} takes {expected} argument(s), got {len(args)}"
+        )
+
+
+def _series_arg(node: ExprNode, env: ExprEnv, func: str) -> Sequence[float]:
+    if not isinstance(node, Name) or node.history:
+        raise AIQLSemanticError(
+            f"first argument of {func.upper()} must be a plain result name"
+        )
+    return env.series(node.name)
+
+
+def evaluate(node: ExprNode, env: ExprEnv) -> float:
+    """Evaluate an expression; booleans are 1.0 / 0.0."""
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Name):
+        return float(env.value(node.name, node.history))
+    if isinstance(node, FuncCall):
+        return _evaluate_call(node, env)
+    if isinstance(node, BinOp):
+        return _evaluate_binop(node, env)
+    raise AIQLSemanticError(f"cannot evaluate expression node {node!r}")
+
+
+def evaluate_bool(node: ExprNode, env: ExprEnv) -> bool:
+    return bool(evaluate(node, env))
+
+
+def _evaluate_call(node: FuncCall, env: ExprEnv) -> float:
+    name = node.name
+    if name == "sma":
+        _check_arity(name, node.args, 2)
+        series = _series_arg(node.args[0], env, name)
+        return sma(series, int(evaluate(node.args[1], env)))
+    if name == "cma":
+        _check_arity(name, node.args, 1)
+        return cma(_series_arg(node.args[0], env, name))
+    if name == "wma":
+        _check_arity(name, node.args, 2)
+        series = _series_arg(node.args[0], env, name)
+        return wma(series, int(evaluate(node.args[1], env)))
+    if name == "ewma":
+        _check_arity(name, node.args, 2)
+        series = _series_arg(node.args[0], env, name)
+        return ewma(series, evaluate(node.args[1], env))
+    if name == "abs":
+        _check_arity(name, node.args, 1)
+        return abs(evaluate(node.args[0], env))
+    raise AIQLSemanticError(f"unknown function {node.name!r} in having clause")
+
+
+def _evaluate_binop(node: BinOp, env: ExprEnv) -> float:
+    op = node.op
+    if op == "&&":
+        return 1.0 if evaluate_bool(node.left, env) and evaluate_bool(node.right, env) else 0.0
+    if op == "||":
+        return 1.0 if evaluate_bool(node.left, env) or evaluate_bool(node.right, env) else 0.0
+    left = evaluate(node.left, env)
+    right = evaluate(node.right, env)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0.0:
+            # Security analytics convention: a zero historical baseline means
+            # "no deviation computable", not a crash mid-investigation.
+            return 0.0
+        return left / right
+    if op == "=":
+        return 1.0 if left == right else 0.0
+    if op == "!=":
+        return 1.0 if left != right else 0.0
+    if op == "<":
+        return 1.0 if left < right else 0.0
+    if op == "<=":
+        return 1.0 if left <= right else 0.0
+    if op == ">":
+        return 1.0 if left > right else 0.0
+    if op == ">=":
+        return 1.0 if left >= right else 0.0
+    raise AIQLSemanticError(f"unknown operator {op!r} in having clause")
+
+
+def max_history_depth(node: ExprNode) -> int:
+    """Deepest history index referenced — windows earlier than this skip."""
+    if isinstance(node, Name):
+        return node.history
+    if isinstance(node, BinOp):
+        return max(max_history_depth(node.left), max_history_depth(node.right))
+    if isinstance(node, FuncCall):
+        return max((max_history_depth(a) for a in node.args), default=0)
+    return 0
+
+
+def referenced_names(node: ExprNode) -> List[str]:
+    """All result names referenced by the expression (with duplicates removed)."""
+    out: List[str] = []
+
+    def walk(n: ExprNode) -> None:
+        if isinstance(n, Name):
+            if n.name not in out:
+                out.append(n.name)
+        elif isinstance(n, BinOp):
+            walk(n.left)
+            walk(n.right)
+        elif isinstance(n, FuncCall):
+            for arg in n.args:
+                walk(arg)
+
+    walk(node)
+    return out

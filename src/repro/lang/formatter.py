@@ -1,0 +1,209 @@
+"""AST -> canonical AIQL text.
+
+Used by round-trip property tests (``parse(format(parse(q)))`` must equal
+``parse(q)``) and by tooling that wants to display normalized queries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+from repro.model.time import MINUTE, HOUR, DAY
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, (tuple, list, frozenset, set)):
+        inner = ", ".join(_format_value(v) for v in value)
+        return f"({inner})"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _format_comparison(comparison: ast.Comparison) -> str:
+    if comparison.attr is None:
+        return _format_value(comparison.value)
+    if comparison.op in ("in", "not in"):
+        return f"{comparison.attr} {comparison.op} {_format_value(comparison.value)}"
+    return f"{comparison.attr} {comparison.op} {_format_value(comparison.value)}"
+
+
+def format_cstr(node: ast.CstrNode) -> str:
+    if isinstance(node, ast.CstrLeaf):
+        return _format_comparison(node.comparison)
+    if isinstance(node, ast.CstrNot):
+        return f"!({format_cstr(node.child)})"
+    if isinstance(node, ast.CstrAnd):
+        return f"({format_cstr(node.left)} && {format_cstr(node.right)})"
+    if isinstance(node, ast.CstrOr):
+        return f"({format_cstr(node.left)} || {format_cstr(node.right)})"
+    raise AssertionError(node)
+
+
+def format_op(node: ast.OpNode) -> str:
+    if isinstance(node, ast.OpLeaf):
+        return node.name
+    if isinstance(node, ast.OpNot):
+        return f"!({format_op(node.child)})"
+    if isinstance(node, ast.OpAnd):
+        return f"({format_op(node.left)} && {format_op(node.right)})"
+    if isinstance(node, ast.OpOr):
+        return f"({format_op(node.left)} || {format_op(node.right)})"
+    raise AssertionError(node)
+
+
+def _format_entity(entity: ast.EntityPattern) -> str:
+    text = entity.type_name
+    if entity.entity_id:
+        text += f" {entity.entity_id}"
+    if entity.constraints is not None:
+        text += f"[{format_cstr(entity.constraints)}]"
+    return text
+
+
+def _format_window(spec: ast.TimeWindowSpec) -> str:
+    if spec.kind == "at":
+        return f'(at "{spec.start_text}")'
+    return f'(from "{spec.start_text}" to "{spec.end_text}")'
+
+
+def _format_duration(seconds: float) -> str:
+    for size, unit in ((DAY, "day"), (HOUR, "hour"), (MINUTE, "min")):
+        if seconds % size == 0 and seconds >= size:
+            return f"{int(seconds // size)} {unit}"
+    if float(seconds).is_integer():
+        return f"{int(seconds)} sec"
+    return f"{seconds} sec"
+
+
+def _format_globals(items) -> List[str]:
+    lines: List[str] = []
+    for item in items:
+        if isinstance(item, ast.TimeWindowSpec):
+            lines.append(_format_window(item))
+        elif isinstance(item, ast.SlidingWindowSpec):
+            lines.append(
+                f"window = {_format_duration(item.window_seconds)}, "
+                f"step = {_format_duration(item.step_seconds)}"
+            )
+        elif isinstance(item, ast.GlobalConstraint):
+            lines.append(_format_comparison(item.comparison))
+    return lines
+
+
+def format_expr(node: ast.ExprNode) -> str:
+    if isinstance(node, ast.Num):
+        value = node.value
+        return str(int(value)) if float(value).is_integer() else str(value)
+    if isinstance(node, ast.Name):
+        return node.name if not node.history else f"{node.name}[{node.history}]"
+    if isinstance(node, ast.FuncCall):
+        args = ", ".join(format_expr(a) for a in node.args)
+        return f"{node.name.upper()}({args})"
+    if isinstance(node, ast.BinOp):
+        return f"({format_expr(node.left)} {node.op} {format_expr(node.right)})"
+    raise AssertionError(node)
+
+
+def _format_res(res: ast.ResExpr) -> str:
+    if isinstance(res, ast.ResAgg):
+        inner = _format_res(res.arg)
+        distinct = "distinct " if res.distinct else ""
+        return f"{res.func}({distinct}{inner})"
+    return res.ref if res.attr is None else f"{res.ref}.{res.attr}"
+
+
+def _format_return(returns: ast.ReturnClause) -> str:
+    prefix = "return "
+    if returns.count:
+        prefix += "count "
+    if returns.distinct:
+        prefix += "distinct "
+    items = []
+    for item in returns.items:
+        text = _format_res(item.expr)
+        if item.rename and item.rename != text:
+            text += f" as {item.rename}"
+        items.append(text)
+    return prefix + ", ".join(items)
+
+
+def _format_filters(filters: ast.Filters) -> List[str]:
+    lines: List[str] = []
+    if filters.group_by:
+        lines.append("group by " + ", ".join(_format_res(r) for r in filters.group_by))
+    if filters.having is not None:
+        lines.append("having " + format_expr(filters.having))
+    if filters.sort is not None:
+        direction = " desc" if filters.sort.descending else ""
+        lines.append("sort by " + ", ".join(filters.sort.attrs) + direction)
+    if filters.top is not None:
+        lines.append(f"top {filters.top}")
+    return lines
+
+
+def format_query(query: ast.Query) -> str:
+    """Render a query AST back to AIQL source text."""
+    if isinstance(query, ast.MultieventQuery):
+        return _format_multievent(query)
+    return _format_dependency(query)
+
+
+def _format_multievent(query: ast.MultieventQuery) -> str:
+    lines = _format_globals(query.globals)
+    for pattern in query.patterns:
+        text = (
+            f"{_format_entity(pattern.subject)} {format_op(pattern.operation)} "
+            f"{_format_entity(pattern.object)}"
+        )
+        if pattern.event_id:
+            text += f" as {pattern.event_id}"
+            if pattern.event_constraints is not None:
+                text += f"[{format_cstr(pattern.event_constraints)}]"
+        if pattern.window is not None:
+            text += f" {_format_window(pattern.window)}"
+        lines.append(text)
+    if query.relationships:
+        rel_texts = []
+        for rel in query.relationships:
+            if isinstance(rel, ast.AttrRel):
+                left = rel.left_id if rel.left_attr is None else f"{rel.left_id}.{rel.left_attr}"
+                right = (
+                    rel.right_id
+                    if rel.right_attr is None
+                    else f"{rel.right_id}.{rel.right_attr}"
+                )
+                rel_texts.append(f"{left} {rel.op} {right}")
+            else:
+                bounds = ""
+                if rel.low is not None and rel.high is not None:
+                    bounds = (
+                        f"[{_format_duration(rel.low).replace(' ', '-', 0)}"
+                        if False
+                        else f"[{int(rel.low)}-{int(rel.high)} sec]"
+                    )
+                rel_texts.append(
+                    f"{rel.left_event} {rel.kind}{bounds} {rel.right_event}"
+                )
+        lines.append("with " + ", ".join(rel_texts))
+    lines.append(_format_return(query.returns))
+    lines.extend(_format_filters(query.filters))
+    return "\n".join(lines)
+
+
+def _format_dependency(query: ast.DependencyQuery) -> str:
+    lines = _format_globals(query.globals)
+    path = ""
+    if query.direction:
+        path += f"{query.direction}: "
+    path += _format_entity(query.nodes[0])
+    for edge, node in zip(query.edges, query.nodes[1:]):
+        path += f" {edge.direction}[{format_op(edge.operation)}] {_format_entity(node)}"
+    lines.append(path)
+    lines.append(_format_return(query.returns))
+    lines.extend(_format_filters(query.filters))
+    return "\n".join(lines)

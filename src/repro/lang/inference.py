@@ -1,0 +1,245 @@
+"""Context-aware syntax shortcut resolution (paper Sec. 4.1).
+
+AIQL keeps queries concise through three shortcuts, resolved here into a
+fully explicit AST before semantic compilation:
+
+* **Attribute inference** — a bare value in an entity pattern gets the
+  entity type's default attribute (file -> ``name``, proc -> ``exe_name``,
+  ip -> ``dst_ip``); a bare entity id in the return / group-by clause gets
+  the same default; a bare id pair in an attribute relationship compares
+  ``id`` to ``id``.
+* **Optional ID** — entities and events without ids get fresh synthesized
+  names (``_e1``, ``_evt1``...), so downstream stages can always address
+  patterns by name.
+* **Entity ID reuse** — reusing an entity id across patterns means *the
+  same entity*; the semantic compiler turns occurrences into implicit
+  ``id = id`` join relationships (handled in :mod:`repro.lang.context`,
+  which needs the occurrence map this module produces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.errors import AIQLSemanticError
+from repro.model.entities import EntityType, default_attribute
+
+
+def _entity_type(type_name: str) -> EntityType:
+    return EntityType.parse(type_name)
+
+
+class _NameAllocator:
+    def __init__(self, taken: set) -> None:
+        self._taken = set(taken)
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        while True:
+            self._counter += 1
+            name = f"_{prefix}{self._counter}"
+            if name not in self._taken:
+                self._taken.add(name)
+                return name
+
+
+def _resolve_cstr(
+    node: Optional[ast.CstrNode], etype: Optional[EntityType]
+) -> Optional[ast.CstrNode]:
+    """Fill default attributes for bare-value comparisons."""
+    if node is None:
+        return None
+    if isinstance(node, ast.CstrLeaf):
+        comparison = node.comparison
+        if comparison.attr is None:
+            if etype is None:
+                raise AIQLSemanticError(
+                    f"bare value {comparison.value!r} in an event constraint "
+                    "has no default attribute",
+                    hint="write an explicit 'attr = value' comparison",
+                )
+            comparison = replace(comparison, attr=default_attribute(etype))
+        return ast.CstrLeaf(comparison)
+    if isinstance(node, ast.CstrNot):
+        return ast.CstrNot(_resolve_cstr(node.child, etype))
+    if isinstance(node, ast.CstrAnd):
+        return ast.CstrAnd(
+            _resolve_cstr(node.left, etype), _resolve_cstr(node.right, etype)
+        )
+    if isinstance(node, ast.CstrOr):
+        return ast.CstrOr(
+            _resolve_cstr(node.left, etype), _resolve_cstr(node.right, etype)
+        )
+    raise AssertionError(node)
+
+
+def infer_multievent(query: ast.MultieventQuery) -> ast.MultieventQuery:
+    """Return an equivalent query with every shortcut made explicit."""
+    taken = set()
+    for pattern in query.patterns:
+        for entity in (pattern.subject, pattern.object):
+            if entity.entity_id:
+                taken.add(entity.entity_id)
+        if pattern.event_id:
+            taken.add(pattern.event_id)
+    alloc = _NameAllocator(taken)
+
+    entity_types: Dict[str, EntityType] = {}
+    new_patterns: List[ast.EventPattern] = []
+    for pattern in query.patterns:
+        subject = _infer_entity(pattern.subject, alloc, entity_types)
+        obj = _infer_entity(pattern.object, alloc, entity_types)
+        event_id = pattern.event_id or alloc.fresh("evt")
+        new_patterns.append(
+            ast.EventPattern(
+                subject=subject,
+                operation=pattern.operation,
+                object=obj,
+                event_id=event_id,
+                event_constraints=_resolve_cstr(pattern.event_constraints, None)
+                if pattern.event_constraints
+                else None,
+                window=pattern.window,
+            )
+        )
+
+    relationships = tuple(
+        _infer_relationship(rel) for rel in query.relationships
+    )
+    returns = _infer_returns(query.returns, entity_types)
+    filters = _infer_filters(query.filters, entity_types)
+    return ast.MultieventQuery(
+        globals=query.globals,
+        patterns=tuple(new_patterns),
+        relationships=relationships,
+        returns=returns,
+        filters=filters,
+    )
+
+
+def _infer_entity(
+    entity: ast.EntityPattern,
+    alloc: _NameAllocator,
+    entity_types: Dict[str, EntityType],
+) -> ast.EntityPattern:
+    etype = _entity_type(entity.type_name)
+    entity_id = entity.entity_id or alloc.fresh("e")
+    known = entity_types.get(entity_id)
+    if known is not None and known is not etype:
+        raise AIQLSemanticError(
+            f"entity id {entity_id!r} reused with conflicting types "
+            f"({known.value} vs {etype.value})"
+        )
+    entity_types[entity_id] = etype
+    return ast.EntityPattern(
+        type_name=entity.type_name,
+        entity_id=entity_id,
+        constraints=_resolve_cstr(entity.constraints, etype),
+    )
+
+
+def _infer_relationship(rel: ast.Relationship) -> ast.Relationship:
+    if isinstance(rel, ast.AttrRel):
+        return ast.AttrRel(
+            left_id=rel.left_id,
+            left_attr=rel.left_attr or "id",
+            op=rel.op,
+            right_id=rel.right_id,
+            right_attr=rel.right_attr or "id",
+        )
+    return rel
+
+
+def _infer_res_attr(
+    res: ast.ResAttr, entity_types: Dict[str, EntityType]
+) -> ast.ResAttr:
+    if res.attr is not None:
+        return res
+    etype = entity_types.get(res.ref)
+    if etype is None:
+        # Event references must name the attribute explicitly; there is no
+        # sensible default for an event.
+        raise AIQLSemanticError(
+            f"cannot infer a default attribute for {res.ref!r}",
+            hint="write e.g. 'evt1.optype' for event attributes",
+        )
+    return ast.ResAttr(ref=res.ref, attr=default_attribute(etype))
+
+
+def _infer_res_expr(
+    res: ast.ResExpr, entity_types: Dict[str, EntityType]
+) -> ast.ResExpr:
+    if isinstance(res, ast.ResAgg):
+        return ast.ResAgg(
+            func=res.func,
+            arg=_infer_res_attr(res.arg, entity_types),
+            distinct=res.distinct,
+        )
+    return _infer_res_attr(res, entity_types)
+
+
+def _label_for(item: ast.ReturnItem) -> str:
+    """Output column label: rename if given, else the written form."""
+    if item.rename:
+        return item.rename
+    expr = item.expr
+    if isinstance(expr, ast.ResAgg):
+        inner = _res_attr_text(expr.arg)
+        distinct = "distinct " if expr.distinct else ""
+        return f"{expr.func}({distinct}{inner})"
+    return _res_attr_text(expr)
+
+
+def _res_attr_text(res: ast.ResAttr) -> str:
+    return res.ref if res.attr is None else f"{res.ref}.{res.attr}"
+
+
+def _infer_returns(
+    returns: ast.ReturnClause, entity_types: Dict[str, EntityType]
+) -> ast.ReturnClause:
+    items = []
+    for item in returns.items:
+        label = _label_for(item)
+        items.append(
+            ast.ReturnItem(
+                expr=_infer_res_expr(item.expr, entity_types), rename=label
+            )
+        )
+    return ast.ReturnClause(
+        items=tuple(items), count=returns.count, distinct=returns.distinct
+    )
+
+
+def _infer_filters(
+    filters: ast.Filters, entity_types: Dict[str, EntityType]
+) -> ast.Filters:
+    group_by = tuple(
+        _infer_res_expr(res, entity_types) for res in filters.group_by
+    )
+    return ast.Filters(
+        group_by=group_by,
+        having=filters.having,
+        sort=filters.sort,
+        top=filters.top,
+    )
+
+
+def entity_occurrences(
+    query: ast.MultieventQuery,
+) -> Dict[str, List[Tuple[int, str]]]:
+    """Map entity id -> [(pattern index, 'subject'|'object')], in order.
+
+    The semantic compiler uses this both to resolve references and to expand
+    the *entity ID reuse* shortcut into implicit ``id = id`` joins.
+    """
+    occurrences: Dict[str, List[Tuple[int, str]]] = {}
+    for idx, pattern in enumerate(query.patterns):
+        for role, entity in (("subject", pattern.subject), ("object", pattern.object)):
+            if entity.entity_id is None:
+                raise AIQLSemanticError(
+                    "entity_occurrences requires an inferred query"
+                )
+            occurrences.setdefault(entity.entity_id, []).append((idx, role))
+    return occurrences

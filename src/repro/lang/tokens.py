@@ -1,0 +1,98 @@
+"""Token definitions for the AIQL lexer.
+
+Keywords are contextual: the lexer emits every word as ``IDENT`` and the
+parser decides whether a given identifier acts as a keyword (``with``,
+``return``, ``before``...), an entity type (``proc``), an operation
+(``read``) or a plain name.  This mirrors how real query languages keep
+attribute names like ``window`` usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenType(Enum):
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    # comparison
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    # boolean
+    AND = "&&"
+    OR = "||"
+    BANG = "!"
+    # arithmetic
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    # structure
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    ARROW = "->"
+    BACKARROW = "<-"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r} @{self.line}:{self.column})"
+
+
+# Words with syntactic meaning; the parser consults this set when it needs
+# to stop an identifier-ish parse (e.g. the end of a return-item list).
+KEYWORDS = frozenset(
+    {
+        "as",
+        "with",
+        "return",
+        "count",
+        "distinct",
+        "group",
+        "by",
+        "having",
+        "sort",
+        "top",
+        "asc",
+        "desc",
+        "before",
+        "after",
+        "within",
+        "forward",
+        "backward",
+        "from",
+        "to",
+        "at",
+        "window",
+        "step",
+        "in",
+        "not",
+    }
+)
+
+ENTITY_TYPE_WORDS = frozenset(
+    {"proc", "process", "file", "ip", "reg", "registry", "pipe"}
+)
+
+AGGREGATE_FUNCTIONS = frozenset({"count", "avg", "sum", "min", "max"})
+
+MOVING_AVERAGE_FUNCTIONS = frozenset({"sma", "cma", "wma", "ewma"})

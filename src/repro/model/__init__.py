@@ -1,0 +1,66 @@
+"""Domain data model for system monitoring data (paper Sec. 3.1).
+
+System monitoring observes system calls at the kernel level and records the
+interactions among system resources as *system events*.  Each event is a
+triple ``<subject, operation, object>`` occurring on a particular host
+(*agent*) at a particular time, exhibiting strong spatial and temporal
+properties that the storage layer and the query engine exploit.
+
+The model follows Tables 1 and 2 of the paper:
+
+* entities — files, processes and network connections with security-related
+  attributes (:mod:`repro.model.entities`);
+* events — typed operations between a subject entity and an object entity,
+  carrying agent id, start/end time and a per-agent sequence number
+  (:mod:`repro.model.events`);
+* time — parsing of the time formats AIQL accepts and ingest-side clock
+  synchronization (:mod:`repro.model.time`).
+"""
+
+from repro.model.entities import (
+    Entity,
+    EntityRegistry,
+    EntityType,
+    FileEntity,
+    NetworkEntity,
+    ProcessEntity,
+    default_attribute,
+)
+from repro.model.events import (
+    EventType,
+    Operation,
+    SystemEvent,
+    event_type_of,
+)
+from repro.model.time import (
+    MINUTE,
+    HOUR,
+    DAY,
+    TimeWindow,
+    day_of,
+    format_timestamp,
+    parse_datetime,
+    parse_duration,
+)
+
+__all__ = [
+    "Entity",
+    "EntityRegistry",
+    "EntityType",
+    "FileEntity",
+    "NetworkEntity",
+    "ProcessEntity",
+    "default_attribute",
+    "EventType",
+    "Operation",
+    "SystemEvent",
+    "event_type_of",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "TimeWindow",
+    "day_of",
+    "format_timestamp",
+    "parse_datetime",
+    "parse_duration",
+]

@@ -1,0 +1,355 @@
+"""System entities: files, processes and network connections (paper Table 1).
+
+On most modern operating systems, system resources relevant to attack
+investigation are files, processes and network connections.  Entities carry
+security-related attributes used in analysis (e.g. file ``name``, process
+``exe_name``, connection ``dst_ip``) plus a unique identifier used to
+distinguish entities and to join events (``id``).
+
+The AIQL language addresses entities through three type keywords::
+
+    file  f1["/var/www%"]
+    proc  p1["%apache%"]
+    ip    i1[dstip = "XXX.129"]
+
+Attribute-name aliases used in the paper's queries (``dstip``, ``dstport``,
+``srcip``...) are normalized here so the rest of the system deals with one
+canonical spelling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class EntityType(str, Enum):
+    """The entity types of the data model.
+
+    Files, processes and network connections are the paper's core model
+    (Sec. 3.1); Windows registry entries and Linux pipes are the monitoring
+    scope expansion its Sec. 7 lists as future work, implemented here.
+    """
+
+    FILE = "file"
+    PROCESS = "proc"
+    NETWORK = "ip"
+    REGISTRY = "reg"
+    PIPE = "pipe"
+
+    @classmethod
+    def parse(cls, text: str) -> "EntityType":
+        key = text.strip().lower()
+        if key in _TYPE_ALIASES:
+            return _TYPE_ALIASES[key]
+        raise ValueError(f"unknown entity type: {text!r}")
+
+
+_TYPE_ALIASES: Dict[str, EntityType] = {
+    "file": EntityType.FILE,
+    "f": EntityType.FILE,
+    "proc": EntityType.PROCESS,
+    "process": EntityType.PROCESS,
+    "p": EntityType.PROCESS,
+    "ip": EntityType.NETWORK,
+    "net": EntityType.NETWORK,
+    "conn": EntityType.NETWORK,
+    "connection": EntityType.NETWORK,
+    "reg": EntityType.REGISTRY,
+    "registry": EntityType.REGISTRY,
+    "pipe": EntityType.PIPE,
+}
+
+# Default attribute used when a query gives only a value (paper Sec. 4.1):
+# name for files, exe_name for processes, dst_ip for network connections.
+_DEFAULT_ATTRIBUTES: Dict[EntityType, str] = {
+    EntityType.FILE: "name",
+    EntityType.PROCESS: "exe_name",
+    EntityType.NETWORK: "dst_ip",
+    EntityType.REGISTRY: "key",
+    EntityType.PIPE: "name",
+}
+
+# Canonical attribute sets per entity type (Table 1), with aliases.
+# ``agent_id`` (the host id) is addressable on every entity so queries can
+# constrain single patterns spatially, e.g. ``proc p1[..., agentid = 2]``.
+FILE_ATTRIBUTES = ("id", "agent_id", "name", "owner", "group", "vol_id", "data_id")
+PROCESS_ATTRIBUTES = ("id", "agent_id", "pid", "exe_name", "user", "cmd", "signature")
+NETWORK_ATTRIBUTES = (
+    "id",
+    "agent_id",
+    "src_ip",
+    "src_port",
+    "dst_ip",
+    "dst_port",
+    "protocol",
+)
+REGISTRY_ATTRIBUTES = ("id", "agent_id", "key", "value_name")
+PIPE_ATTRIBUTES = ("id", "agent_id", "name", "mode")
+
+_ATTRIBUTE_ALIASES: Dict[str, str] = {
+    "agentid": "agent_id",
+    "srcip": "src_ip",
+    "dstip": "dst_ip",
+    "srcport": "src_port",
+    "dstport": "dst_port",
+    "exename": "exe_name",
+    "name": "name",
+    "volid": "vol_id",
+    "dataid": "data_id",
+    "sip": "src_ip",
+    "dip": "dst_ip",
+    "sport": "src_port",
+    "dport": "dst_port",
+}
+
+ATTRIBUTES_BY_TYPE: Dict[EntityType, Tuple[str, ...]] = {
+    EntityType.FILE: FILE_ATTRIBUTES,
+    EntityType.PROCESS: PROCESS_ATTRIBUTES,
+    EntityType.NETWORK: NETWORK_ATTRIBUTES,
+    EntityType.REGISTRY: REGISTRY_ATTRIBUTES,
+    EntityType.PIPE: PIPE_ATTRIBUTES,
+}
+
+
+def default_attribute(entity_type: EntityType) -> str:
+    """The attribute inferred when only a value is given (Sec. 4.1)."""
+    return _DEFAULT_ATTRIBUTES[entity_type]
+
+
+def normalize_attribute(entity_type: Optional[EntityType], name: str) -> str:
+    """Normalize an attribute spelling to its canonical form.
+
+    Unknown names are passed through lowercased; the semantic analyzer
+    validates them against the entity type where one is known.
+    """
+    key = name.strip().lower()
+    return _ATTRIBUTE_ALIASES.get(key, key)
+
+
+def is_valid_attribute(entity_type: EntityType, name: str) -> bool:
+    return normalize_attribute(entity_type, name) in ATTRIBUTES_BY_TYPE[entity_type]
+
+
+@dataclass(frozen=True)
+class Entity:
+    """Base class for system entities.
+
+    ``id`` is globally unique across entity types (assigned by
+    :class:`EntityRegistry`); ``agent_id`` identifies the host on which the
+    entity was observed.
+    """
+
+    id: int
+    agent_id: int
+
+    @property
+    def entity_type(self) -> EntityType:
+        raise NotImplementedError
+
+    def attribute(self, name: str) -> object:
+        """Look up an attribute by (canonical or aliased) name."""
+        canonical = normalize_attribute(self.entity_type, name)
+        if canonical not in ATTRIBUTES_BY_TYPE[self.entity_type]:
+            raise AttributeError(
+                f"{self.entity_type.value} entity has no attribute {name!r}"
+            )
+        return getattr(self, canonical)
+
+
+@dataclass(frozen=True)
+class FileEntity(Entity):
+    """A file, identified by name/volume/data id (Table 1)."""
+
+    name: str = ""
+    owner: str = "root"
+    group: str = "root"
+    vol_id: int = 0
+    data_id: int = 0
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.FILE
+
+
+@dataclass(frozen=True)
+class ProcessEntity(Entity):
+    """A process instance (one pid lifetime), Table 1."""
+
+    pid: int = 0
+    exe_name: str = ""
+    user: str = "root"
+    cmd: str = ""
+    signature: str = ""
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.PROCESS
+
+
+@dataclass(frozen=True)
+class NetworkEntity(Entity):
+    """A network connection 5-tuple (Table 1)."""
+
+    src_ip: str = ""
+    src_port: int = 0
+    dst_ip: str = ""
+    dst_port: int = 0
+    protocol: str = "tcp"
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.NETWORK
+
+
+@dataclass(frozen=True)
+class RegistryEntity(Entity):
+    """A Windows registry value (Sec. 7 monitoring-scope extension)."""
+
+    key: str = ""
+    value_name: str = ""
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.REGISTRY
+
+
+@dataclass(frozen=True)
+class PipeEntity(Entity):
+    """A Linux named pipe (Sec. 7 monitoring-scope extension)."""
+
+    name: str = ""
+    mode: str = "fifo"
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.PIPE
+
+
+@dataclass
+class EntityRegistry:
+    """Allocates entity ids and deduplicates identical entities.
+
+    Agents report entities repeatedly (e.g. the same file touched by many
+    events); ingestion must map them onto a single entity id so that
+    attribute relationships such as ``p1 = p3`` (meaning ``p1.id = p3.id``)
+    behave correctly.  Deduplication keys follow the unique identifiers of
+    Table 1: (agent, vol, data id, name) for files, (agent, pid, exe, start
+    generation) for processes, the 5-tuple for connections.
+    """
+
+    _next_id: Iterator[int] = field(default_factory=lambda: itertools.count(1))
+    _by_key: Dict[tuple, Entity] = field(default_factory=dict)
+    _by_id: Dict[int, Entity] = field(default_factory=dict)
+
+    def _intern(self, key: tuple, build) -> Entity:
+        entity = self._by_key.get(key)
+        if entity is None:
+            entity = build(next(self._next_id))
+            self._by_key[key] = entity
+            self._by_id[entity.id] = entity
+        return entity
+
+    def file(
+        self,
+        agent_id: int,
+        name: str,
+        owner: str = "root",
+        group: str = "root",
+        vol_id: int = 0,
+        data_id: int = 0,
+    ) -> FileEntity:
+        key = ("file", agent_id, name, vol_id, data_id)
+        return self._intern(
+            key,
+            lambda eid: FileEntity(
+                id=eid,
+                agent_id=agent_id,
+                name=name,
+                owner=owner,
+                group=group,
+                vol_id=vol_id,
+                data_id=data_id,
+            ),
+        )
+
+    def process(
+        self,
+        agent_id: int,
+        pid: int,
+        exe_name: str,
+        user: str = "root",
+        cmd: str = "",
+        signature: str = "",
+        generation: int = 0,
+    ) -> ProcessEntity:
+        key = ("proc", agent_id, pid, exe_name, generation)
+        return self._intern(
+            key,
+            lambda eid: ProcessEntity(
+                id=eid,
+                agent_id=agent_id,
+                pid=pid,
+                exe_name=exe_name,
+                user=user,
+                cmd=cmd or exe_name,
+                signature=signature,
+            ),
+        )
+
+    def connection(
+        self,
+        agent_id: int,
+        src_ip: str,
+        src_port: int,
+        dst_ip: str,
+        dst_port: int,
+        protocol: str = "tcp",
+    ) -> NetworkEntity:
+        key = ("ip", agent_id, src_ip, src_port, dst_ip, dst_port, protocol)
+        return self._intern(
+            key,
+            lambda eid: NetworkEntity(
+                id=eid,
+                agent_id=agent_id,
+                src_ip=src_ip,
+                src_port=src_port,
+                dst_ip=dst_ip,
+                dst_port=dst_port,
+                protocol=protocol,
+            ),
+        )
+
+    def registry_value(
+        self, agent_id: int, key: str, value_name: str = ""
+    ) -> RegistryEntity:
+        dedup_key = ("reg", agent_id, key, value_name)
+        return self._intern(
+            dedup_key,
+            lambda eid: RegistryEntity(
+                id=eid, agent_id=agent_id, key=key, value_name=value_name
+            ),
+        )
+
+    def pipe(self, agent_id: int, name: str, mode: str = "fifo") -> PipeEntity:
+        dedup_key = ("pipe", agent_id, name)
+        return self._intern(
+            dedup_key,
+            lambda eid: PipeEntity(
+                id=eid, agent_id=agent_id, name=name, mode=mode
+            ),
+        )
+
+    def get(self, entity_id: int) -> Entity:
+        return self._by_id[entity_id]
+
+    def maybe_get(self, entity_id: int) -> Optional[Entity]:
+        return self._by_id.get(entity_id)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._by_id.values())

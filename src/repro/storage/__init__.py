@@ -1,0 +1,64 @@
+"""Storage substrates (paper Sec. 3.2).
+
+* :class:`~repro.storage.database.EventStore` — the AIQL-optimized store:
+  (day, agent-group) partitions, attribute indexes, partition pruning,
+  parallel scans.
+* :class:`~repro.storage.flat.FlatStore` — the unpartitioned baseline the
+  PostgreSQL/Neo4j comparisons run against.
+* :class:`~repro.storage.segments.SegmentedStore` — the MPP (Greenplum)
+  substrate with arrival-order vs domain distribution policies.
+* :class:`~repro.storage.ingest.Ingestor` — the agent→server pipeline that
+  fans identical data out to all attached stores.
+"""
+
+from repro.storage.database import EventStore
+from repro.storage.filters import (
+    AttrPredicate,
+    EventFilter,
+    PredicateAnd,
+    PredicateLeaf,
+    PredicateNot,
+    PredicateOr,
+    conjoin,
+    like_to_regex,
+    top_level_equalities,
+)
+from repro.storage.flat import FlatStore
+from repro.storage.index import (
+    DEFAULT_INDEXED_ATTRIBUTES,
+    EntityAttributeIndex,
+    HashIndex,
+    SortedTimeIndex,
+)
+from repro.storage.ingest import IngestError, Ingestor
+from repro.storage.partition import PartitionKey, PartitionScheme
+from repro.storage.persist import SnapshotError, load_snapshot, save_snapshot
+from repro.storage.segments import SegmentedStore
+from repro.storage.table import EventTable
+
+__all__ = [
+    "AttrPredicate",
+    "DEFAULT_INDEXED_ATTRIBUTES",
+    "EntityAttributeIndex",
+    "EventFilter",
+    "EventStore",
+    "EventTable",
+    "FlatStore",
+    "HashIndex",
+    "IngestError",
+    "Ingestor",
+    "PartitionKey",
+    "PartitionScheme",
+    "PredicateAnd",
+    "PredicateLeaf",
+    "PredicateNot",
+    "PredicateOr",
+    "SegmentedStore",
+    "SnapshotError",
+    "SortedTimeIndex",
+    "conjoin",
+    "like_to_regex",
+    "load_snapshot",
+    "save_snapshot",
+    "top_level_equalities",
+]

@@ -1,0 +1,154 @@
+"""The AIQL-optimized event store (paper Sec. 3.2).
+
+:class:`EventStore` is the domain-optimized storage backend: events are
+partitioned by (day, agent-group), entities are indexed on the frequently
+queried attributes, and scans prune partitions using the spatial/temporal
+constraints of the data query.  Scans over many partitions may run in
+parallel (the storage-level half of the paper's temporal & spatial
+parallelization; the query-level half lives in :mod:`repro.engine.parallel`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.model.entities import Entity, EntityRegistry, EntityType
+from repro.model.events import SystemEvent
+from repro.storage.filters import EventFilter, top_level_equalities
+from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
+from repro.storage.partition import PartitionKey, PartitionScheme
+from repro.storage.table import EventTable
+
+
+def narrow_with_index(flt: EventFilter, index: EntityAttributeIndex) -> EventFilter:
+    """Fold index-servable entity predicates into id-set narrowings.
+
+    Resolving candidates once per scan (instead of once per partition or
+    segment) keeps index probing off the per-table hot path; tables then
+    serve the id sets straight from their postings lists.
+    """
+    subject = index.candidates(
+        EntityType.PROCESS, top_level_equalities(flt.subject_pred)
+    )
+    if subject is not None:
+        flt = flt.narrowed(subject_ids=subject)
+    if flt.object_type is not None:
+        obj = index.candidates(
+            flt.object_type, top_level_equalities(flt.object_pred)
+        )
+        if obj is not None:
+            flt = flt.narrowed(object_ids=obj)
+    return flt
+
+
+class EventStore:
+    """Partitioned, indexed storage for system monitoring data."""
+
+    def __init__(
+        self,
+        registry: Optional[EntityRegistry] = None,
+        scheme: Optional[PartitionScheme] = None,
+        indexed_attributes=None,
+        max_workers: int = 4,
+    ) -> None:
+        self.registry = registry if registry is not None else EntityRegistry()
+        self.scheme = scheme or PartitionScheme()
+        self.entity_index = EntityAttributeIndex(
+            indexed_attributes or DEFAULT_INDEXED_ATTRIBUTES
+        )
+        self._partitions: Dict[PartitionKey, EventTable] = {}
+        self._indexed_entities: set[int] = set()
+        self._event_count = 0
+        self._max_workers = max_workers
+
+    # -- ingestion ---------------------------------------------------------
+
+    def register_entity(self, entity: Entity) -> None:
+        """Index a (deduplicated) entity; idempotent per entity id."""
+        if entity.id in self._indexed_entities:
+            return
+        self._indexed_entities.add(entity.id)
+        self.entity_index.add(entity)
+
+    def add_event(self, event: SystemEvent) -> None:
+        key = self.scheme.key_for(event.agent_id, event.start_time)
+        table = self._partitions.get(key)
+        if table is None:
+            table = EventTable(self.registry.get)
+            self._partitions[key] = table
+        table.append(event)
+        self._event_count += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def _pruned(self, flt: EventFilter) -> List[EventTable]:
+        keys = self.scheme.prune(self._partitions.keys(), flt.agent_ids, flt.window)
+        return [self._partitions[key] for key in keys]
+
+    def scan(
+        self,
+        flt: EventFilter,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ) -> List[SystemEvent]:
+        """All events matching ``flt``, sorted by (start_time, event_id).
+
+        ``use_entity_index=False`` disables the attribute hash indexes and
+        models engines whose B-tree indexes cannot serve leading-wildcard
+        LIKE predicates (stock PostgreSQL/Greenplum seq-scan in that case);
+        partition pruning and the time index still apply.
+        """
+        if use_entity_index:
+            flt = narrow_with_index(flt, self.entity_index)
+        tables = self._pruned(flt)
+        if not tables:
+            return []
+        if parallel and len(tables) > 1:
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                chunks = list(
+                    pool.map(lambda t: t.scan(flt, None), tables)
+                )
+        else:
+            chunks = [table.scan(flt, None) for table in tables]
+        merged: List[SystemEvent] = []
+        for chunk in chunks:
+            merged.extend(chunk)
+        merged.sort(key=lambda e: (e.start_time, e.event_id))
+        return merged
+
+    def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
+        """Index- and pruning-free scan; the soundness oracle for tests."""
+        matched: List[SystemEvent] = []
+        for table in self._partitions.values():
+            matched.extend(table.full_scan(flt))
+        matched.sort(key=lambda e: (e.start_time, e.event_id))
+        return matched
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._event_count
+
+    def __iter__(self) -> Iterator[SystemEvent]:
+        for key in sorted(self._partitions, key=lambda k: (k.day, k.agent_group)):
+            yield from self._partitions[key]
+
+    @property
+    def partition_keys(self) -> Tuple[PartitionKey, ...]:
+        return tuple(
+            sorted(self._partitions, key=lambda k: (k.day, k.agent_group))
+        )
+
+    def partition_sizes(self) -> Dict[PartitionKey, int]:
+        return {key: len(table) for key, table in self._partitions.items()}
+
+    def stats(self) -> Dict[str, object]:
+        sizes = [len(t) for t in self._partitions.values()]
+        return {
+            "events": self._event_count,
+            "entities": len(self.registry),
+            "partitions": len(self._partitions),
+            "largest_partition": max(sizes) if sizes else 0,
+            "smallest_partition": min(sizes) if sizes else 0,
+        }

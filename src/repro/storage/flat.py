@@ -1,0 +1,74 @@
+"""Unpartitioned storage baseline (the paper's stock-PostgreSQL setting).
+
+For the end-to-end comparison (Sec. 6.2.2) the PostgreSQL and Neo4j
+baselines "store the same copies of data and employ the same schema and
+index designs ... but they do not employ our domain-specific data storage
+optimizations such as spatial and temporal partitioning".  The
+:class:`FlatStore` is exactly that: one monolithic event heap with the same
+entity-attribute indexes, but no partition pruning and no scan parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.model.entities import Entity, EntityRegistry
+from repro.model.events import SystemEvent
+from repro.storage.filters import EventFilter
+from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
+from repro.storage.table import EventTable
+
+
+class FlatStore:
+    """Single-heap event storage with attribute indexes."""
+
+    def __init__(
+        self,
+        registry: Optional[EntityRegistry] = None,
+        indexed_attributes=None,
+    ) -> None:
+        self.registry = registry if registry is not None else EntityRegistry()
+        self.entity_index = EntityAttributeIndex(
+            indexed_attributes or DEFAULT_INDEXED_ATTRIBUTES
+        )
+        self._table = EventTable(self.registry.get)
+        self._indexed_entities: set[int] = set()
+
+    def register_entity(self, entity: Entity) -> None:
+        if entity.id in self._indexed_entities:
+            return
+        self._indexed_entities.add(entity.id)
+        self.entity_index.add(entity)
+
+    def add_event(self, event: SystemEvent) -> None:
+        self._table.append(event)
+
+    def scan(
+        self,
+        flt: EventFilter,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ) -> List[SystemEvent]:
+        # ``parallel`` accepted for interface compatibility; a flat heap has
+        # no partitions to parallelize over.
+        from repro.storage.database import narrow_with_index
+
+        if use_entity_index:
+            flt = narrow_with_index(flt, self.entity_index)
+        return self._table.scan(flt, None)
+
+    def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
+        return self._table.full_scan(flt)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[SystemEvent]:
+        return iter(self._table)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "events": len(self._table),
+            "entities": len(self.registry),
+            "partitions": 1,
+        }

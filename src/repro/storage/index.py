@@ -1,0 +1,178 @@
+"""Attribute indexes for entities and events (paper Sec. 3.2).
+
+The paper builds database indexes "on the attributes that will be queried
+frequently, such as executable name of process, name of file, source/
+destination IP of network connection".  We provide:
+
+* :class:`HashIndex` — exact-match lookup from attribute value to a set of
+  ids; also serves LIKE patterns by scanning its (much smaller) keyspace
+  instead of the event table;
+* :class:`SortedTimeIndex` — binary-searchable index over event start times
+  used for time-window scans within a partition;
+* :class:`EntityAttributeIndex` — the registry of per-(entity type,
+  attribute) hash indexes used by data queries to resolve candidate entity
+  ids before touching events.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.model.entities import Entity, EntityType, normalize_attribute
+from repro.storage.filters import AttrPredicate, like_to_regex
+
+# Attributes indexed by default, per the paper (+ the Sec. 7 extension
+# entity types, indexed on their default attributes).
+DEFAULT_INDEXED_ATTRIBUTES: Dict[EntityType, Tuple[str, ...]] = {
+    EntityType.FILE: ("name",),
+    EntityType.PROCESS: ("exe_name",),
+    EntityType.NETWORK: ("src_ip", "dst_ip", "dst_port"),
+    EntityType.REGISTRY: ("key",),
+    EntityType.PIPE: ("name",),
+}
+
+
+def _norm_key(value: object) -> object:
+    return value.lower() if isinstance(value, str) else value
+
+
+class HashIndex:
+    """Value -> set-of-ids index with LIKE support over the keyspace.
+
+    LIKE lookups scan the (deduplicated) keyspace, which is much smaller
+    than the event heap; results are memoized until the next insert, so a
+    repeated investigation pattern (the common case — Sec. 6.2.1's
+    iterative refinement reuses the same entity constraints) hits a warm
+    index.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[object, Set[int]] = defaultdict(set)
+        self._like_cache: Dict[str, FrozenSet[int]] = {}
+
+    def add(self, value: object, item_id: int) -> None:
+        self._buckets[_norm_key(value)].add(item_id)
+        if self._like_cache:
+            self._like_cache.clear()
+
+    def lookup(self, value: object) -> FrozenSet[int]:
+        return frozenset(self._buckets.get(_norm_key(value), frozenset()))
+
+    def lookup_in(self, values: Iterable[object]) -> FrozenSet[int]:
+        result: Set[int] = set()
+        for value in values:
+            result |= self._buckets.get(_norm_key(value), set())
+        return frozenset(result)
+
+    def lookup_like(self, pattern: str) -> FrozenSet[int]:
+        cached = self._like_cache.get(pattern)
+        if cached is not None:
+            return cached
+        regex = like_to_regex(pattern)
+        result: Set[int] = set()
+        for key, ids in self._buckets.items():
+            if isinstance(key, str) and regex.match(key):
+                result |= ids
+        frozen = frozenset(result)
+        self._like_cache[pattern] = frozen
+        return frozen
+
+    def lookup_predicate(self, pred: AttrPredicate) -> Optional[FrozenSet[int]]:
+        """Serve a predicate if this index can; ``None`` if unsupported."""
+        if pred.op == "in":
+            assert isinstance(pred.value, (tuple, list, frozenset, set))
+            return self.lookup_in(pred.value)
+        if pred.op == "=":
+            if pred.is_like:
+                return self.lookup_like(str(pred.value))
+            return self.lookup(pred.value)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class EntityAttributeIndex:
+    """Per-(entity type, attribute) hash indexes over an entity population."""
+
+    def __init__(
+        self,
+        indexed: Optional[Dict[EntityType, Tuple[str, ...]]] = None,
+    ) -> None:
+        self._spec = dict(indexed or DEFAULT_INDEXED_ATTRIBUTES)
+        self._indexes: Dict[Tuple[EntityType, str], HashIndex] = {
+            (etype, attr): HashIndex()
+            for etype, attrs in self._spec.items()
+            for attr in attrs
+        }
+        self._ids_by_type: Dict[EntityType, Set[int]] = defaultdict(set)
+
+    def add(self, entity: Entity) -> None:
+        etype = entity.entity_type
+        self._ids_by_type[etype].add(entity.id)
+        for attr in self._spec.get(etype, ()):
+            self._indexes[(etype, attr)].add(entity.attribute(attr), entity.id)
+
+    def all_ids(self, etype: EntityType) -> FrozenSet[int]:
+        return frozenset(self._ids_by_type.get(etype, frozenset()))
+
+    def covers(self, etype: EntityType, attr: str) -> bool:
+        return (etype, normalize_attribute(etype, attr)) in self._indexes
+
+    def candidates(
+        self, etype: EntityType, preds: Iterable[AttrPredicate]
+    ) -> Optional[FrozenSet[int]]:
+        """Intersect index lookups for the servable predicates.
+
+        Returns ``None`` when no predicate was servable (caller must fall
+        back to scanning); otherwise a sound over-approximation of the
+        matching entity ids.
+        """
+        result: Optional[FrozenSet[int]] = None
+        for pred in preds:
+            attr = normalize_attribute(etype, pred.attr)
+            index = self._indexes.get((etype, attr))
+            if index is None:
+                continue
+            served = index.lookup_predicate(
+                AttrPredicate(attr=attr, op=pred.op, value=pred.value)
+            )
+            if served is None:
+                continue
+            result = served if result is None else (result & served)
+        return result
+
+
+class SortedTimeIndex:
+    """Sorted (start_time, position) pairs for range scans in a partition.
+
+    Events arrive in near-sorted order (per-agent sequence numbers increase
+    monotonically), so maintenance is an append plus an occasional
+    ``insort``; lookups are binary searches.
+    """
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._positions: List[int] = []
+
+    def add(self, start_time: float, position: int) -> None:
+        if not self._times or start_time >= self._times[-1]:
+            self._times.append(start_time)
+            self._positions.append(position)
+            return
+        idx = bisect.bisect_right(self._times, start_time)
+        self._times.insert(idx, start_time)
+        self._positions.insert(idx, position)
+
+    def range(
+        self, start: Optional[float], end: Optional[float]
+    ) -> List[int]:
+        """Positions of events with ``start <= t < end`` (None = unbounded)."""
+        lo = 0 if start is None else bisect.bisect_left(self._times, start)
+        hi = len(self._times) if end is None else bisect.bisect_left(self._times, end)
+        return self._positions[lo:hi]
+
+    def __len__(self) -> int:
+        return len(self._times)

@@ -1,0 +1,80 @@
+"""Time & space partitioning of system monitoring data (paper Sec. 3.2).
+
+System monitoring data exhibits strong spatial and temporal properties: data
+from different agents is independent, and timestamps increase monotonically.
+The paper partitions storage along both dimensions — "separating groups of
+agents into table partitions and generating one database per day".  We model
+a partition key as ``(day ordinal, agent group)`` where agent groups bucket
+``agent_id`` ranges, and support pruning the partition set given the spatial
+and temporal constraints of a data query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.model.time import DAY, TimeWindow, day_of
+
+
+@dataclass(frozen=True)
+class PartitionKey:
+    """Identifies one (day, agent-group) partition."""
+
+    day: int
+    agent_group: int
+
+
+class PartitionScheme:
+    """Maps events to partitions and prunes partitions for queries."""
+
+    def __init__(self, agents_per_group: int = 10) -> None:
+        if agents_per_group < 1:
+            raise ValueError("agents_per_group must be >= 1")
+        self.agents_per_group = agents_per_group
+
+    def group_of(self, agent_id: int) -> int:
+        return agent_id // self.agents_per_group
+
+    def key_for(self, agent_id: int, start_time: float) -> PartitionKey:
+        return PartitionKey(day=day_of(start_time), agent_group=self.group_of(agent_id))
+
+    def prune(
+        self,
+        keys: Iterable[PartitionKey],
+        agent_ids: Optional[FrozenSet[int]],
+        window: TimeWindow,
+    ) -> List[PartitionKey]:
+        """Partitions that can possibly contain matching events.
+
+        Pruning is sound: a partition is dropped only if *no* event in it can
+        satisfy the spatial/temporal constraints.
+        """
+        groups: Optional[FrozenSet[int]] = None
+        if agent_ids is not None:
+            groups = frozenset(self.group_of(a) for a in agent_ids)
+
+        days = window.days()
+        day_set = frozenset(days) if days is not None else None
+
+        selected: List[PartitionKey] = []
+        for key in keys:
+            if groups is not None and key.agent_group not in groups:
+                continue
+            if day_set is not None and key.day not in day_set:
+                continue
+            if day_set is None and not self._day_overlaps(key.day, window):
+                continue
+            selected.append(key)
+        selected.sort(key=lambda k: (k.day, k.agent_group))
+        return selected
+
+    @staticmethod
+    def _day_overlaps(day: int, window: TimeWindow) -> bool:
+        day_start = day * DAY
+        day_end = day_start + DAY
+        if window.start is not None and window.start >= day_end:
+            return False
+        if window.end is not None and window.end <= day_start:
+            return False
+        return True

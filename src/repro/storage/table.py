@@ -1,0 +1,138 @@
+"""Append-only event table: the unit of physical storage.
+
+One :class:`EventTable` backs one partition of the AIQL-optimized store, the
+single monolithic heap of the flat (PostgreSQL-like) store, and one segment
+of the MPP store.  It keeps events in arrival order, with
+
+* a sorted start-time index for temporal range scans,
+* subject-id and object-id postings lists (the relational analogue of the
+  foreign-key indexes on the events table),
+* per-operation postings lists.
+
+The table itself is semantics-agnostic; domain optimizations (partition
+pruning, spatial/temporal parallelism) live above it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+
+from repro.model.entities import Entity, EntityType
+from repro.model.events import Operation, SystemEvent
+from repro.storage.filters import EventFilter, top_level_equalities
+from repro.storage.index import EntityAttributeIndex, SortedTimeIndex
+
+
+class EventTable:
+    """In-memory event heap with secondary indexes."""
+
+    def __init__(self, entity_lookup: Callable[[int], Entity]) -> None:
+        self._entity_lookup = entity_lookup
+        self._events: List[SystemEvent] = []
+        self._time_index = SortedTimeIndex()
+        self._by_subject: Dict[int, List[int]] = defaultdict(list)
+        self._by_object: Dict[int, List[int]] = defaultdict(list)
+        self._by_operation: Dict[Operation, List[int]] = defaultdict(list)
+        self.min_time: Optional[float] = None
+        self.max_time: Optional[float] = None
+
+    def append(self, event: SystemEvent) -> None:
+        position = len(self._events)
+        self._events.append(event)
+        self._time_index.add(event.start_time, position)
+        self._by_subject[event.subject_id].append(position)
+        self._by_object[event.object_id].append(position)
+        self._by_operation[event.operation].append(position)
+        if self.min_time is None or event.start_time < self.min_time:
+            self.min_time = event.start_time
+        if self.max_time is None or event.start_time > self.max_time:
+            self.max_time = event.start_time
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SystemEvent]:
+        return iter(self._events)
+
+    def events_at(self, positions: Iterable[int]) -> List[SystemEvent]:
+        return [self._events[p] for p in positions]
+
+    def _candidate_positions(
+        self,
+        flt: EventFilter,
+        entity_index: Optional[EntityAttributeIndex],
+    ) -> Iterable[int]:
+        """Pick the cheapest access path for a filter.
+
+        Preference order: explicit id sets from the scheduler, entity
+        attribute indexes, the time index, then a full scan.
+        """
+        position_sets: List[Set[int]] = []
+
+        def positions_for_ids(
+            ids: FrozenSet[int], postings: Dict[int, List[int]]
+        ) -> Set[int]:
+            out: Set[int] = set()
+            for entity_id in ids:
+                out.update(postings.get(entity_id, ()))
+            return out
+
+        if flt.subject_ids is not None:
+            position_sets.append(positions_for_ids(flt.subject_ids, self._by_subject))
+        if flt.object_ids is not None:
+            position_sets.append(positions_for_ids(flt.object_ids, self._by_object))
+
+        if entity_index is not None:
+            subj_cands = entity_index.candidates(
+                EntityType.PROCESS, top_level_equalities(flt.subject_pred)
+            )
+            if subj_cands is not None:
+                position_sets.append(
+                    positions_for_ids(subj_cands, self._by_subject)
+                )
+            if flt.object_type is not None:
+                obj_cands = entity_index.candidates(
+                    flt.object_type, top_level_equalities(flt.object_pred)
+                )
+                if obj_cands is not None:
+                    position_sets.append(
+                        positions_for_ids(obj_cands, self._by_object)
+                    )
+
+        if position_sets:
+            candidates = set.intersection(*position_sets)
+            return sorted(candidates)
+
+        if flt.window.start is not None or flt.window.end is not None:
+            return self._time_index.range(flt.window.start, flt.window.end)
+
+        return range(len(self._events))
+
+    def scan(
+        self,
+        flt: EventFilter,
+        entity_index: Optional[EntityAttributeIndex] = None,
+    ) -> List[SystemEvent]:
+        """Return all events matching ``flt``, in arrival order."""
+        matched: List[SystemEvent] = []
+        lookup = self._entity_lookup
+        for position in self._candidate_positions(flt, entity_index):
+            event = self._events[position]
+            subject = lookup(event.subject_id)
+            obj = lookup(event.object_id)
+            if flt.matches(event, subject, obj):
+                matched.append(event)
+        matched.sort(key=lambda e: (e.start_time, e.event_id))
+        return matched
+
+    def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
+        """Index-free scan; the oracle for partition-pruning soundness tests."""
+        lookup = self._entity_lookup
+        matched = [
+            event
+            for event in self._events
+            if flt.matches(event, lookup(event.subject_id), lookup(event.object_id))
+        ]
+        matched.sort(key=lambda e: (e.start_time, e.event_id))
+        return matched

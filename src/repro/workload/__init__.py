@@ -1,0 +1,86 @@
+"""Synthetic enterprise workload and the paper's attack scenarios.
+
+Substitutes for the paper's auditd/ETW deployment on 150 hosts: a seeded,
+deterministic background-activity generator plus scripted injections of
+every evaluated behavior (APT case study c1-c5, second APT a1-a5,
+dependency chains d1-d3, malware samples v1-v5, abnormal behaviors s1-s6),
+and the AIQL query corpus that investigates them.
+"""
+
+from repro.workload.attacks import inject_apt2, inject_apt_case_study
+from repro.workload.behaviors import (
+    MALWARE_SAMPLES,
+    inject_abnormal_behaviors,
+    inject_dependency_behaviors,
+    inject_malware_behaviors,
+)
+from repro.workload.corpus import (
+    ALL_QUERIES,
+    CASE_STUDY_QUERIES,
+    CASE_STUDY_WITH_ANOMALY,
+    CONCISENESS_QUERY_IDS,
+    C5_ANOMALY,
+    CorpusQuery,
+    PERFORMANCE_QUERIES,
+    by_id,
+    pattern_counts,
+)
+from repro.workload.generator import BackgroundGenerator, GeneratorConfig
+from repro.workload.loader import (
+    ALL_STORES,
+    Enterprise,
+    build_enterprise,
+)
+from repro.workload.topology import (
+    APT2_DAY,
+    APT_DAY,
+    ABNORMAL_DAY,
+    ATTACKER_IP,
+    ATTACKER_IP2,
+    BASE_DAY,
+    DEPENDENCY_DAY,
+    HOSTS,
+    HOSTS_BY_ID,
+    Host,
+    HostRole,
+    MALWARE_C2_IP,
+    MALWARE_DAY,
+    SIMULATION_DAYS,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "ALL_STORES",
+    "APT2_DAY",
+    "APT_DAY",
+    "ABNORMAL_DAY",
+    "ATTACKER_IP",
+    "ATTACKER_IP2",
+    "BASE_DAY",
+    "BackgroundGenerator",
+    "C5_ANOMALY",
+    "CASE_STUDY_QUERIES",
+    "CASE_STUDY_WITH_ANOMALY",
+    "CONCISENESS_QUERY_IDS",
+    "CorpusQuery",
+    "DEPENDENCY_DAY",
+    "Enterprise",
+    "GeneratorConfig",
+    "HOSTS",
+    "HOSTS_BY_ID",
+    "Host",
+    "HostRole",
+    "MALWARE_C2_IP",
+    "MALWARE_DAY",
+    "MALWARE_SAMPLES",
+    "PERFORMANCE_QUERIES",
+    "SIMULATION_DAYS",
+    "build_enterprise",
+    "by_id",
+    "inject_abnormal_behaviors",
+    "inject_apt2",
+    "inject_apt_case_study",
+    "inject_dependency_behaviors",
+    "inject_malware_behaviors",
+    "pattern_counts",
+]

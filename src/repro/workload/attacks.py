@@ -1,0 +1,248 @@
+"""Attack scenario injection: the APT case study and the second APT.
+
+``inject_apt_case_study`` replays the five steps of the paper's Fig. 4
+attack on the simulated enterprise (Sec. 6.2): initial compromise via a
+malicious Excel attachment, malware infection, privilege escalation with
+gsecdump, penetration into the database server via a VBScript dropper, and
+data exfiltration through osql/sqlservr dumps sent to the attacker's
+address.  ``inject_apt2`` replays the second APT (a1-a5, Sec. 6.3.1) used
+for the performance/conciseness evaluation.
+
+Both return a ground-truth dict (entities and timestamps) the tests assert
+query results against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.storage.ingest import Ingestor
+from repro.workload.topology import (
+    APT2_DAY,
+    APT_DAY,
+    ATTACKER_IP,
+    ATTACKER_IP2,
+    DB_SERVER,
+    MAIL_SERVER,
+    WEB_SERVER,
+    WINDOWS_CLIENT,
+)
+
+# Offsets (seconds since the attack day's midnight) for each step; the steps
+# are spaced ~1 hour apart, mirroring a day-long intrusion.
+_C1_T = 9 * 3600.0  # 09:00 initial compromise
+_C2_T = 10 * 3600.0  # 10:00 malware infection
+_C3_T = 11 * 3600.0  # 11:00 privilege escalation
+_C4_T = 13 * 3600.0  # 13:00 penetration into DB server
+_C5_T = 15 * 3600.0  # 15:00 data exfiltration
+
+EXCEL_ATTACHMENT = "C:/Users/u1/Downloads/quarterly_report.xlsm"
+PAYLOAD_EXE = "C:/Users/u1/AppData/Local/Temp/payload.exe"
+GSECDUMP_EXE = "C:/Users/u1/AppData/Local/Temp/gsecdump.exe"
+SAM_FILE = "C:/Windows/System32/config/SAM"
+DROPPER_VBS = "C:/Windows/Temp/dropper.vbs"
+SBBLV_EXE = "C:/Windows/Temp/sbblv.exe"
+BACKUP_DUMP = "C:/MSSQL/BACKUP/backup1.dmp"
+
+
+def inject_apt_case_study(
+    ingestor: Ingestor, day_start: float = APT_DAY
+) -> Dict[str, object]:
+    """Inject attack steps c1-c5; returns ground truth for assertions."""
+    victim = WINDOWS_CLIENT.agent_id
+    db = DB_SERVER.agent_id
+    truth: Dict[str, object] = {"day": day_start}
+
+    # ---- c1: initial compromise (phishing email with Excel macro) --------
+    t = day_start + _C1_T
+    outlook = ingestor.process(victim, 400, "outlook.exe", user="u1",
+                               signature="microsoft")
+    mail_conn = ingestor.connection(
+        victim, WINDOWS_CLIENT.ip, 52311, MAIL_SERVER.ip, 143
+    )
+    attachment = ingestor.file(victim, EXCEL_ATTACHMENT, owner="u1")
+    ingestor.emit(victim, t, "connect", outlook, mail_conn)
+    ingestor.emit(victim, t + 2, "read", outlook, mail_conn, amount=184320)
+    ingestor.emit(victim, t + 5, "write", outlook, attachment, amount=184320)
+    truth["c1"] = {"outlook": outlook, "attachment": attachment, "t": t}
+
+    # ---- c2: malware infection (macro downloads + runs payload) ----------
+    t = day_start + _C2_T
+    excel = ingestor.process(victim, 2100, "excel.exe", user="u1",
+                             signature="microsoft")
+    ingestor.emit(victim, t, "start", outlook, excel)
+    ingestor.emit(victim, t + 3, "read", excel, attachment, amount=184320)
+    dl_conn = ingestor.connection(
+        victim, WINDOWS_CLIENT.ip, 52390, ATTACKER_IP, 443
+    )
+    payload_file = ingestor.file(victim, PAYLOAD_EXE, owner="u1")
+    ingestor.emit(victim, t + 10, "connect", excel, dl_conn)
+    ingestor.emit(victim, t + 12, "read", excel, dl_conn, amount=921600)
+    ingestor.emit(victim, t + 15, "write", excel, payload_file, amount=921600)
+    payload = ingestor.process(victim, 2188, "payload.exe", user="u1")
+    ingestor.emit(victim, t + 20, "start", excel, payload)
+    backdoor = ingestor.connection(
+        victim, WINDOWS_CLIENT.ip, 52400, ATTACKER_IP, 4444
+    )
+    ingestor.emit(victim, t + 25, "connect", payload, backdoor)
+    ingestor.emit(victim, t + 30, "write", payload, backdoor, amount=2048)
+    truth["c2"] = {
+        "excel": excel,
+        "payload_file": payload_file,
+        "payload": payload,
+        "backdoor": backdoor,
+        "t": t,
+    }
+
+    # ---- c3: privilege escalation (port scan + gsecdump) ------------------
+    t = day_start + _C3_T
+    for i, port in enumerate((135, 445, 1433, 3389)):
+        scan = ingestor.connection(
+            victim, WINDOWS_CLIENT.ip, 53000 + i, DB_SERVER.ip, port
+        )
+        ingestor.emit(victim, t + i, "connect", payload, scan)
+    gsec_file = ingestor.file(victim, GSECDUMP_EXE, owner="u1")
+    ingestor.emit(victim, t + 60, "write", payload, gsec_file, amount=524288)
+    gsecdump = ingestor.process(victim, 2300, "gsecdump.exe", user="u1")
+    ingestor.emit(victim, t + 65, "start", payload, gsecdump)
+    sam = ingestor.file(victim, SAM_FILE, owner="SYSTEM")
+    ingestor.emit(victim, t + 70, "read", gsecdump, sam, amount=65536)
+    ingestor.emit(victim, t + 80, "write", gsecdump, backdoor, amount=8192)
+    truth["c3"] = {"gsecdump": gsecdump, "sam": sam, "t": t}
+
+    # ---- c4: penetration into the database server --------------------------
+    t = day_start + _C4_T
+    # attacker session reaches the DB server with the stolen credentials
+    db_login = ingestor.connection(
+        db, WINDOWS_CLIENT.ip, 53100, DB_SERVER.ip, 1433
+    )
+    sqlservr = ingestor.process(db, 1433, "sqlservr.exe", user="mssql",
+                                signature="microsoft")
+    ingestor.emit(db, t, "accept", sqlservr, db_login)
+    cmdshell = ingestor.process(db, 3000, "cmd.exe", user="mssql")
+    ingestor.emit(db, t + 5, "start", sqlservr, cmdshell)
+    wscript = ingestor.process(db, 3010, "wscript.exe", user="mssql",
+                               signature="microsoft")
+    dropper = ingestor.file(db, DROPPER_VBS, owner="mssql")
+    ingestor.emit(db, t + 10, "write", cmdshell, dropper, amount=4096)
+    ingestor.emit(db, t + 12, "start", cmdshell, wscript)
+    ingestor.emit(db, t + 14, "read", wscript, dropper, amount=4096)
+    sbblv_file = ingestor.file(db, SBBLV_EXE, owner="mssql")
+    ingestor.emit(db, t + 18, "write", wscript, sbblv_file, amount=786432)
+    sbblv = ingestor.process(db, 3020, "sbblv.exe", user="mssql")
+    ingestor.emit(db, t + 22, "start", wscript, sbblv)
+    backdoor2 = ingestor.connection(db, DB_SERVER.ip, 54000, ATTACKER_IP, 443)
+    ingestor.emit(db, t + 26, "connect", sbblv, backdoor2)
+    truth["c4"] = {
+        "cmdshell": cmdshell,
+        "wscript": wscript,
+        "dropper": dropper,
+        "sbblv_file": sbblv_file,
+        "sbblv": sbblv,
+        "t": t,
+    }
+
+    # ---- c5: data exfiltration (osql dump + large transfer) ----------------
+    t = day_start + _C5_T
+    osql = ingestor.process(db, 3100, "osql.exe", user="mssql",
+                            signature="microsoft")
+    ingestor.emit(db, t, "start", cmdshell, osql)
+    dump = ingestor.file(db, BACKUP_DUMP, owner="mssql")
+    ingestor.emit(db, t + 20, "write", sqlservr, dump, amount=52428800)
+    ingestor.emit(db, t + 60, "read", sbblv, dump, amount=52428800)
+    # steady low-rate beaconing, then the exfiltration burst that trips the
+    # network-transfer anomaly detector (SMA3, Query 5)
+    for i in range(18):
+        ingestor.emit(db, t + 90 + i * 10, "write", sbblv, backdoor2, amount=4096)
+    for i in range(6):
+        ingestor.emit(
+            db, t + 300 + i * 10, "write", sbblv, backdoor2, amount=13107200
+        )
+    truth["c5"] = {
+        "osql": osql,
+        "dump": dump,
+        "sqlservr": sqlservr,
+        "sbblv": sbblv,
+        "exfil_conn": backdoor2,
+        "t": t,
+    }
+    return truth
+
+
+# ---------------------------------------------------------------------------
+# second APT (a1-a5) — used for Figs. 6-8
+# ---------------------------------------------------------------------------
+
+FLASH_INSTALLER = "/home/u5/Downloads/flash_update.bin"
+IMPLANT_BIN = "/home/u5/.local/share/.updater"
+WEB_SHELL = "/var/www/html/uploads/shell.php"
+SHADOW_FILE = "/etc/shadow"
+EXFIL_ARCHIVE = "/tmp/.cache.tgz"
+
+
+def inject_apt2(ingestor: Ingestor, day_start: float = APT2_DAY) -> Dict[str, object]:
+    """Inject the second APT (a1-a5) on the dev station + web server."""
+    dev = 5  # dev-1
+    web = WEB_SERVER.agent_id
+    truth: Dict[str, object] = {"day": day_start}
+
+    # a1: drive-by download of a fake flash update
+    t = day_start + 9.5 * 3600
+    firefox = ingestor.process(dev, 301, "firefox", user="u5")
+    dl = ingestor.connection(dev, "10.0.0.5", 41000, ATTACKER_IP2, 80)
+    installer = ingestor.file(dev, FLASH_INSTALLER, owner="u5")
+    ingestor.emit(dev, t, "connect", firefox, dl)
+    ingestor.emit(dev, t + 2, "read", firefox, dl, amount=1572864)
+    ingestor.emit(dev, t + 4, "write", firefox, installer, amount=1572864)
+    truth["a1"] = {"firefox": firefox, "installer": installer, "t": t}
+
+    # a2: user runs the installer; it drops and persists an implant
+    t = day_start + 10 * 3600
+    shell = ingestor.process(dev, 1100, "bash", user="u5")
+    flash = ingestor.process(dev, 1180, "flash_update.bin", user="u5")
+    ingestor.emit(dev, t, "start", shell, flash)
+    ingestor.emit(dev, t + 1, "read", flash, installer, amount=1572864)
+    implant_file = ingestor.file(dev, IMPLANT_BIN, owner="u5")
+    ingestor.emit(dev, t + 3, "write", flash, implant_file, amount=917504)
+    implant = ingestor.process(dev, 1200, ".updater", user="u5")
+    ingestor.emit(dev, t + 6, "start", flash, implant)
+    c2 = ingestor.connection(dev, "10.0.0.5", 41500, ATTACKER_IP2, 8443)
+    ingestor.emit(dev, t + 10, "connect", implant, c2)
+    truth["a2"] = {"flash": flash, "implant": implant, "implant_file": implant_file}
+
+    # a3: lateral movement — implant uploads a web shell to the web server
+    t = day_start + 11 * 3600
+    upload = ingestor.connection(dev, "10.0.0.5", 41600, WEB_SERVER.ip, 80)
+    ingestor.emit(dev, t, "connect", implant, upload)
+    ingestor.emit(dev, t + 1, "send", implant, upload, amount=6144)
+    apache = ingestor.process(web, 80, "apache2", user="www-data",
+                              signature="apache.org")
+    recv = ingestor.connection(web, "10.0.0.5", 41600, WEB_SERVER.ip, 80)
+    ingestor.emit(web, t + 2, "accept", apache, recv)
+    ingestor.emit(web, t + 3, "recv", apache, recv, amount=6144)
+    webshell = ingestor.file(web, WEB_SHELL, owner="www-data")
+    ingestor.emit(web, t + 5, "write", apache, webshell, amount=6144)
+    truth["a3"] = {"apache": apache, "webshell": webshell}
+
+    # a4: web shell spawns a shell that reads credentials
+    t = day_start + 12 * 3600
+    www_shell = ingestor.process(web, 2400, "sh", user="www-data")
+    ingestor.emit(web, t, "start", apache, www_shell)
+    shadow = ingestor.file(web, SHADOW_FILE, owner="root")
+    ingestor.emit(web, t + 4, "read", www_shell, shadow, amount=4096)
+    truth["a4"] = {"www_shell": www_shell, "shadow": shadow}
+
+    # a5: staging + exfiltration from the web server
+    t = day_start + 13 * 3600
+    tar = ingestor.process(web, 2500, "tar", user="www-data")
+    ingestor.emit(web, t, "start", www_shell, tar)
+    archive = ingestor.file(web, EXFIL_ARCHIVE, owner="www-data")
+    ingestor.emit(web, t + 5, "write", tar, archive, amount=20971520)
+    exfil = ingestor.connection(web, WEB_SERVER.ip, 42000, ATTACKER_IP2, 443)
+    curl = ingestor.process(web, 2510, "curl", user="www-data")
+    ingestor.emit(web, t + 10, "start", www_shell, curl)
+    ingestor.emit(web, t + 12, "read", curl, archive, amount=20971520)
+    ingestor.emit(web, t + 15, "connect", curl, exfil)
+    ingestor.emit(web, t + 18, "write", curl, exfil, amount=20971520)
+    truth["a5"] = {"tar": tar, "archive": archive, "curl": curl, "exfil": exfil}
+    return truth

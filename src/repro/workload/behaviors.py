@@ -1,0 +1,254 @@
+"""Dependency-tracking, malware and abnormal-behavior scenarios (Sec. 6.3.1).
+
+* d1-d3 — causal dependency chains: Chrome update provenance, Java update
+  provenance, and the cross-host ramification of ``info_stealer`` (the
+  paper's Query 3).
+* v1-v5 — the VirusSign malware samples of Table 4 (Sysbot, Hooker,
+  Autorun categories), replayed from their behavior reports.
+* s1-s6 — abnormal system behaviors: command history probing, suspicious
+  web service, frequent network access, erasing traces from system files,
+  network access spike, abnormal file access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.storage.ingest import Ingestor
+from repro.workload.topology import (
+    ABNORMAL_DAY,
+    DEPENDENCY_DAY,
+    DEV_STATION,
+    JAVA_UPDATE_IP,
+    MALWARE_C2_IP,
+    MALWARE_DAY,
+    UPDATE_SERVER_IP,
+    WEB_SERVER,
+)
+
+# ---------------------------------------------------------------------------
+# d1-d3: dependency tracking behaviors
+# ---------------------------------------------------------------------------
+
+CHROME_UPDATE = "C:/Users/u7/AppData/Local/Temp/chrome_update.exe"
+JAVA_UPDATE = "C:/Users/u9/AppData/Local/Temp/java_update.exe"
+INFO_STEALER_SRC = "/var/www/html/info_stealer.sh"
+INFO_STEALER_COPY = "/home/u5/downloads/info_stealer.sh"
+
+
+def inject_dependency_behaviors(
+    ingestor: Ingestor, day_start: float = DEPENDENCY_DAY
+) -> Dict[str, object]:
+    truth: Dict[str, object] = {"day": day_start}
+
+    # d1: origin of a Chrome update executable (backward provenance chain:
+    # chrome.exe downloaded it from the update server, then executed it).
+    agent = 7
+    t = day_start + 10 * 3600
+    chrome = ingestor.process(agent, 310, "chrome.exe", user="u7",
+                              signature="google")
+    upd_conn = ingestor.connection(agent, "10.0.0.7", 43000, UPDATE_SERVER_IP, 443)
+    update_file = ingestor.file(agent, CHROME_UPDATE, owner="u7")
+    ingestor.emit(agent, t, "connect", chrome, upd_conn)
+    ingestor.emit(agent, t + 2, "read", chrome, upd_conn, amount=3145728)
+    ingestor.emit(agent, t + 5, "write", chrome, update_file, amount=3145728)
+    updater = ingestor.process(agent, 3300, "chrome_update.exe", user="u7",
+                               signature="google")
+    ingestor.emit(agent, t + 20, "start", chrome, updater)
+    ingestor.emit(agent, t + 25, "read", updater, update_file, amount=3145728)
+    truth["d1"] = {"chrome": chrome, "update_file": update_file, "agent": agent}
+
+    # d2: origin of a Java update executable, same shape on another host.
+    agent = 9
+    t = day_start + 11 * 3600
+    java = ingestor.process(agent, 320, "java.exe", user="u9", signature="oracle")
+    upd_conn = ingestor.connection(agent, "10.0.0.9", 43100, JAVA_UPDATE_IP, 443)
+    update_file = ingestor.file(agent, JAVA_UPDATE, owner="u9")
+    ingestor.emit(agent, t, "connect", java, upd_conn)
+    ingestor.emit(agent, t + 3, "read", java, upd_conn, amount=2097152)
+    ingestor.emit(agent, t + 6, "write", java, update_file, amount=2097152)
+    updater = ingestor.process(agent, 3400, "java_update.exe", user="u9",
+                               signature="oracle")
+    ingestor.emit(agent, t + 30, "start", java, updater)
+    ingestor.emit(agent, t + 33, "read", updater, update_file, amount=2097152)
+    truth["d2"] = {"java": java, "update_file": update_file, "agent": agent}
+
+    # d3: forward ramification of info_stealer (the paper's Query 3):
+    # /bin/cp writes it under /var/www on the web server; apache serves it;
+    # wget on the dev station downloads and stores a copy.
+    web = WEB_SERVER.agent_id
+    dev = DEV_STATION.agent_id
+    t = day_start + 14 * 3600
+    cp = ingestor.process(web, 2600, "/bin/cp", user="root")
+    stealer_src = ingestor.file(web, INFO_STEALER_SRC, owner="www-data")
+    ingestor.emit(web, t, "write", cp, stealer_src, amount=24576)
+    apache = ingestor.process(web, 80, "apache2", user="www-data",
+                              signature="apache.org")
+    ingestor.emit(web, t + 120, "read", apache, stealer_src, amount=24576)
+    # cross-host flow: both hosts record the same (dst_ip, dst_port) tuple
+    flow_a = ingestor.connection(web, WEB_SERVER.ip, 80, DEV_STATION.ip, 44022)
+    flow_b = ingestor.connection(dev, WEB_SERVER.ip, 80, DEV_STATION.ip, 44022)
+    ingestor.emit(web, t + 121, "send", apache, flow_a, amount=24576)
+    wget = ingestor.process(dev, 2700, "wget", user="u5")
+    ingestor.emit(dev, t + 122, "recv", wget, flow_b, amount=24576)
+    stealer_copy = ingestor.file(dev, INFO_STEALER_COPY, owner="u5")
+    ingestor.emit(dev, t + 125, "write", wget, stealer_copy, amount=24576)
+    truth["d3"] = {
+        "cp": cp,
+        "stealer_src": stealer_src,
+        "apache": apache,
+        "wget": wget,
+        "stealer_copy": stealer_copy,
+    }
+    return truth
+
+
+# ---------------------------------------------------------------------------
+# v1-v5: real-world malware behaviors (Table 4)
+# ---------------------------------------------------------------------------
+
+MALWARE_SAMPLES = (
+    ("v1", "7dd95111e9e100b6243ca96b9b322120", "Trojan.Sysbot", 10),
+    ("v2", "425327783e88bb6492753849bc43b7a0", "Trojan.Hooker", 11),
+    ("v3", "ee111901739531d6963ab1ee3ecaf280", "Virus.Autorun", 12),
+    ("v4", "4e720458c357310da684018f4a254dd0", "Virus.Sysbot", 13),
+    ("v5", "7dd95111e9e100b6243ca96b9b322120", "Trojan.Hooker", 14),
+)
+
+
+def inject_malware_behaviors(
+    ingestor: Ingestor, day_start: float = MALWARE_DAY
+) -> Dict[str, object]:
+    """Replay the five VirusSign samples per their behavior categories."""
+    truth: Dict[str, object] = {"day": day_start}
+    for i, (vid, name, category, agent) in enumerate(MALWARE_SAMPLES):
+        t = day_start + (9 + i) * 3600
+        exe = f"{name}.exe"
+        shell = ingestor.process(agent, 1100, "explorer.exe", user=f"u{agent}")
+        malware = ingestor.process(agent, 5000 + i, exe, user=f"u{agent}")
+        ingestor.emit(agent, t, "start", shell, malware)
+        if "Sysbot" in category:
+            # bot behavior: registry persistence + C2 beaconing + shells
+            run_key = ingestor.registry_value(
+                agent,
+                "HKCU/Software/Microsoft/Windows/CurrentVersion/Run",
+                value_name=name[:8],
+            )
+            ingestor.emit(agent, t + 2, "write", malware, run_key)
+            c2 = ingestor.connection(
+                agent, f"10.0.0.{agent}", 45000 + i, MALWARE_C2_IP, 6667
+            )
+            ingestor.emit(agent, t + 5, "connect", malware, c2)
+            for k in range(4):
+                ingestor.emit(agent, t + 10 + k * 30, "read", malware, c2, amount=256)
+            bot_cmd = ingestor.process(agent, 5100 + i, "cmd.exe", user=f"u{agent}")
+            ingestor.emit(agent, t + 40, "start", malware, bot_cmd)
+            spool = ingestor.file(agent, f"C:/Windows/Temp/sys{i}.dat", owner="SYSTEM")
+            ingestor.emit(agent, t + 50, "write", bot_cmd, spool, amount=8192)
+        elif "Hooker" in category:
+            # keylogger: repeated keystroke-log writes + periodic upload
+            keylog = ingestor.file(
+                agent, f"C:/Users/u{agent}/AppData/Local/Temp/keys.log",
+                owner=f"u{agent}",
+            )
+            for k in range(6):
+                ingestor.emit(
+                    agent, t + 10 + k * 60, "write", malware, keylog, amount=512
+                )
+            c2 = ingestor.connection(
+                agent, f"10.0.0.{agent}", 45100 + i, MALWARE_C2_IP, 8080
+            )
+            ingestor.emit(agent, t + 400, "connect", malware, c2)
+            ingestor.emit(agent, t + 405, "read", malware, keylog, amount=3072)
+            ingestor.emit(agent, t + 410, "write", malware, c2, amount=3072)
+        else:  # Autorun
+            autorun = ingestor.file(agent, "E:/autorun.inf", owner=f"u{agent}")
+            self_copy = ingestor.file(agent, f"E:/{name}.exe", owner=f"u{agent}")
+            ingestor.emit(agent, t + 5, "write", malware, autorun, amount=128)
+            ingestor.emit(agent, t + 8, "write", malware, self_copy, amount=65536)
+        truth[vid] = {"name": exe, "category": category, "agent": agent, "t": t}
+    return truth
+
+
+# ---------------------------------------------------------------------------
+# s1-s6: abnormal system behaviors
+# ---------------------------------------------------------------------------
+
+
+def inject_abnormal_behaviors(
+    ingestor: Ingestor, day_start: float = ABNORMAL_DAY
+) -> Dict[str, object]:
+    truth: Dict[str, object] = {"day": day_start}
+
+    # s1: command history probing (the paper's Query 2 shape), agent 8
+    agent = 8
+    t = day_start + 9 * 3600
+    sshd = ingestor.process(agent, 22, "sshd", user="root")
+    probe_shell = ingestor.process(agent, 6000, "bash", user="u8")
+    ingestor.emit(agent, t, "start", sshd, probe_shell)
+    viminfo = ingestor.file(agent, ".viminfo", owner="u8")
+    history = ingestor.file(agent, ".bash_history", owner="u8")
+    ingestor.emit(agent, t + 30, "read", probe_shell, viminfo, amount=2048)
+    ingestor.emit(agent, t + 35, "read", probe_shell, history, amount=4096)
+    truth["s1"] = {"parent": sshd, "shell": probe_shell, "agent": agent}
+
+    # s2: suspicious web service — apache spawns an interactive shell
+    web = WEB_SERVER.agent_id
+    t = day_start + 10 * 3600
+    apache = ingestor.process(web, 80, "apache2", user="www-data",
+                              signature="apache.org")
+    rogue = ingestor.process(web, 6100, "bash", user="www-data")
+    ingestor.emit(web, t, "start", apache, rogue)
+    drop = ingestor.file(web, "/tmp/.x_backdoor", owner="www-data")
+    ingestor.emit(web, t + 10, "write", rogue, drop, amount=16384)
+    truth["s2"] = {"apache": apache, "rogue": rogue}
+
+    # s3: frequent network access — one process touches many distinct IPs
+    agent = 11
+    t = day_start + 11 * 3600
+    scanner = ingestor.process(agent, 6200, "nmap", user=f"u{agent}")
+    for k in range(40):
+        probe = ingestor.connection(
+            agent, f"10.0.0.{agent}", 46000 + k, f"192.0.2.{k + 1}", 443
+        )
+        ingestor.emit(agent, t + k * 2, "connect", scanner, probe)
+        ingestor.emit(agent, t + k * 2 + 1, "read", scanner, probe, amount=64)
+    truth["s3"] = {"scanner": scanner, "agent": agent, "distinct_ips": 40}
+
+    # s4: erasing traces from system files
+    agent = 12
+    t = day_start + 12 * 3600
+    cleaner_shell = ingestor.process(agent, 6300, "bash", user="root")
+    cleaner = ingestor.process(agent, 6310, "shred", user="root")
+    ingestor.emit(agent, t, "start", cleaner_shell, cleaner)
+    for k, log in enumerate(("auth.log", "syslog", "wtmp")):
+        logfile = ingestor.file(agent, f"/var/log/{log}", owner="root")
+        ingestor.emit(agent, t + 5 + k, "write", cleaner, logfile, amount=0)
+        ingestor.emit(agent, t + 8 + k, "delete", cleaner, logfile)
+    truth["s4"] = {"cleaner": cleaner, "agent": agent}
+
+    # s5: network access spike — steady beaconing then a large burst
+    agent = 13
+    t = day_start + 13 * 3600
+    beacon = ingestor.process(agent, 6400, "syncagent", user=f"u{agent}")
+    sink = ingestor.connection(agent, f"10.0.0.{agent}", 47000, MALWARE_C2_IP, 443)
+    ingestor.emit(agent, t, "connect", beacon, sink)
+    for k in range(24):
+        ingestor.emit(agent, t + 10 + k * 10, "write", beacon, sink, amount=2048)
+    for k in range(6):
+        ingestor.emit(agent, t + 260 + k * 10, "write", beacon, sink,
+                      amount=8388608)
+    truth["s5"] = {"beacon": beacon, "agent": agent, "sink": sink}
+
+    # s6: abnormal file access — burst of distinct sensitive-file reads
+    agent = 14
+    t = day_start + 14 * 3600
+    harvester = ingestor.process(agent, 6500, "python", user=f"u{agent}")
+    for k in range(30):
+        secret = ingestor.file(
+            agent, f"C:/Users/Shared/Finance/acct_{k:03d}.xlsx", owner="finance"
+        )
+        ingestor.emit(agent, t + 300 + k * 3, "read", harvester, secret,
+                      amount=32768)
+    truth["s6"] = {"harvester": harvester, "agent": agent, "files": 30}
+    return truth

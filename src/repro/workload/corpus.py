@@ -1,0 +1,757 @@
+"""The AIQL query corpus (paper Secs. 6.2-6.4).
+
+Two query sets, written against the simulated enterprise of
+:mod:`repro.workload.topology`:
+
+* **Case study** (Table 3 / Fig. 5) — the 26 multievent queries + 1 anomaly
+  query of the iterative APT investigation.  Query and event-pattern counts
+  per step match Table 3 exactly: c1 1/3, c2 8/27, c3 2/4, c4 8/35
+  (c4-8 is the paper's largest query with 7 patterns), c5 7/18, plus the
+  c5 anomaly starter (the paper's Query 5).
+* **Performance/conciseness** (Figs. 6-8) — the 19 queries over the four
+  behavior categories: multi-step attacks a1-a5, dependency tracking d1-d3,
+  malware v1-v5, abnormal behaviors s1-s6 (s5/s6 are anomaly queries with
+  no SQL/Cypher/SPL equivalent, as in the paper).
+
+Every query returns at least ``min_rows`` rows on the default workload —
+the integration tests assert this ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CorpusQuery:
+    qid: str
+    group: str  # 'c1'..'c5' | 'a' | 'd' | 'v' | 's'
+    kind: str  # 'multievent' | 'dependency' | 'anomaly'
+    text: str
+    min_rows: int = 1
+
+
+_APT = '(at "01/05/2017")'
+_ABN = '(at "01/06/2017")'
+_DEP = '(at "01/07/2017")'
+_A2 = '(at "01/08/2017")'
+_MAL = '(at "01/09/2017")'
+
+# ---------------------------------------------------------------------------
+# case study: c1 (1 query / 3 patterns)
+# ---------------------------------------------------------------------------
+
+C1_QUERIES = (
+    CorpusQuery(
+        "c1-1",
+        "c1",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p1["%outlook.exe"] connect ip i1[dstport = 143] as evt1
+        proc p1 read ip i1 as evt2
+        proc p1 write file f1["%.xlsm"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, i1, f1
+        """,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# case study: c2 (8 queries / 27 patterns: 1+2+3+3+4+4+5+5)
+# ---------------------------------------------------------------------------
+
+C2_QUERIES = (
+    CorpusQuery(
+        "c2-1",
+        "c2",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p1 start proc p2["%payload.exe"] as evt1
+        return distinct p1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c2-2",
+        "c2",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p1 write file f1["%payload.exe"] as evt1
+        proc p1 start proc p2["%payload.exe"] as evt2
+        with evt1 before evt2
+        return distinct p1, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c2-3",
+        "c2",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p1 connect ip i1[dstip = "203.0.113.129"] as evt1
+        proc p1 write file f1["%payload.exe"] as evt2
+        proc p1 start proc p2["%payload.exe"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, i1, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c2-4",
+        "c2",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p0["%outlook.exe"] start proc p1["%excel.exe"] as evt1
+        proc p1 read file f1["%quarterly_report%"] as evt2
+        proc p1 start proc p2["%payload.exe"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p0, p1, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c2-5",
+        "c2",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p1["%excel.exe"] connect ip i1[dstip = "203.0.113.129"] as evt1
+        proc p1 write file f1["%payload.exe"] as evt2
+        proc p1 start proc p2["%payload.exe"] as evt3
+        proc p2 connect ip i2[dstport = 4444] as evt4
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4
+        return distinct p1, f1, p2, i2
+        """,
+    ),
+    CorpusQuery(
+        "c2-6",
+        "c2",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p0["%outlook.exe"] write file f0["%.xlsm"] as evt1
+        proc p1["%excel.exe"] read file f0 as evt2
+        proc p1 write file f1["%payload.exe"] as evt3
+        proc p1 start proc p2["%payload.exe"] as evt4
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4
+        return distinct p0, f0, p1, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c2-7",
+        "c2",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p0["%outlook.exe"] start proc p1["%excel.exe"] as evt1
+        proc p1 read file f0["%.xlsm"] as evt2
+        proc p1 write file f1["%payload.exe"] as evt3
+        proc p1 start proc p2["%payload.exe"] as evt4
+        proc p2 connect ip i1[dstip = "203.0.113.129"] as evt5
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+             evt4 before evt5
+        return distinct p0, p1, f0, f1, p2, i1
+        """,
+    ),
+    CorpusQuery(
+        "c2-8",
+        "c2",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p1["%excel.exe"] read file f0["%.xlsm"] as evt1
+        proc p1 connect ip i0[dstip = "203.0.113.129"] as evt2
+        proc p1 write file f1["%payload.exe"] as evt3
+        proc p1 start proc p2["%payload.exe"] as evt4
+        proc p2 connect ip i1[dstport = 4444] as evt5
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+             evt4 before evt5
+        return distinct p1, f0, i0, f1, p2, i1
+        """,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# case study: c3 (2 queries / 4 patterns)
+# ---------------------------------------------------------------------------
+
+C3_QUERIES = (
+    CorpusQuery(
+        "c3-1",
+        "c3",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p1 start proc p2["%gsecdump.exe"] as evt1
+        proc p2 read file f1["%config/SAM"] as evt2
+        with evt1 before evt2
+        return distinct p1, p2, f1
+        """,
+    ),
+    CorpusQuery(
+        "c3-2",
+        "c3",
+        "multievent",
+        f"""
+        agentid = 1 {_APT}
+        proc p2["%gsecdump.exe"] read file f1["%SAM"] as evt1
+        proc p2 write ip i1[dstip = "203.0.113.129"] as evt2
+        with evt1 before evt2
+        return distinct p2, f1, i1
+        """,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# case study: c4 (8 queries / 35 patterns: 1+3+4+4+5+5+6+7)
+# ---------------------------------------------------------------------------
+
+C4_QUERIES = (
+    CorpusQuery(
+        "c4-1",
+        "c4",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p1 write file f1["%sbblv.exe"] as evt1
+        return distinct p1, f1
+        """,
+    ),
+    CorpusQuery(
+        "c4-2",
+        "c4",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p0["%cmd.exe"] start proc p1["%wscript.exe"] as evt1
+        proc p1 write file f1["%sbblv.exe"] as evt2
+        proc p1 start proc p2["%sbblv.exe"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p0, p1, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c4-3",
+        "c4",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p0["%cmd.exe"] start proc p1["%wscript.exe"] as evt1
+        proc p1 read file f0["%dropper.vbs"] as evt2
+        proc p1 write file f1["%sbblv.exe"] as evt3
+        proc p1 start proc p2["%sbblv.exe"] as evt4
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4
+        return distinct p0, p1, f0, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c4-4",
+        "c4",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p0["%cmd.exe"] write file f0["%dropper.vbs"] as evt1
+        proc p0 start proc p1["%wscript.exe"] as evt2
+        proc p1 read file f0 as evt3
+        proc p1 write file f1["%sbblv.exe"] as evt4
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4
+        return distinct p0, f0, p1, f1
+        """,
+    ),
+    CorpusQuery(
+        "c4-5",
+        "c4",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p0["%cmd.exe"] write file f0["%dropper.vbs"] as evt1
+        proc p0 start proc p1["%wscript.exe"] as evt2
+        proc p1 read file f0 as evt3
+        proc p1 write file f1["%sbblv.exe"] as evt4
+        proc p1 start proc p2["%sbblv.exe"] as evt5
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+             evt4 before evt5
+        return distinct p0, f0, p1, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c4-6",
+        "c4",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc ps["%sqlservr.exe"] start proc p0["%cmd.exe"] as evt1
+        proc p0 write file f0["%dropper.vbs"] as evt2
+        proc p0 start proc p1["%wscript.exe"] as evt3
+        proc p1 write file f1["%sbblv.exe"] as evt4
+        proc p1 start proc p2["%sbblv.exe"] as evt5
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+             evt4 before evt5
+        return distinct ps, p0, f0, p1, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "c4-7",
+        "c4",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc ps["%sqlservr.exe"] start proc p0["%cmd.exe"] as evt1
+        proc p0 write file f0["%dropper.vbs"] as evt2
+        proc p0 start proc p1["%wscript.exe"] as evt3
+        proc p1 write file f1["%sbblv.exe"] as evt4
+        proc p1 start proc p2["%sbblv.exe"] as evt5
+        proc p2 connect ip i1[dstip = "203.0.113.129"] as evt6
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+             evt4 before evt5, evt5 before evt6
+        return distinct ps, p0, f0, p1, f1, p2, i1
+        """,
+    ),
+    CorpusQuery(
+        "c4-8",
+        "c4",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc ps["%sqlservr.exe"] start proc p0["%cmd.exe"] as evt1
+        proc p0 write file f0["%dropper.vbs"] as evt2
+        proc p0 start proc p1["%wscript.exe"] as evt3
+        proc p1 read file f0 as evt4
+        proc p1 write file f1["%sbblv.exe"] as evt5
+        proc p1 start proc p2["%sbblv.exe"] as evt6
+        proc p2 connect ip i1[dstip = "203.0.113.129"] as evt7
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4,
+             evt4 before evt5, evt5 before evt6, evt6 before evt7
+        return distinct ps, p0, f0, p1, f1, p2, i1
+        """,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# case study: c5 (7 queries / 18 patterns: 1+2+2+3+3+3+4, plus the anomaly
+# starter — the paper's Query 5)
+# ---------------------------------------------------------------------------
+
+C5_ANOMALY = CorpusQuery(
+    "c5-anomaly",
+    "c5",
+    "anomaly",
+    f"""
+    {_APT}
+    agentid = 3
+    window = 1 min, step = 10 sec
+    proc p write ip i[dstip = "203.0.113.129"] as evt
+    return p, avg(evt.amount) as amt
+    group by p
+    having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+    """,
+)
+
+C5_QUERIES = (
+    CorpusQuery(
+        "c5-1",
+        "c5",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p1 write ip i1[dstip = "203.0.113.129"] as evt1
+        return distinct p1, i1
+        """,
+    ),
+    CorpusQuery(
+        "c5-2",
+        "c5",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p1["%sbblv.exe"] read || write file f1 as evt1
+        proc p1 read || write ip i1[dstip = "203.0.113.129"] as evt2
+        with evt1 before evt2
+        return distinct p1, f1, i1, evt1.optype
+        """,
+    ),
+    CorpusQuery(
+        "c5-3",
+        "c5",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p3 write file f1["%backup1.dmp"] as evt1
+        proc p4["%sbblv.exe"] read file f1 as evt2
+        with evt1 before evt2
+        return distinct p3, f1, p4
+        """,
+    ),
+    CorpusQuery(
+        "c5-4",
+        "c5",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+        proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+        proc p4 read file f1 as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, p2, p3, f1, p4
+        """,
+    ),
+    CorpusQuery(
+        "c5-5",
+        "c5",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt1
+        proc p4["%sbblv.exe"] read file f1 as evt2
+        proc p4 write ip i1[dstip = "203.0.113.129"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p3, f1, p4, i1
+        """,
+    ),
+    CorpusQuery(
+        "c5-6",
+        "c5",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+        proc p4["%sbblv.exe"] read file f1["%backup1.dmp"] as evt2
+        proc p4 write ip i1[dstip = "203.0.113.129"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, p2, f1, p4, i1
+        """,
+    ),
+    CorpusQuery(
+        "c5-7",
+        "c5",
+        "multievent",
+        f"""
+        agentid = 3 {_APT}
+        proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+        proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+        proc p4["%sbblv.exe"] read file f1 as evt3
+        proc p4 read || write ip i1[dstip = "203.0.113.129"] as evt4
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4
+        return distinct p1, p2, p3, f1, p4, i1
+        """,
+    ),
+)
+
+CASE_STUDY_QUERIES: Tuple[CorpusQuery, ...] = (
+    *C1_QUERIES,
+    *C2_QUERIES,
+    *C3_QUERIES,
+    *C4_QUERIES,
+    *C5_QUERIES,
+)
+
+CASE_STUDY_WITH_ANOMALY: Tuple[CorpusQuery, ...] = (
+    *CASE_STUDY_QUERIES,
+    C5_ANOMALY,
+)
+
+# ---------------------------------------------------------------------------
+# performance/conciseness corpus: a1-a5
+# ---------------------------------------------------------------------------
+
+A_QUERIES = (
+    CorpusQuery(
+        "a1",
+        "a",
+        "multievent",
+        f"""
+        agentid = 5 {_A2}
+        proc p1["%firefox%"] connect ip i1[dstip = "203.0.113.122"] as evt1
+        proc p1 read ip i1 as evt2
+        proc p1 write file f1["%flash_update%"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, i1, f1
+        """,
+    ),
+    CorpusQuery(
+        "a2",
+        "a",
+        "multievent",
+        f"""
+        agentid = 5 {_A2}
+        proc p0 start proc p1["%flash_update%"] as evt1
+        proc p1 read file f0["%flash_update%"] as evt2
+        proc p1 write file f1["%.updater"] as evt3
+        proc p1 start proc p2["%.updater"] as evt4
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4
+        return distinct p0, p1, f1, p2
+        """,
+    ),
+    CorpusQuery(
+        "a3",
+        "a",
+        "multievent",
+        f"""
+        agentid = 4 {_A2}
+        proc p1["%apache%"] accept ip i1 as evt1
+        proc p1 recv ip i1 as evt2
+        proc p1 write file f1["%shell.php"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, f1
+        """,
+    ),
+    CorpusQuery(
+        "a4",
+        "a",
+        "multievent",
+        f"""
+        agentid = 4 {_A2}
+        proc p1["%apache%"] start proc p2 as evt1
+        proc p2 read file f1["/etc/shadow"] as evt2
+        with evt1 before evt2
+        return distinct p1, p2, f1
+        """,
+    ),
+    CorpusQuery(
+        "a5",
+        "a",
+        "multievent",
+        f"""
+        agentid = 4 {_A2}
+        proc p0 start proc p1["%tar%"] as evt1
+        proc p1 write file f1["%.cache.tgz"] as evt2
+        proc p2["%curl%"] read file f1 as evt3
+        proc p2 write ip i1[dstip = "203.0.113.122"] as evt4
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4
+        return distinct p0, p1, f1, p2, i1
+        """,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# d1-d3: dependency tracking
+# ---------------------------------------------------------------------------
+
+D_QUERIES = (
+    CorpusQuery(
+        "d1",
+        "d",
+        "dependency",
+        f"""
+        agentid = 7 {_DEP}
+        backward: proc u1["%chrome_update.exe"] ->[read]
+          file f1["%chrome_update.exe"] <-[write] proc p1
+        return u1, f1, p1
+        """,
+    ),
+    CorpusQuery(
+        "d2",
+        "d",
+        "dependency",
+        f"""
+        agentid = 9 {_DEP}
+        backward: proc u1["%java_update.exe"] ->[read]
+          file f1["%java_update.exe"] <-[write] proc p1
+        return u1, f1, p1
+        """,
+    ),
+    CorpusQuery(
+        "d3",
+        "d",
+        "dependency",
+        f"""
+        {_DEP}
+        forward: proc p1["%/bin/cp%", agentid = 4] ->[write]
+          file f1["/var/www/%info_stealer%"] <-[read] proc p2["%apache%"]
+          ->[connect] proc p3[agentid = 5] ->[write] file f2["%info_stealer%"]
+        return f1, p1, p2, p3, f2
+        """,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# v1-v5: real-world malware behaviors (Table 4)
+# ---------------------------------------------------------------------------
+
+V_QUERIES = (
+    CorpusQuery(
+        "v1",
+        "v",
+        "multievent",
+        f"""
+        agentid = 10 {_MAL}
+        proc p1["%7dd95111%"] connect ip i1[dstip = "203.0.113.128"] as evt1
+        proc p1 read ip i1 as evt2
+        proc p1 start proc p2["%cmd.exe"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, i1, p2
+        """,
+    ),
+    CorpusQuery(
+        "v2",
+        "v",
+        "multievent",
+        f"""
+        agentid = 11 {_MAL}
+        proc p1["%42532778%"] write file f1["%keys.log"] as evt1
+        proc p1 read file f1 as evt2
+        proc p1 write ip i1[dstip = "203.0.113.128"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, f1, i1
+        """,
+    ),
+    CorpusQuery(
+        "v3",
+        "v",
+        "multievent",
+        f"""
+        agentid = 12 {_MAL}
+        proc p1["%ee111901%"] write file f1["%autorun.inf"] as evt1
+        proc p1 write file f2["E:/%"] as evt2
+        return distinct p1, f1, f2
+        """,
+    ),
+    CorpusQuery(
+        "v4",
+        "v",
+        "multievent",
+        f"""
+        agentid = 13 {_MAL}
+        proc p1["%4e720458%"] connect ip i1[dstport = 6667] as evt1
+        proc p1 start proc p2["%cmd.exe"] as evt2
+        proc p2 write file f1["%sys%.dat"] as evt3
+        with evt1 before evt2, evt2 before evt3
+        return distinct p1, i1, p2, f1
+        """,
+    ),
+    CorpusQuery(
+        "v5",
+        "v",
+        "multievent",
+        f"""
+        agentid = 14 {_MAL}
+        proc p1["%7dd95111%"] write file f1["%keys.log"] as evt1
+        proc p1 write ip i1[dstport = 8080] as evt2
+        with evt1 before evt2
+        return distinct p1, f1, i1
+        """,
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# s1-s6: abnormal system behaviors
+# ---------------------------------------------------------------------------
+
+S_QUERIES = (
+    CorpusQuery(
+        "s1",
+        "s",
+        "multievent",
+        f"""
+        agentid = 8 {_ABN}
+        proc p2 start proc p1 as evt1
+        proc p3 read file[".viminfo" || ".bash_history"] as evt2
+        with p1 = p3, evt1 before evt2
+        return p2, p1
+        sort by p2, p1
+        """,
+    ),
+    CorpusQuery(
+        "s2",
+        "s",
+        "multievent",
+        f"""
+        agentid = 4 {_ABN}
+        proc p1["%apache%"] start proc p2 as evt1
+        proc p2 write file f1["/tmp/%"] as evt2
+        with evt1 before evt2
+        return distinct p1, p2, f1
+        """,
+    ),
+    CorpusQuery(
+        "s3",
+        "s",
+        "multievent",
+        f"""
+        agentid = 11 {_ABN}
+        proc p connect ip i
+        return p, count(distinct i) as freq
+        group by p
+        having freq > 20
+        """,
+    ),
+    CorpusQuery(
+        "s4",
+        "s",
+        "multievent",
+        f"""
+        agentid = 12 {_ABN}
+        proc p1 write file f1["/var/log/%"] as evt1
+        proc p1 delete file f1 as evt2
+        with evt1 before evt2
+        return distinct p1, f1
+        """,
+    ),
+    CorpusQuery(
+        "s5",
+        "s",
+        "anomaly",
+        f"""
+        agentid = 13 {_ABN}
+        window = 1 min, step = 10 sec
+        proc p write ip i[dstip = "203.0.113.128"] as evt
+        return p, avg(evt.amount) as amt
+        group by p
+        having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
+        """,
+    ),
+    CorpusQuery(
+        "s6",
+        "s",
+        "anomaly",
+        f"""
+        agentid = 14 {_ABN}
+        window = 2 min, step = 30 sec
+        proc p read file f["%Finance%"] as evt
+        return p, count(distinct f) as freq
+        group by p
+        having freq > 2 * (freq[1] + freq[2] + freq[3] + 1) / 3
+        """,
+    ),
+)
+
+PERFORMANCE_QUERIES: Tuple[CorpusQuery, ...] = (
+    *A_QUERIES,
+    *D_QUERIES,
+    *V_QUERIES,
+    *S_QUERIES,
+)
+
+# Queries with SQL/Cypher/SPL equivalents (the paper omits s5/s6 there).
+CONCISENESS_QUERY_IDS: Tuple[str, ...] = tuple(
+    q.qid for q in PERFORMANCE_QUERIES if q.qid not in ("s5", "s6")
+)
+
+ALL_QUERIES: Tuple[CorpusQuery, ...] = (
+    *CASE_STUDY_WITH_ANOMALY,
+    *PERFORMANCE_QUERIES,
+)
+
+
+def by_id(qid: str) -> CorpusQuery:
+    for query in ALL_QUERIES:
+        if query.qid == qid:
+            return query
+    raise KeyError(f"no corpus query named {qid!r}")
+
+
+def pattern_counts() -> dict:
+    """Patterns per case-study step (the Table 3 '# of Evt Patterns' column)."""
+    from repro.lang.parser import parse
+    from repro.lang import ast as _ast
+
+    counts: dict = {}
+    for query in CASE_STUDY_QUERIES:
+        tree = parse(query.text)
+        assert isinstance(tree, _ast.MultieventQuery)
+        counts.setdefault(query.group, [0, 0])
+        counts[query.group][0] += 1
+        counts[query.group][1] += len(tree.patterns)
+    return {k: tuple(v) for k, v in counts.items()}

@@ -1,0 +1,79 @@
+"""Conciseness metric tests (paper Sec. 6.4, Fig. 8, Table 5)."""
+
+import pytest
+
+from repro.baselines.conciseness import (
+    compare,
+    count_aiql_constraints,
+    improvement_table,
+    text_metrics,
+    translate_all,
+)
+from repro.lang.parser import parse
+from repro.workload.corpus import CONCISENESS_QUERY_IDS, by_id
+
+
+class TestTextMetrics:
+    def test_words_and_characters(self):
+        words, chars = text_metrics("return p1, p2")
+        assert words == 3
+        assert chars == len("returnp1,p2")
+
+    def test_comments_stripped(self):
+        words, chars = text_metrics("agentid = 1 // host id\nreturn p")
+        assert words == 5  # agentid = 1 return p
+
+
+class TestAiqlConstraintCount:
+    def test_query2_count(self):
+        q = parse(by_id("s1").text)
+        # agentid, window, 2 ops, 2 bare values, 2 rels = 8
+        assert count_aiql_constraints(q) == 8
+
+    def test_counts_sliding_window_as_two(self):
+        q = parse(by_id("s5").text)
+        count = count_aiql_constraints(q)
+        # agentid + window-spec(2) + op + dstip + having + window-literal
+        assert count >= 6
+
+    def test_dependency_counts_edges(self):
+        q = parse(by_id("d3").text)
+        assert count_aiql_constraints(q) >= 8
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("qid", CONCISENESS_QUERY_IDS)
+    def test_aiql_most_concise_everywhere(self, qid):
+        """Fig. 8: AIQL wins all three metrics on all behaviors."""
+        rows = {r.language: r for r in compare(qid, by_id(qid).text)}
+        aiql = rows["aiql"]
+        for lang in ("sql", "cypher", "spl"):
+            assert rows[lang].constraints >= aiql.constraints, (qid, lang)
+            assert rows[lang].words > aiql.words, (qid, lang)
+            assert rows[lang].characters > aiql.characters, (qid, lang)
+
+    def test_improvement_table_shape(self):
+        rows = []
+        for qid in CONCISENESS_QUERY_IDS:
+            rows.extend(compare(qid, by_id(qid).text))
+        table = improvement_table(rows)
+        # Table 5 shape: every ratio > 1, SQL most verbose in words/chars
+        for lang in ("sql", "cypher", "spl"):
+            for metric in ("constraints", "words", "characters"):
+                assert table[lang][metric] > 1.0
+        assert table["sql"]["characters"] > table["cypher"]["characters"]
+
+    def test_c48_is_largest_aiql_query(self):
+        """Sec. 6.2.2: c4-8 is the biggest case-study query (7 patterns)."""
+        translated = translate_all(by_id("c4-8").text)
+        aiql = translated["aiql"]
+        sql = translated["sql"]
+        assert sql.constraints / aiql.constraints > 2.0
+        w_aiql, c_aiql = text_metrics(aiql.text)
+        w_sql, c_sql = text_metrics(sql.text)
+        assert w_sql / w_aiql > 3.0
+        assert c_sql / c_aiql > 3.5
+
+    def test_translate_all_has_four_languages(self):
+        translated = translate_all(by_id("a1").text)
+        assert set(translated) == {"aiql", "sql", "cypher", "spl"}

@@ -1,0 +1,118 @@
+"""SQL/Cypher/SPL translation tests."""
+
+import pytest
+
+from repro.baselines.translators import to_cypher, to_spl, to_sql
+from repro.lang.errors import AIQLSemanticError
+from repro.workload.corpus import CONCISENESS_QUERY_IDS, by_id
+from tests.conftest import compile_text
+
+C48 = by_id("c4-8").text
+
+
+class TestSqlGeneration:
+    def test_structure(self):
+        sql = to_sql(compile_text(C48))
+        assert sql.text.startswith("SELECT DISTINCT")
+        assert "FROM events e1" in sql.text
+        assert "JOIN processes s1 ON e1.subject_id = s1.id" in sql.text
+        assert "WHERE" in sql.text
+
+    def test_like_for_wildcards(self):
+        sql = to_sql(compile_text(C48))
+        assert "LIKE '%sqlservr.exe'" in sql.text
+
+    def test_temporal_becomes_time_comparison(self):
+        sql = to_sql(compile_text(C48))
+        assert "e1.start_time < e2.start_time" in sql.text
+
+    def test_spatial_repeated_per_alias(self):
+        sql = to_sql(compile_text(C48))
+        # 7 patterns -> the agent constraint appears once per events alias
+        assert sql.text.count(".agent_id = 3") == 7
+
+    def test_group_by_having(self):
+        sql = to_sql(compile_text(by_id("s3").text))
+        assert "GROUP BY" in sql.text
+        assert "HAVING" in sql.text
+
+    def test_order_and_limit(self):
+        text = (
+            'agentid = 1\nproc p read file f\nreturn p\nsort by p desc\ntop 5'
+        )
+        sql = to_sql(compile_text(text))
+        assert "ORDER BY p DESC" in sql.text
+        assert "LIMIT 5" in sql.text
+
+    def test_in_list_rendering(self):
+        text = 'proc p[pid in (1, 2)] read file f\nreturn p'
+        sql = to_sql(compile_text(text))
+        assert "s1.pid IN (1, 2)" in sql.text
+
+    def test_anomaly_untranslatable(self):
+        with pytest.raises(AIQLSemanticError, match="sliding windows"):
+            to_sql(compile_text(by_id("s5").text))
+
+    def test_constraint_count_positive(self):
+        assert to_sql(compile_text(C48)).constraints > 20
+
+
+class TestCypherGeneration:
+    def test_structure(self):
+        cypher = to_cypher(compile_text(C48))
+        assert cypher.text.startswith("MATCH")
+        assert "RETURN DISTINCT" in cypher.text
+        assert "-[evt1:EVENT]->" in cypher.text
+
+    def test_node_reuse_for_shared_entities(self):
+        cypher = to_cypher(compile_text(C48))
+        # p1 (wscript) appears in several patterns but is declared once
+        assert cypher.text.count("(p1:Process)") == 1
+
+    def test_regex_for_wildcards(self):
+        cypher = to_cypher(compile_text(C48))
+        assert "=~" in cypher.text
+
+    def test_terser_than_sql(self):
+        ctx = compile_text(C48)
+        assert to_cypher(ctx).constraints < to_sql(ctx).constraints
+
+    def test_anomaly_untranslatable(self):
+        with pytest.raises(AIQLSemanticError):
+            to_cypher(compile_text(by_id("s6").text))
+
+
+class TestSplGeneration:
+    def test_structure(self):
+        spl = to_spl(compile_text(C48))
+        assert spl.text.startswith("search index=sysmon")
+        assert "| join" in spl.text
+        assert "| where" in spl.text
+
+    def test_one_join_per_extra_pattern(self):
+        spl = to_spl(compile_text(C48))
+        assert spl.text.count("| join") == 6  # 7 patterns
+
+    def test_wildcards_become_stars(self):
+        spl = to_spl(compile_text(C48))
+        assert '"*sqlservr.exe"' in spl.text
+
+    def test_stats_for_aggregates(self):
+        spl = to_spl(compile_text(by_id("s3").text))
+        assert "| stats dc(" in spl.text
+
+    def test_anomaly_untranslatable(self):
+        with pytest.raises(AIQLSemanticError):
+            to_spl(compile_text(by_id("s5").text))
+
+
+class TestWholeCorpus:
+    @pytest.mark.parametrize("qid", CONCISENESS_QUERY_IDS)
+    def test_all_three_languages_generate(self, qid):
+        ctx = compile_text(by_id(qid).text)
+        for translate in (to_sql, to_cypher, to_spl):
+            translated = translate(ctx)
+            assert translated.text
+            assert translated.constraints > 0
+            assert translated.words > 0
+            assert translated.characters > 0

@@ -1,0 +1,48 @@
+"""Shared fixtures: one small enterprise deployment reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.dependency import compile_dependency
+from repro.lang.ast import DependencyQuery
+from repro.lang.context import compile_multievent
+from repro.lang.parser import parse
+from repro.workload.loader import build_enterprise
+
+
+@pytest.fixture(scope="session")
+def enterprise():
+    """A small but complete deployment: every store, every scenario."""
+    return build_enterprise(
+        stores=(
+            "partitioned",
+            "flat",
+            "segmented_domain",
+            "segmented_arrival",
+        ),
+        events_per_host_day=60,
+    )
+
+
+@pytest.fixture(scope="session")
+def store(enterprise):
+    return enterprise.store("partitioned")
+
+
+@pytest.fixture(scope="session")
+def flat_store(enterprise):
+    return enterprise.store("flat")
+
+
+def compile_text(text: str):
+    """Parse + compile one AIQL query of any kind."""
+    tree = parse(text)
+    if isinstance(tree, DependencyQuery):
+        return compile_dependency(tree)
+    return compile_multievent(tree)
+
+
+@pytest.fixture(scope="session")
+def compile_query():
+    return compile_text

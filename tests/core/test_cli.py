@@ -1,0 +1,98 @@
+"""CLI tests (argument wiring + non-interactive paths)."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = make_parser()
+        for argv in (
+            ["demo", "--query", "x"],
+            ["explain", "--query", "x"],
+            ["corpus"],
+            ["translate", "--query", "x"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+
+class TestExplain:
+    def test_explain_query(self, capsys):
+        rc = main(
+            ["explain", "--query", 'agentid = 1\nproc p["%cmd%"] start proc q\nreturn p']
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "score=" in out
+
+    def test_explain_syntax_error(self, capsys):
+        rc = main(["explain", "--query", "proc p read"])
+        assert rc == 1
+        assert "syntax error" in capsys.readouterr().err
+
+
+class TestTranslate:
+    QUERY = (
+        'agentid = 1\nproc p1["%cmd%"] start proc p2 as e1\n'
+        "proc p2 read file f1 as e2\nwith e1 before e2\nreturn p1, f1"
+    )
+
+    def test_all_languages(self, capsys):
+        rc = main(["translate", "--query", self.QUERY])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for marker in ("=== AIQL", "=== SQL", "=== CYPHER", "=== SPL"):
+            assert marker in out
+
+    def test_single_language(self, capsys):
+        rc = main(["translate", "--query", self.QUERY, "--language", "sql"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "=== SQL" in out
+        assert "=== CYPHER" not in out
+
+    def test_semantic_error_reported(self, capsys):
+        rc = main(["translate", "--query", "proc p teleport file f\nreturn p"])
+        assert rc == 1
+
+
+class TestCorpus:
+    def test_list(self, capsys):
+        rc = main(["corpus"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "c4-8" in out and "s5" in out
+
+    def test_show(self, capsys):
+        rc = main(["corpus", "--show", "c5-7"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sbblv.exe" in out
+
+
+class TestDemoNonInteractive:
+    def test_demo_query(self, capsys):
+        rc = main(
+            [
+                "demo",
+                "--rate",
+                "20",
+                "--query",
+                '(at "01/05/2017")\nagentid = 3\n'
+                'proc p1["%cmd.exe"] start proc p2["%osql.exe"]\n'
+                "return distinct p1, p2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "osql.exe" in out
+
+    def test_demo_bad_query(self, capsys):
+        rc = main(["demo", "--rate", "20", "--query", "nonsense ((("])
+        assert rc == 1

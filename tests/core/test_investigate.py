@@ -1,0 +1,66 @@
+"""Tests for investigation sessions and the system facade helpers."""
+
+import pytest
+
+from repro.core.investigate import InvestigationSession
+from repro.core.system import AIQLSystem
+from repro.workload.corpus import by_id
+
+
+@pytest.fixture(scope="module")
+def session_system(enterprise):
+    return AIQLSystem.over(
+        enterprise.store("partitioned"), ingestor=enterprise.ingestor
+    )
+
+
+class TestAIQLSystemOver:
+    def test_wraps_populated_store(self, enterprise, session_system):
+        assert session_system.stats()["events"] == len(
+            enterprise.store("partitioned")
+        )
+
+    def test_queries_see_existing_data(self, session_system):
+        result = session_system.query(by_id("c5-7").text)
+        assert len(result) == 1
+
+    def test_anomaly_dispatch(self, session_system):
+        result = session_system.query(by_id("c5-anomaly").text)
+        assert "sbblv.exe" in result.column("p")
+
+    def test_dependency_dispatch(self, session_system):
+        result = session_system.query(by_id("d3").text)
+        assert len(result) >= 1
+
+
+class TestInvestigationSession:
+    def test_records_steps_and_timing(self, session_system):
+        session = InvestigationSession(system=session_system, name="t")
+        session.run("starter", by_id("c5-1").text)
+        session.run("refine", by_id("c5-3").text, note="drill-down")
+        assert len(session.steps) == 2
+        assert session.steps[0].rows >= 1
+        assert session.steps[1].note == "drill-down"
+        assert session.total_seconds > 0
+
+    def test_findings_accumulate_across_steps(self, session_system):
+        session = InvestigationSession(system=session_system)
+        session.run("starter", by_id("c5-1").text)
+        assert "sbblv.exe" in session.finding("p1")
+        session.run("refine", by_id("c5-3").text)
+        assert "sqlservr.exe" in session.finding("p3")
+        # earlier findings are kept
+        assert "sbblv.exe" in session.finding("p1")
+
+    def test_unknown_finding_is_empty(self, session_system):
+        session = InvestigationSession(system=session_system)
+        assert session.finding("nothing") == set()
+
+    def test_report_renders(self, session_system):
+        session = InvestigationSession(system=session_system, name="demo")
+        session.run("starter", by_id("c5-1").text, note="from the alert")
+        report = session.report()
+        assert "demo" in report
+        assert "starter" in report
+        assert "from the alert" in report
+        assert "1 queries" in report

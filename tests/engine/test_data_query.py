@@ -1,0 +1,161 @@
+"""Data query narrowing tests (constrained execution, Sec. 5.2)."""
+
+import pytest
+
+from repro.engine.data_query import (
+    DataQuery,
+    attr_rel_narrowing,
+    temp_rel_narrowing,
+    values_of,
+)
+from repro.lang.context import FieldRef, ResolvedAttrRel, ResolvedTempRel
+from repro.model.entities import EntityRegistry, EntityType
+from repro.model.events import Operation, SystemEvent
+from tests.conftest import compile_text
+
+
+def make_event(eid, subject_id, object_id, t):
+    return SystemEvent(
+        event_id=eid,
+        agent_id=1,
+        seq=eid,
+        start_time=t,
+        end_time=t,
+        operation=Operation.READ,
+        subject_id=subject_id,
+        object_id=object_id,
+        object_type=EntityType.FILE,
+    )
+
+
+@pytest.fixture()
+def pattern():
+    ctx = compile_text("proc p read file f\nreturn p")
+    return ctx.patterns[0]
+
+
+class TestNarrowing:
+    def test_narrow_by_subject_ids(self, pattern):
+        query = DataQuery.for_pattern(pattern)
+        narrowed = query.narrowed_by_values(
+            FieldRef(0, "subject", "id"), [5, 7]
+        )
+        assert narrowed.filter.subject_ids == frozenset({5, 7})
+
+    def test_narrow_by_object_ids(self, pattern):
+        query = DataQuery.for_pattern(pattern)
+        narrowed = query.narrowed_by_values(FieldRef(0, "object", "id"), [3])
+        assert narrowed.filter.object_ids == frozenset({3})
+
+    def test_narrow_by_attribute_becomes_in_predicate(self, pattern):
+        query = DataQuery.for_pattern(pattern)
+        narrowed = query.narrowed_by_values(
+            FieldRef(0, "object", "name"), ["/a", "/b"]
+        )
+        assert narrowed.filter.object_pred is not None
+
+    def test_narrow_empty_values_yields_empty_filter(self, pattern):
+        query = DataQuery.for_pattern(pattern)
+        narrowed = query.narrowed_by_values(FieldRef(0, "subject", "id"), [])
+        assert narrowed.filter.subject_ids == frozenset()
+
+    def test_narrow_window(self, pattern):
+        from repro.model.time import TimeWindow
+
+        query = DataQuery.for_pattern(pattern)
+        narrowed = query.narrowed_by_window(TimeWindow(start=100.0))
+        assert narrowed.filter.window.start == 100.0
+
+    def test_original_query_unchanged(self, pattern):
+        query = DataQuery.for_pattern(pattern)
+        query.narrowed_by_values(FieldRef(0, "subject", "id"), [1])
+        assert query.filter.subject_ids is None
+
+
+class TestValuesOf:
+    def test_extracts_distinct(self):
+        reg = EntityRegistry()
+        p = reg.process(1, 1, "bash")
+        f = reg.file(1, "/x")
+        events = [make_event(1, p.id, f.id, 1.0), make_event(2, p.id, f.id, 2.0)]
+        values = values_of(FieldRef(0, "subject", "exe_name"), events, reg.get)
+        assert values == frozenset({"bash"})
+
+
+class TestAttrRelNarrowing:
+    def test_narrows_pending_side(self):
+        reg = EntityRegistry()
+        p = reg.process(1, 1, "bash")
+        f = reg.file(1, "/x")
+        events = [make_event(1, p.id, f.id, 1.0)]
+        rel = ResolvedAttrRel(
+            left=FieldRef(0, "object", "id"),
+            op="=",
+            right=FieldRef(1, "object", "id"),
+        )
+        ref, values = attr_rel_narrowing(rel, 0, events, reg.get)
+        assert ref.pattern == 1
+        assert values == frozenset({f.id})
+
+    def test_non_equality_cannot_narrow(self):
+        rel = ResolvedAttrRel(
+            left=FieldRef(0, "object", "id"),
+            op="!=",
+            right=FieldRef(1, "object", "id"),
+        )
+        assert attr_rel_narrowing(rel, 0, [], lambda i: None) is None
+
+
+class TestTempRelNarrowing:
+    def executed(self, *times):
+        return [make_event(i, 1, 2, t) for i, t in enumerate(times, 1)]
+
+    def test_before_narrows_pending_right(self):
+        rel = ResolvedTempRel(left=0, kind="before", right=1)
+        window = temp_rel_narrowing(rel, 0, self.executed(100.0, 200.0))
+        assert window.start == 100.0 and window.end is None
+
+    def test_before_narrows_pending_left(self):
+        rel = ResolvedTempRel(left=0, kind="before", right=1)
+        window = temp_rel_narrowing(rel, 1, self.executed(100.0, 200.0))
+        assert window.start is None and window.end == 200.0
+
+    def test_after_flips(self):
+        rel = ResolvedTempRel(left=0, kind="after", right=1)
+        window = temp_rel_narrowing(rel, 0, self.executed(100.0))
+        assert window.end == 100.0
+
+    def test_bounds_applied(self):
+        rel = ResolvedTempRel(left=0, kind="before", right=1, low=10.0, high=20.0)
+        window = temp_rel_narrowing(rel, 0, self.executed(100.0))
+        assert window.start == 110.0
+        assert window.end == pytest.approx(120.0, abs=1e-3)
+
+    def test_within_bounded(self):
+        rel = ResolvedTempRel(left=0, kind="within", right=1, low=0.0, high=30.0)
+        window = temp_rel_narrowing(rel, 0, self.executed(100.0))
+        assert window.start == 70.0
+        assert window.end == pytest.approx(130.0, abs=1e-3)
+
+    def test_within_unbounded_is_none(self):
+        rel = ResolvedTempRel(left=0, kind="within", right=1)
+        assert temp_rel_narrowing(rel, 0, self.executed(100.0)) is None
+
+    def test_empty_executed_gives_empty_window(self):
+        rel = ResolvedTempRel(left=0, kind="before", right=1)
+        window = temp_rel_narrowing(rel, 0, [])
+        assert window.is_empty()
+
+    def test_narrowing_is_sound(self):
+        """Every pending event pairable with an executed one stays inside
+        the narrowed window."""
+        rel = ResolvedTempRel(left=0, kind="before", right=1, low=5.0, high=50.0)
+        executed = self.executed(100.0, 140.0)
+        window = temp_rel_narrowing(rel, 0, executed)
+        for pending_t in [106.0, 120.0, 150.0, 189.9]:
+            pending = make_event(99, 1, 2, pending_t)
+            pairable = any(
+                rel.check(e, pending) for e in executed
+            )
+            if pairable:
+                assert window.contains(pending_t)

@@ -1,0 +1,130 @@
+"""Dependency query rewriting tests (paper Sec. 4.2)."""
+
+import pytest
+
+from repro.engine.dependency import compile_dependency, rewrite_dependency
+from repro.engine.executor import MultieventExecutor
+from repro.lang import ast
+from repro.lang.errors import AIQLSemanticError
+from repro.lang.parser import parse
+from tests.conftest import compile_text
+
+FORWARD = """
+(at "01/07/2017")
+forward: proc p1["%/bin/cp%", agentid = 4] ->[write]
+  file f1["/var/www/%info_stealer%"] <-[read] proc p2["%apache%"]
+  ->[connect] proc p3[agentid = 5] ->[write] file f2["%info_stealer%"]
+return f1, p1, p2, p3, f2
+"""
+
+
+class TestRewriting:
+    def test_simple_forward_chain(self):
+        q = parse(
+            '(at "01/07/2017")\n'
+            'forward: proc p1 ->[write] file f1["%x%"] <-[read] proc p2\n'
+            "return p1, f1, p2"
+        )
+        rewritten = rewrite_dependency(q)
+        assert isinstance(rewritten, ast.MultieventQuery)
+        assert len(rewritten.patterns) == 2
+        # f1 shared between patterns -> entity reuse
+        assert (
+            rewritten.patterns[0].object.entity_id
+            == rewritten.patterns[1].object.entity_id
+        )
+        temp = [r for r in rewritten.relationships if isinstance(r, ast.TempRel)]
+        assert len(temp) == 1 and temp[0].kind == "before"
+
+    def test_backward_chain_uses_after(self):
+        q = parse(
+            '(at "01/07/2017")\n'
+            'backward: proc u1["%upd%"] ->[read] file f1 <-[write] proc p1\n'
+            "return u1, f1, p1"
+        )
+        rewritten = rewrite_dependency(q)
+        temp = [r for r in rewritten.relationships if isinstance(r, ast.TempRel)]
+        assert temp[0].kind == "after"
+
+    def test_no_direction_no_temporal(self):
+        q = parse(
+            "proc p1 ->[write] file f1 <-[read] proc p2\nreturn p1, f1, p2"
+        )
+        rewritten = rewrite_dependency(q)
+        temp = [r for r in rewritten.relationships if isinstance(r, ast.TempRel)]
+        assert not temp
+
+    def test_edge_direction_decides_subject(self):
+        q = parse("proc p1 ->[write] file f1 <-[read] proc p2\nreturn p1")
+        rewritten = rewrite_dependency(q)
+        assert rewritten.patterns[0].subject.entity_id == "p1"
+        assert rewritten.patterns[1].subject.entity_id == "p2"
+
+    def test_cross_host_connect_expanded(self):
+        rewritten = rewrite_dependency(parse(FORWARD))
+        # 4 edges, one cross-host -> 5 patterns
+        assert len(rewritten.patterns) == 5
+        ip_patterns = [
+            p for p in rewritten.patterns if p.object.type_name == "ip"
+        ]
+        assert len(ip_patterns) == 2
+        attr_rels = [
+            r for r in rewritten.relationships if isinstance(r, ast.AttrRel)
+        ]
+        attrs = {(r.left_attr, r.right_attr) for r in attr_rels}
+        assert ("dst_ip", "dst_ip") in attrs
+        assert ("dst_port", "dst_port") in attrs
+
+    def test_file_cannot_act(self):
+        q = parse("file f1 ->[read] proc p1\nreturn p1")
+        with pytest.raises(AIQLSemanticError, match="must be a process"):
+            rewrite_dependency(q)
+
+    def test_globals_and_returns_pass_through(self):
+        rewritten = rewrite_dependency(parse(FORWARD))
+        assert any(isinstance(g, ast.TimeWindowSpec) for g in rewritten.globals)
+        assert [i.expr.ref for i in rewritten.returns.items] == [
+            "f1",
+            "p1",
+            "p2",
+            "p3",
+            "f2",
+        ]
+
+
+class TestExecution:
+    def test_forward_tracking_finds_ramification(self, store):
+        """The paper's Query 3 scenario end-to-end."""
+        result = MultieventExecutor(store).run(compile_text(FORWARD))
+        rows = set(result.rows)
+        assert len(rows) >= 1
+        row = next(iter(rows))
+        labels = dict(zip(result.columns, row))
+        assert labels["p1"] == "/bin/cp"
+        assert labels["p2"] == "apache2"
+        assert labels["p3"] == "wget"
+        assert "info_stealer" in labels["f2"]
+
+    def test_dependency_equals_manual_multievent(self, store):
+        """A dependency query and its hand-written multievent equivalent
+        return the same rows."""
+        dep = compile_text(
+            '(at "01/07/2017")\nagentid = 7\n'
+            'forward: proc p1["%chrome.exe"] ->[write] '
+            'file f1["%chrome_update%"] <-[read] proc p2\n'
+            "return p1, f1, p2"
+        )
+        manual = compile_text(
+            '(at "01/07/2017")\nagentid = 7\n'
+            'proc p1["%chrome.exe"] write file f1["%chrome_update%"] as e1\n'
+            "proc p2 read file f1 as e2\n"
+            "with e1 before e2\n"
+            "return p1, f1, p2"
+        )
+        executor = MultieventExecutor(store)
+        assert set(executor.run(dep).rows) == set(executor.run(manual).rows)
+
+    def test_compile_dependency_returns_context(self):
+        ctx = compile_dependency(parse(FORWARD))
+        assert ctx.kind == "multievent"
+        assert len(ctx.patterns) == 5

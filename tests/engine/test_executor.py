@@ -1,0 +1,167 @@
+"""Executor tests: return-clause evaluation on live data."""
+
+import pytest
+
+from repro.engine.executor import MultieventExecutor
+from repro.lang.errors import AIQLSemanticError
+from tests.conftest import compile_text
+
+
+@pytest.fixture(scope="module")
+def executor(enterprise):
+    return MultieventExecutor(enterprise.store("partitioned"))
+
+
+class TestProjection:
+    def test_plain_columns(self, executor):
+        result = executor.run(
+            compile_text(
+                'agentid = 3\n(at "01/05/2017")\n'
+                'proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1\n'
+                "return p1, p2"
+            )
+        )
+        assert result.columns == ("p1", "p2")
+        assert ("cmd.exe", "osql.exe") in set(result.rows)
+
+    def test_entity_attribute_projection(self, executor):
+        result = executor.run(
+            compile_text(
+                'agentid = 3\n(at "01/05/2017")\n'
+                'proc p1["%sbblv.exe"] write ip i1 as e1\n'
+                "return distinct p1.user, i1.dst_port"
+            )
+        )
+        assert result.columns == ("p1.user", "i1.dst_port")
+        assert all(isinstance(r[1], int) for r in result.rows)
+
+    def test_event_attribute_projection(self, executor):
+        result = executor.run(
+            compile_text(
+                'agentid = 3\n(at "01/05/2017")\n'
+                'proc p1["%sbblv.exe"] read file f1["%backup1.dmp"] as e1\n'
+                "return p1, e1.optype, e1.amount"
+            )
+        )
+        assert result.rows[0][1] == "read"
+        assert result.rows[0][2] > 0
+
+    def test_distinct(self, executor):
+        ctx = compile_text(
+            'agentid = 3\n(at "01/05/2017")\n'
+            'proc p1["%sbblv.exe"] write ip i1[dstip = "203.0.113.129"] as e1\n'
+            "return distinct p1, i1"
+        )
+        result = executor.run(ctx)
+        assert len(result) == 1  # many exfil writes, one distinct pair
+
+    def test_count(self, executor):
+        ctx = compile_text(
+            'agentid = 3\n(at "01/05/2017")\n'
+            'proc p1["%sbblv.exe"] write ip i1[dstip = "203.0.113.129"] as e1\n'
+            "return count p1"
+        )
+        result = executor.run(ctx)
+        assert result.columns == ("count",)
+        assert result.rows[0][0] == 24  # 18 beacons + 6 burst writes
+
+    def test_sort_and_top(self, executor):
+        ctx = compile_text(
+            'agentid = 1\n(at "01/05/2017")\n'
+            "proc p1 start proc p2 as e1\n"
+            "return distinct p1, p2\nsort by p2 desc\ntop 3"
+        )
+        result = executor.run(ctx)
+        assert len(result) == 3
+        col = [r[1] for r in result.rows]
+        assert col == sorted(col, reverse=True)
+
+
+class TestAggregation:
+    def test_group_by_count_distinct(self, executor):
+        ctx = compile_text(
+            'agentid = 11\n(at "01/06/2017")\n'
+            "proc p connect ip i\n"
+            "return p, count(distinct i) as freq\ngroup by p\n"
+            "having freq > 20"
+        )
+        result = executor.run(ctx)
+        assert ("nmap", 40) in set(result.rows)
+
+    def test_sum_avg_min_max(self, executor):
+        base = (
+            'agentid = 3\n(at "01/05/2017")\n'
+            'proc p["%sbblv.exe"] write ip i[dstip = "203.0.113.129"] as e\n'
+        )
+        sums = executor.run(compile_text(base + "return p, sum(e.amount) as s\ngroup by p"))
+        avgs = executor.run(compile_text(base + "return p, avg(e.amount) as a\ngroup by p"))
+        mins = executor.run(compile_text(base + "return p, min(e.amount) as lo\ngroup by p"))
+        maxs = executor.run(compile_text(base + "return p, max(e.amount) as hi\ngroup by p"))
+        total = sums.rows[0][1]
+        assert total == 18 * 4096 + 6 * 13107200
+        assert avgs.rows[0][1] == pytest.approx(total / 24)
+        assert mins.rows[0][1] == 4096
+        assert maxs.rows[0][1] == 13107200
+
+    def test_aggregate_without_group_by_uses_plain_items(self, executor):
+        # non-aggregate return items act as implicit group keys
+        ctx = compile_text(
+            'agentid = 3\n(at "01/05/2017")\n'
+            "proc p write ip i\nreturn p, count(i) as n"
+        )
+        result = executor.run(ctx)
+        assert len(result) >= 1
+        labels = dict(zip(result.columns, result.rows[0]))
+        assert labels["n"] >= 1
+
+    def test_having_filters_groups(self, executor):
+        ctx = compile_text(
+            'agentid = 11\n(at "01/06/2017")\n'
+            "proc p connect ip i\n"
+            "return p, count(distinct i) as freq\ngroup by p\n"
+            "having freq > 1000"
+        )
+        assert len(executor.run(ctx)) == 0
+
+
+class TestErrors:
+    def test_anomaly_rejected(self, executor):
+        ctx = compile_text(
+            '(at "01/06/2017")\nwindow = 1 min, step = 10 sec\n'
+            "proc p read file f\nreturn p, count(f) as n\ngroup by p"
+        )
+        with pytest.raises(AIQLSemanticError, match="anomaly"):
+            executor.run(ctx)
+
+
+class TestResultSet:
+    def test_to_text_renders(self, executor):
+        result = executor.run(
+            compile_text(
+                'agentid = 3\n(at "01/05/2017")\n'
+                'proc p1["%cmd.exe"] start proc p2 as e1\nreturn distinct p1, p2'
+            )
+        )
+        text = result.to_text()
+        assert "p1" in text and "cmd.exe" in text
+
+    def test_column_accessor(self, executor):
+        result = executor.run(
+            compile_text(
+                'agentid = 3\n(at "01/05/2017")\n'
+                'proc p1["%cmd.exe"] start proc p2 as e1\nreturn distinct p1, p2'
+            )
+        )
+        assert "osql.exe" in result.column("p2")
+        with pytest.raises(KeyError):
+            result.column("zz")
+
+    def test_dicts(self, executor):
+        result = executor.run(
+            compile_text(
+                'agentid = 3\n(at "01/05/2017")\n'
+                'proc p1["%cmd.exe"] start proc p2["%osql%"] as e1\n'
+                "return distinct p1, p2"
+            )
+        )
+        assert result.dicts()[0] == {"p1": "cmd.exe", "p2": "osql.exe"}

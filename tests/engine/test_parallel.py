@@ -1,0 +1,65 @@
+"""Temporal parallelization tests (paper Sec. 5.2 time window partition)."""
+
+import pytest
+
+from repro.engine.parallel import scan_split, split_window
+from repro.model.time import DAY, HOUR, TimeWindow
+from repro.storage.filters import EventFilter
+from repro.workload.topology import APT_DAY
+
+
+class TestSplitWindow:
+    def test_single_day_not_split(self):
+        w = TimeWindow(start=0.0, end=DAY)
+        assert split_window(w) == [w]
+
+    def test_multi_day_split_on_boundaries(self):
+        w = TimeWindow(start=HOUR, end=2 * DAY + HOUR)
+        pieces = split_window(w)
+        assert len(pieces) == 3
+        assert pieces[0].start == HOUR and pieces[0].end == DAY
+        assert pieces[1].start == DAY and pieces[1].end == 2 * DAY
+        assert pieces[2].start == 2 * DAY and pieces[2].end == 2 * DAY + HOUR
+
+    def test_pieces_cover_exactly(self):
+        w = TimeWindow(start=123.0, end=5 * DAY + 456.0)
+        pieces = split_window(w)
+        assert pieces[0].start == w.start
+        assert pieces[-1].end == w.end
+        for a, b in zip(pieces, pieces[1:]):
+            assert a.end == b.start
+
+    def test_unbounded_window_whole(self):
+        w = TimeWindow(start=100.0)
+        assert split_window(w) == [w]
+
+    def test_custom_granularity(self):
+        w = TimeWindow(start=0.0, end=4 * HOUR)
+        pieces = split_window(w, granularity=HOUR)
+        assert len(pieces) == 4
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            split_window(TimeWindow(start=0.0, end=1.0), granularity=0)
+
+
+class TestScanSplit:
+    def test_equals_plain_scan(self, enterprise):
+        store = enterprise.store("partitioned")
+        flt = EventFilter(
+            agent_ids=frozenset({1, 3}),
+            window=TimeWindow(start=APT_DAY - 2 * DAY, end=APT_DAY + DAY),
+        )
+        assert scan_split(store, flt) == store.scan(flt)
+
+    def test_on_flat_store(self, enterprise):
+        store = enterprise.store("flat")
+        flt = EventFilter(
+            window=TimeWindow(start=APT_DAY - DAY, end=APT_DAY + 2 * DAY),
+        )
+        assert scan_split(store, flt) == store.scan(flt)
+
+    def test_single_piece_delegates(self, enterprise):
+        store = enterprise.store("partitioned")
+        flt = EventFilter(window=TimeWindow(start=APT_DAY, end=APT_DAY + HOUR))
+        assert scan_split(store, flt) == store.scan(flt)

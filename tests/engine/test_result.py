@@ -1,0 +1,92 @@
+"""ResultSet unit tests."""
+
+import pytest
+
+from repro.engine.result import ResultSet
+
+
+@pytest.fixture()
+def rs():
+    return ResultSet(
+        columns=("name", "count"),
+        rows=[("beta", 2), ("alpha", 10), ("alpha", 2), ("gamma", None)],
+    )
+
+
+class TestAccessors:
+    def test_len_bool_iter(self, rs):
+        assert len(rs) == 4
+        assert rs
+        assert not ResultSet(columns=("x",), rows=[])
+        assert list(iter(rs))[0] == ("beta", 2)
+
+    def test_column(self, rs):
+        assert rs.column("name") == ["beta", "alpha", "alpha", "gamma"]
+        with pytest.raises(KeyError):
+            rs.column("missing")
+
+    def test_dicts(self, rs):
+        assert rs.dicts()[0] == {"name": "beta", "count": 2}
+
+
+class TestManipulation:
+    def test_distinct(self):
+        rs = ResultSet(columns=("a",), rows=[(1,), (1,), (2,)])
+        assert rs.distinct().rows == [(1,), (2,)]
+
+    def test_distinct_preserves_first_occurrence_order(self):
+        rs = ResultSet(columns=("a",), rows=[(2,), (1,), (2,)])
+        assert rs.distinct().rows == [(2,), (1,)]
+
+    def test_sorted_by_single(self, rs):
+        out = rs.sorted_by(["name"])
+        assert [r[0] for r in out.rows] == ["alpha", "alpha", "beta", "gamma"]
+
+    def test_sorted_by_descending(self, rs):
+        out = rs.sorted_by(["count"], descending=True)
+        # None sorts first ascending -> last when reversed? _sort_key tags
+        # None lowest, so descending puts it last.
+        assert out.rows[0][1] == 10
+        assert out.rows[-1][1] is None
+
+    def test_sorted_by_multiple(self, rs):
+        out = rs.sorted_by(["name", "count"])
+        assert out.rows[0] == ("alpha", 2)
+        assert out.rows[1] == ("alpha", 10)
+
+    def test_sorted_mixed_types_deterministic(self):
+        rs = ResultSet(columns=("v",), rows=[("b",), (2,), (None,), (1,)])
+        out = rs.sorted_by(["v"])
+        assert out.rows == [(None,), (1,), (2,), ("b",)]
+
+    def test_sorted_unknown_column(self, rs):
+        with pytest.raises(KeyError):
+            rs.sorted_by(["zz"])
+
+    def test_head(self, rs):
+        assert len(rs.head(2)) == 2
+        assert len(rs.head(99)) == 4
+
+    def test_operations_keep_meta(self, rs):
+        rs.meta["k"] = "v"
+        assert rs.distinct().meta == {"k": "v"}
+        assert rs.sorted_by(["name"]).meta == {"k": "v"}
+        assert rs.head(1).meta == {"k": "v"}
+
+
+class TestRendering:
+    def test_to_text_aligned(self, rs):
+        text = rs.to_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "count" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in text
+
+    def test_to_text_none_rendered_empty(self, rs):
+        assert "None" not in rs.to_text()
+
+    def test_to_text_truncation(self):
+        rs = ResultSet(columns=("a",), rows=[(i,) for i in range(100)])
+        text = rs.to_text(max_rows=5)
+        assert "(95 more rows)" in text

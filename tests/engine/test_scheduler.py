@@ -1,0 +1,123 @@
+"""Scheduler tests: Algorithm 1 vs fetch-and-filter equivalence + behavior."""
+
+import pytest
+
+from repro.engine.scheduler import (
+    FetchFilterScheduler,
+    RelationshipScheduler,
+    make_scheduler,
+)
+from repro.workload.corpus import (
+    CASE_STUDY_QUERIES,
+    PERFORMANCE_QUERIES,
+)
+from tests.conftest import compile_text
+
+NON_ANOMALY = [
+    q for q in CASE_STUDY_QUERIES + PERFORMANCE_QUERIES if q.kind != "anomaly"
+]
+
+
+def rows_as_set(tuples):
+    return {tuple(e.event_id for e in row) for row in tuples.rows}
+
+
+class TestEquivalence:
+    """Both strategies must produce identical tuple sets (paper invariant)."""
+
+    @pytest.mark.parametrize("query", NON_ANOMALY, ids=lambda q: q.qid)
+    def test_relationship_equals_fetch_filter(self, store, query):
+        ctx = compile_text(query.text)
+        rel = RelationshipScheduler(store).run(ctx)
+        ff = FetchFilterScheduler(store).run(ctx)
+        assert rel.patterns == ff.patterns
+        assert rows_as_set(rel) == rows_as_set(ff)
+
+
+class TestRelationshipScheduling:
+    def test_higher_score_executes_first(self, store):
+        # pattern 2 has far more constraints than pattern 1
+        ctx = compile_text(
+            'agentid = 3\n(at "01/05/2017")\n'
+            "proc p1 read file f1 as e1\n"
+            'proc p2["%sbblv.exe"] write ip i1[dstip = "203.0.113.129"] as e2\n'
+            "with p1 = p2, e1 before e2\nreturn p1, f1"
+        )
+        scheduler = RelationshipScheduler(store)
+        scheduler.run(ctx)
+        assert scheduler.stats.order[0] == 1  # the constrained pattern first
+
+    def test_constrained_execution_fetches_less(self, store):
+        query = (
+            'agentid = 3\n(at "01/05/2017")\n'
+            "proc p1 read file f1 as e1\n"
+            'proc p2["%sbblv.exe"] write ip i1[dstip = "203.0.113.129"] as e2\n'
+            "with p1 = p2, e1 before e2\nreturn p1, f1"
+        )
+        ctx = compile_text(query)
+        rel = RelationshipScheduler(store)
+        rel.run(ctx)
+        ff = FetchFilterScheduler(store)
+        ff.run(ctx)
+        assert rel.stats.constrained_executions >= 1
+        assert rel.stats.events_fetched < ff.stats.events_fetched
+
+    def test_single_pattern_no_relationships(self, store):
+        ctx = compile_text(
+            'agentid = 3\n(at "01/05/2017")\n'
+            'proc p1 write ip i1[dstip = "203.0.113.129"] as e1\nreturn p1'
+        )
+        scheduler = RelationshipScheduler(store)
+        tuples = scheduler.run(ctx)
+        assert len(tuples) > 0
+        assert scheduler.stats.data_queries_executed == 1
+
+    def test_disconnected_patterns_cross_join(self, store):
+        # two patterns with no relationship: result is the cross product
+        ctx = compile_text(
+            'agentid = 3\n(at "01/05/2017")\n'
+            'proc p1["%osql.exe%"] start proc p2 as e1\n'
+            'proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as e2\n'
+            "return p1, f1"
+        )
+        rel = RelationshipScheduler(store).run(ctx)
+        ff = FetchFilterScheduler(store).run(ctx)
+        assert rows_as_set(rel) == rows_as_set(ff)
+
+    def test_file_relationships_sorted_last(self, store):
+        # relationship between two network/process patterns should be
+        # processed before one touching a file pattern
+        ctx = compile_text(
+            'agentid = 1\n(at "01/05/2017")\n'
+            "proc p1 start proc p2 as e1\n"
+            "proc p2 connect ip i1 as e2\n"
+            "proc p2 read file f1 as e3\n"
+            "with e1 before e2, e2 before e3\nreturn p1, f1"
+        )
+        scheduler = RelationshipScheduler(store)
+        scheduler.run(ctx)
+        # first two executed patterns must be the process/network ones
+        assert set(scheduler.stats.order[:2]) <= {0, 1}
+
+    def test_empty_result_when_no_match(self, store):
+        ctx = compile_text(
+            'agentid = 1\n(at "01/05/2017")\n'
+            'proc p1["%no_such_binary%"] start proc p2 as e1\n'
+            "proc p2 read file f1 as e2\nwith e1 before e2\nreturn p1"
+        )
+        tuples = RelationshipScheduler(store).run(ctx)
+        assert len(tuples) == 0
+
+
+class TestFactory:
+    def test_make_scheduler(self, store):
+        assert isinstance(
+            make_scheduler("relationship", store), RelationshipScheduler
+        )
+        assert isinstance(
+            make_scheduler("fetch_filter", store), FetchFilterScheduler
+        )
+
+    def test_unknown_scheduler(self, store):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("quantum", store)

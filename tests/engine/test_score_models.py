@@ -1,0 +1,72 @@
+"""Tests for the cardinality scoring extension (paper Sec. 7 proposal)."""
+
+import pytest
+
+from repro.engine.scheduler import (
+    FetchFilterScheduler,
+    RelationshipScheduler,
+    make_scheduler,
+)
+from repro.workload.corpus import CASE_STUDY_QUERIES, PERFORMANCE_QUERIES
+from tests.conftest import compile_text
+
+NON_ANOMALY = [
+    q for q in CASE_STUDY_QUERIES + PERFORMANCE_QUERIES if q.kind != "anomaly"
+]
+
+
+def rows_as_set(tuples):
+    return {tuple(e.event_id for e in row) for row in tuples.rows}
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("query", NON_ANOMALY, ids=lambda q: q.qid)
+    def test_cardinality_model_same_results(self, store, query):
+        ctx = compile_text(query.text)
+        default = RelationshipScheduler(store).run(ctx)
+        statistical = RelationshipScheduler(
+            store, score_model="cardinality"
+        ).run(ctx)
+        assert rows_as_set(default) == rows_as_set(statistical)
+
+
+class TestScoring:
+    def test_estimates_reflect_selectivity(self, store):
+        ctx = compile_text(
+            'agentid = 3\n(at "01/05/2017")\n'
+            'proc p1["%sbblv.exe"] read file f1 as e1\n'
+            "proc p2 read file f2 as e2\n"
+            "with f1 = f2\nreturn p1, f1"
+        )
+        scheduler = RelationshipScheduler(store, score_model="cardinality")
+        selective = scheduler._estimated_rows(ctx.patterns[0])
+        unselective = scheduler._estimated_rows(ctx.patterns[1])
+        assert selective < unselective
+
+    def test_unservable_pattern_estimated_at_store_size(self, store):
+        ctx = compile_text("proc p read file f\nreturn p")
+        scheduler = RelationshipScheduler(store, score_model="cardinality")
+        assert scheduler._estimated_rows(ctx.patterns[0]) == len(store)
+
+    def test_d3_fetches_no_more_than_constraint_model(self, store):
+        """The statistical model should fix (or at least not worsen) the
+        d3 misprediction documented in EXPERIMENTS.md."""
+        from repro.workload.corpus import by_id
+
+        ctx = compile_text(by_id("d3").text)
+        default = RelationshipScheduler(store)
+        default.run(ctx)
+        statistical = RelationshipScheduler(store, score_model="cardinality")
+        statistical.run(ctx)
+        assert (
+            statistical.stats.events_fetched <= default.stats.events_fetched
+        )
+
+    def test_invalid_model_rejected(self, store):
+        with pytest.raises(ValueError, match="score model"):
+            RelationshipScheduler(store, score_model="vibes")
+
+    def test_factory_knows_cardinality(self, store):
+        scheduler = make_scheduler("relationship_cardinality", store)
+        assert isinstance(scheduler, RelationshipScheduler)
+        assert scheduler.score_model == "cardinality"

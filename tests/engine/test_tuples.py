@@ -1,0 +1,147 @@
+"""Unit tests for tuple-set joins (Algorithm 1's M-map values)."""
+
+import pytest
+
+from repro.engine.tuples import TupleSet
+from repro.lang.context import FieldRef, ResolvedAttrRel, ResolvedTempRel
+from repro.model.entities import EntityRegistry, EntityType
+from repro.model.events import Operation, SystemEvent
+
+
+def make_event(eid, subject_id, object_id, t, op=Operation.READ,
+               object_type=EntityType.FILE):
+    return SystemEvent(
+        event_id=eid,
+        agent_id=1,
+        seq=eid,
+        start_time=t,
+        end_time=t,
+        operation=op,
+        subject_id=subject_id,
+        object_id=object_id,
+        object_type=object_type,
+    )
+
+
+@pytest.fixture()
+def registry():
+    reg = EntityRegistry()
+    reg.process(1, 10, "bash")  # id 1
+    reg.process(1, 11, "vim")  # id 2
+    reg.file(1, "/a")  # id 3
+    reg.file(1, "/b")  # id 4
+    return reg
+
+
+class TestTupleSetBasics:
+    def test_from_events(self):
+        ts = TupleSet.from_events(0, [make_event(1, 1, 3, 10.0)])
+        assert ts.patterns == (0,)
+        assert len(ts) == 1
+
+    def test_events_of_deduplicates(self, registry):
+        e1 = make_event(1, 1, 3, 10.0)
+        e2 = make_event(2, 1, 4, 20.0)
+        ts = TupleSet(patterns=(0, 1), rows=[(e1, e2), (e1, e2)])
+        assert len(ts.events_of(0)) == 1
+
+    def test_column_of_unknown(self):
+        ts = TupleSet.from_events(0, [])
+        with pytest.raises(KeyError):
+            ts.column_of(5)
+
+
+class TestJoins:
+    def test_hash_join_on_equality(self, registry):
+        # pattern 0 events object -> file; pattern 1 events subject -> proc
+        a1 = make_event(1, 1, 3, 10.0)
+        a2 = make_event(2, 1, 4, 11.0)
+        b1 = make_event(3, 2, 3, 20.0)  # object id 3 matches a1
+        left = TupleSet.from_events(0, [a1, a2])
+        right = TupleSet.from_events(1, [b1])
+        rel = ResolvedAttrRel(
+            left=FieldRef(0, "object", "id"),
+            op="=",
+            right=FieldRef(1, "object", "id"),
+        )
+        joined = left.join(right, [rel], [], registry.get)
+        assert joined.patterns == (0, 1)
+        assert len(joined) == 1
+        assert joined.rows[0] == (a1, b1)
+
+    def test_nested_loop_with_temporal_only(self, registry):
+        a = make_event(1, 1, 3, 10.0)
+        b = make_event(2, 2, 4, 20.0)
+        c = make_event(3, 2, 4, 5.0)
+        rel = ResolvedTempRel(left=0, kind="before", right=1)
+        joined = TupleSet.from_events(0, [a]).join(
+            TupleSet.from_events(1, [b, c]), [], [rel], registry.get
+        )
+        assert len(joined) == 1
+        assert joined.rows[0] == (a, b)
+
+    def test_join_requires_disjoint(self, registry):
+        ts = TupleSet.from_events(0, [make_event(1, 1, 3, 1.0)])
+        with pytest.raises(ValueError):
+            ts.join(ts, [], [], registry.get)
+
+    def test_string_join_keys_case_insensitive(self, registry):
+        reg = EntityRegistry()
+        p1 = reg.process(1, 1, "CMD.EXE")
+        p2 = reg.process(2, 2, "cmd.exe")
+        a = make_event(1, p1.id, p1.id, 1.0, Operation.START, EntityType.PROCESS)
+        b = make_event(2, p2.id, p2.id, 2.0, Operation.START, EntityType.PROCESS)
+        rel = ResolvedAttrRel(
+            left=FieldRef(0, "subject", "exe_name"),
+            op="=",
+            right=FieldRef(1, "subject", "exe_name"),
+        )
+        joined = TupleSet.from_events(0, [a]).join(
+            TupleSet.from_events(1, [b]), [rel], [], reg.get
+        )
+        assert len(joined) == 1
+
+    def test_cross_product(self, registry):
+        a = TupleSet.from_events(0, [make_event(1, 1, 3, 1.0)])
+        b = TupleSet.from_events(
+            1, [make_event(2, 2, 4, 2.0), make_event(3, 2, 4, 3.0)]
+        )
+        assert len(a.cross(b)) == 2
+
+
+class TestFilter:
+    def test_temporal_filter(self, registry):
+        a = make_event(1, 1, 3, 10.0)
+        b = make_event(2, 2, 4, 5.0)
+        ts = TupleSet(patterns=(0, 1), rows=[(a, b)])
+        rel = ResolvedTempRel(left=0, kind="before", right=1)
+        assert len(ts.filter([], [rel], registry.get)) == 0
+        rel = ResolvedTempRel(left=0, kind="after", right=1)
+        assert len(ts.filter([], [rel], registry.get)) == 1
+
+    def test_temporal_bounds(self, registry):
+        a = make_event(1, 1, 3, 0.0)
+        b = make_event(2, 2, 4, 90.0)
+        ts = TupleSet(patterns=(0, 1), rows=[(a, b)])
+        within = ResolvedTempRel(left=0, kind="before", right=1, low=60.0, high=120.0)
+        assert len(ts.filter([], [within], registry.get)) == 1
+        tight = ResolvedTempRel(left=0, kind="before", right=1, low=100.0, high=120.0)
+        assert len(ts.filter([], [tight], registry.get)) == 0
+
+    def test_within_is_symmetric(self, registry):
+        a = make_event(1, 1, 3, 100.0)
+        b = make_event(2, 2, 4, 40.0)
+        ts = TupleSet(patterns=(0, 1), rows=[(a, b)])
+        rel = ResolvedTempRel(left=0, kind="within", right=1, low=0.0, high=70.0)
+        assert len(ts.filter([], [rel], registry.get)) == 1
+
+    def test_attr_filter_inequality(self, registry):
+        a = make_event(1, 1, 3, 10.0)
+        b = make_event(2, 1, 4, 20.0)
+        ts = TupleSet(patterns=(0, 1), rows=[(a, b)])
+        rel = ResolvedAttrRel(
+            left=FieldRef(0, "object", "id"),
+            op="!=",
+            right=FieldRef(1, "object", "id"),
+        )
+        assert len(ts.filter([rel], [], registry.get)) == 1

@@ -1,0 +1,124 @@
+"""End-to-end integration: the full Sec. 6.2 investigation on live data."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import AIQLSystem
+from repro.engine.anomaly import AnomalyExecutor
+from repro.engine.executor import MultieventExecutor
+from repro.workload.corpus import (
+    ALL_QUERIES,
+    C5_ANOMALY,
+    by_id,
+)
+from tests.conftest import compile_text
+
+
+@pytest.fixture(scope="module")
+def executors(enterprise):
+    store = enterprise.store("partitioned")
+    return MultieventExecutor(store), AnomalyExecutor(store)
+
+
+class TestFullCorpusGroundTruth:
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.qid)
+    def test_returns_expected_rows(self, executors, query):
+        multievent, anomaly = executors
+        ctx = compile_text(query.text)
+        result = (anomaly if ctx.kind == "anomaly" else multievent).run(ctx)
+        assert len(result) >= query.min_rows
+
+
+class TestInvestigationNarrative:
+    """The Sec. 6.2.1 walk-through, asserting the attack entities."""
+
+    def test_anomaly_starter_identifies_sbblv(self, executors):
+        _, anomaly = executors
+        result = anomaly.run(compile_text(C5_ANOMALY.text))
+        assert "sbblv.exe" in result.column("p")
+
+    def test_c5_2_reveals_backup_dump(self, executors):
+        multievent, _ = executors
+        result = multievent.run(compile_text(by_id("c5-2").text))
+        assert any("backup1.dmp" in f.lower() for f in result.column("f1"))
+
+    def test_c5_3_reveals_sqlservr_as_creator(self, executors):
+        multievent, _ = executors
+        result = multievent.run(compile_text(by_id("c5-3").text))
+        assert "sqlservr.exe" in result.column("p3")
+
+    def test_c5_7_complete_exfiltration_chain(self, executors):
+        multievent, _ = executors
+        result = multievent.run(compile_text(by_id("c5-7").text))
+        row = dict(zip(result.columns, result.rows[0]))
+        assert row["p1"] == "cmd.exe"
+        assert row["p2"] == "osql.exe"
+        assert row["p3"] == "sqlservr.exe"
+        assert row["p4"] == "sbblv.exe"
+        assert row["i1"] == "203.0.113.129"
+
+    def test_c2_7_complete_infection_chain(self, executors):
+        multievent, _ = executors
+        result = multievent.run(compile_text(by_id("c2-7").text))
+        row = dict(zip(result.columns, result.rows[0]))
+        assert row["p0"] == "outlook.exe"
+        assert row["p1"] == "excel.exe"
+        assert row["p2"] == "payload.exe"
+
+    def test_c4_8_largest_query_exact_chain(self, executors):
+        multievent, _ = executors
+        result = multievent.run(compile_text(by_id("c4-8").text))
+        assert len(result) == 1  # exactly the injected chain, no noise
+        row = dict(zip(result.columns, result.rows[0]))
+        assert row["ps"] == "sqlservr.exe"
+        assert row["p2"] == "sbblv.exe"
+
+
+class TestAIQLSystemFacade:
+    def test_query_via_facade(self, enterprise):
+        system = AIQLSystem(ingestor=enterprise.ingestor)
+        # the facade created a fresh store; replay is unnecessary — attach
+        # happens at construction, so new events would flow in. Here we just
+        # check the pipeline wiring end to end on an empty store.
+        result = system.query("proc p read file f\nreturn count p")
+        assert result.columns == ("count",)
+
+    def test_facade_with_fresh_data(self):
+        from repro.workload.topology import BASE_DAY
+
+        system = AIQLSystem()
+        ing = system.ingestor
+        shell = ing.process(1, 10, "bash")
+        child = ing.process(1, 11, "vim")
+        ing.emit(1, BASE_DAY + 60, "start", shell, child)
+        result = system.query(
+            'agentid = 1\n(at "01/01/2017")\nproc p start proc q\nreturn p, q'
+        )
+        assert ("bash", "vim") in set(result.rows)
+
+    def test_facade_explain(self):
+        system = AIQLSystem()
+        plan = system.explain(
+            'agentid = 1\nproc p["%cmd%"] start proc q\nreturn p'
+        )
+        assert "score=" in plan
+        assert "agents: [1]" in plan
+
+    def test_facade_backends(self):
+        for backend in ("partitioned", "flat", "segmented"):
+            system = AIQLSystem(SystemConfig(backend=backend))
+            assert system.stats()["events"] == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SystemConfig(backend="cloud")
+        with pytest.raises(ValueError):
+            SystemConfig(scheduling="magic")
+
+    def test_facade_dependency_dispatch(self):
+        system = AIQLSystem()
+        ctx = system.compile(
+            "proc p1 ->[write] file f1 <-[read] proc p2\nreturn p1, f1, p2"
+        )
+        assert ctx.kind == "multievent"
+        assert len(ctx.patterns) == 2

@@ -1,0 +1,30 @@
+"""The README quickstart snippet must keep working verbatim."""
+
+from repro import AIQLSystem
+
+
+def test_readme_quickstart():
+    system = AIQLSystem()
+    ing = system.ingestor
+
+    BASE = 1483228800.0  # 2017-01-01 UTC
+    shell = ing.process(1, 100, "bash", user="alice")
+    wget = ing.process(1, 102, "wget", user="alice")
+    dropper = ing.file(1, "/tmp/.dropper", owner="alice")
+    malware = ing.process(1, 103, ".dropper", user="alice")
+    ing.emit(1, BASE + 200, "start", shell, wget)
+    ing.emit(1, BASE + 210, "write", wget, dropper, amount=700000)
+    ing.emit(1, BASE + 240, "start", shell, malware)
+    ing.emit(1, BASE + 250, "read", malware, dropper, amount=700000)
+
+    result = system.query('''
+        agentid = 1
+        (at "01/01/2017")
+        proc p1 write file f1["/tmp/%"] as evt1
+        proc p2 read file f1 as evt2
+        with evt1 before evt2
+        return distinct p1, f1, p2
+    ''')
+    assert result.rows == [("wget", "/tmp/.dropper", ".dropper")]
+    rendered = result.to_text()
+    assert "wget" in rendered and "/tmp/.dropper" in rendered

@@ -1,0 +1,193 @@
+"""Semantic compiler tests: QueryContext construction and validation."""
+
+import pytest
+
+from repro.lang.context import compile_multievent
+from repro.lang.errors import AIQLSemanticError
+from repro.lang.parser import parse
+from repro.model.entities import EntityType
+from repro.model.events import Operation
+from repro.model.time import DAY
+
+
+def compile_text(text):
+    return compile_multievent(parse(text))
+
+
+class TestPatternCompilation:
+    def test_operations_set(self):
+        ctx = compile_text("proc p read || write file f\nreturn p")
+        assert ctx.patterns[0].filter.operations == frozenset(
+            {Operation.READ, Operation.WRITE}
+        )
+
+    def test_negated_operation(self):
+        ctx = compile_text("proc p !read file f\nreturn p")
+        ops = ctx.patterns[0].filter.operations
+        assert Operation.READ not in ops
+        assert Operation.WRITE in ops
+
+    def test_start_on_ip_becomes_connect(self):
+        # paper Query 1: proc p3 start ip ipp[dstport = 4444]
+        ctx = compile_text("proc p start ip i[dstport = 4444]\nreturn p")
+        assert ctx.patterns[0].filter.operations == frozenset(
+            {Operation.CONNECT}
+        )
+
+    def test_illegal_operation_for_object(self):
+        with pytest.raises(AIQLSemanticError, match="invalid for"):
+            compile_text("proc p connect file f\nreturn p")
+
+    def test_contradictory_operation_expression(self):
+        with pytest.raises(AIQLSemanticError, match="no operation"):
+            compile_text("proc p read && write file f\nreturn p")
+
+    def test_subject_must_be_process(self):
+        with pytest.raises(AIQLSemanticError, match="must be processes"):
+            compile_text("file f read file g\nreturn f")
+
+    def test_object_type_recorded(self):
+        ctx = compile_text("proc p connect ip i\nreturn p")
+        assert ctx.patterns[0].object_type is EntityType.NETWORK
+
+    def test_pruning_score_counts_constraints(self):
+        ctx = compile_text(
+            'agentid = 1\n(at "01/01/2017")\n'
+            'proc p["%cmd%"] start proc q["%osql%"]\nreturn p'
+        )
+        # agent + window + ops + object_type + 2 predicates = 6
+        assert ctx.patterns[0].score == 6
+
+    def test_duplicate_event_id_rejected(self):
+        with pytest.raises(AIQLSemanticError, match="two patterns"):
+            compile_text(
+                "proc p read file f as e1\nproc q write file g as e1\nreturn p"
+            )
+
+
+class TestSpatialTemporal:
+    def test_global_agent_extraction(self):
+        ctx = compile_text("agentid = 7\nproc p read file f\nreturn p")
+        assert ctx.agent_ids == frozenset({7})
+        assert ctx.patterns[0].filter.agent_ids == frozenset({7})
+
+    def test_agent_in_list(self):
+        ctx = compile_text("agentid in (1, 2)\nproc p read file f\nreturn p")
+        assert ctx.agent_ids == frozenset({1, 2})
+
+    def test_pattern_level_agent_constraint(self):
+        ctx = compile_text("proc p[agentid = 4] read file f\nreturn p")
+        assert ctx.patterns[0].filter.agent_ids == frozenset({4})
+        assert ctx.agent_ids is None  # not global
+
+    def test_global_and_pattern_agents_intersect(self):
+        ctx = compile_text(
+            "agentid in (3, 4)\nproc p[agentid = 4] read file f\nreturn p"
+        )
+        assert ctx.patterns[0].filter.agent_ids == frozenset({4})
+
+    def test_at_window_covers_day(self):
+        ctx = compile_text('(at "01/05/2017")\nproc p read file f\nreturn p')
+        assert ctx.window.end - ctx.window.start == DAY
+
+    def test_pattern_window_intersects_global(self):
+        ctx = compile_text(
+            '(from "01/01/2017" to "01/10/2017")\n'
+            'proc p read file f (from "01/04/2017" to "01/20/2017")\nreturn p'
+        )
+        flt = ctx.patterns[0].filter
+        assert flt.window.start > ctx.window.start
+        assert flt.window.end == ctx.window.end
+
+
+class TestRelationships:
+    def test_explicit_attr_rel(self):
+        ctx = compile_text(
+            "proc p1 start proc p2 as e1\nproc p3 read file f as e2\n"
+            "with p2 = p3\nreturn p1"
+        )
+        rel = ctx.attr_relationships[0]
+        assert rel.left.attr == "id" and rel.right.attr == "id"
+        assert {rel.left.pattern, rel.right.pattern} == {0, 1}
+
+    def test_entity_reuse_creates_implicit_join(self):
+        ctx = compile_text(
+            "proc p1 write file f1 as e1\nproc p1 read ip i1 as e2\nreturn p1"
+        )
+        assert len(ctx.attr_relationships) == 1
+        rel = ctx.attr_relationships[0]
+        assert rel.left.role == "subject" and rel.right.role == "subject"
+
+    def test_temporal_rel_resolution(self):
+        ctx = compile_text(
+            "proc p1 start proc p2 as e1\nproc p3 read file f as e2\n"
+            "with e1 before e2\nreturn p1"
+        )
+        rel = ctx.temp_relationships[0]
+        assert (rel.left, rel.right, rel.kind) == (0, 1, "before")
+
+    def test_unknown_entity_in_rel(self):
+        with pytest.raises(AIQLSemanticError, match="unknown entity"):
+            compile_text(
+                "proc p1 read file f as e1\nwith p9 = p1\nreturn p1"
+            )
+
+    def test_unknown_event_in_rel(self):
+        with pytest.raises(AIQLSemanticError, match="unknown event"):
+            compile_text(
+                "proc p1 read file f as e1\nwith e1 before e9\nreturn p1"
+            )
+
+    def test_cross_entity_attr_rel(self):
+        ctx = compile_text(
+            "proc p1 connect ip i1 as e1\nproc p2 connect ip i2 as e2\n"
+            "with i1.dst_ip = i2.dst_ip\nreturn p1"
+        )
+        rel = ctx.attr_relationships[0]
+        assert rel.left.attr == "dst_ip"
+
+
+class TestValidation:
+    def test_invalid_entity_attribute(self):
+        with pytest.raises(AIQLSemanticError, match="no attribute"):
+            compile_text('proc p[dstip = "1.2.3.4"] read file f\nreturn p')
+
+    def test_invalid_event_attribute(self):
+        with pytest.raises(AIQLSemanticError, match="no attribute"):
+            compile_text("proc p read file f as e1[color = 3]\nreturn p")
+
+    def test_having_references_validated(self):
+        with pytest.raises(AIQLSemanticError, match="unknown result"):
+            compile_text(
+                "proc p read file f\nreturn p, count(f) as n\n"
+                "group by p\nhaving bogus > 1"
+            )
+
+    def test_sort_references_validated(self):
+        with pytest.raises(AIQLSemanticError, match="unknown result"):
+            compile_text("proc p read file f\nreturn p\nsort by zz")
+
+    def test_history_requires_sliding_window(self):
+        with pytest.raises(AIQLSemanticError, match="sliding window"):
+            compile_text(
+                "proc p read file f\nreturn p, count(f) as n\ngroup by p\n"
+                "having n > n[1]"
+            )
+
+    def test_anomaly_requires_bounded_window(self):
+        with pytest.raises(AIQLSemanticError, match="bounded"):
+            compile_text(
+                "window = 1 min, step = 10 sec\n"
+                "proc p read file f\nreturn p, count(f) as n\ngroup by p"
+            )
+
+    def test_anomaly_kind_detected(self):
+        ctx = compile_text(
+            '(at "01/01/2017")\nwindow = 1 min, step = 10 sec\n'
+            "proc p read file f\nreturn p, count(f) as n\ngroup by p"
+        )
+        assert ctx.kind == "anomaly"
+
+    def test_labels_property(self):
+        ctx = compile_text("proc p read file f\nreturn p, f.owner")
+        assert ctx.labels == ("p", "f.owner")

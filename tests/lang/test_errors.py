@@ -1,0 +1,73 @@
+"""Error-reporting tests (the Fig. 2 'Error Reporting' component)."""
+
+import pytest
+
+from repro.lang.errors import AIQLSemanticError, AIQLSyntaxError
+from repro.lang.parser import parse
+from tests.conftest import compile_text
+
+
+class TestSyntaxErrorRendering:
+    def test_includes_location(self):
+        try:
+            parse("proc p read file f\nreturn p,")
+        except AIQLSyntaxError as exc:
+            assert exc.line == 2
+            assert "line 2" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected error")
+
+    def test_includes_source_line_and_caret(self):
+        try:
+            parse('proc p read file f\nreturn p sort from x')
+        except AIQLSyntaxError as exc:
+            rendered = str(exc)
+            assert "^" in rendered
+        else:  # pragma: no cover
+            pytest.fail("expected error")
+
+    def test_expected_token_named(self):
+        with pytest.raises(AIQLSyntaxError, match="expected"):
+            parse('(at "01/01/2017"\nproc p read file f\nreturn p')
+
+    def test_lexer_errors_positioned(self):
+        try:
+            parse("proc p read file f\n  return p ~")
+        except AIQLSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected error")
+
+
+class TestSemanticErrorHints:
+    def test_invalid_attribute_lists_valid_ones(self):
+        try:
+            compile_text('proc p[dstip = "1.1.1.1"] read file f\nreturn p')
+        except AIQLSemanticError as exc:
+            assert exc.hint is not None
+            assert "exe_name" in exc.hint
+        else:  # pragma: no cover
+            pytest.fail("expected error")
+
+    def test_history_without_window_hint(self):
+        try:
+            compile_text(
+                "proc p read file f\nreturn p, count(f) as n\ngroup by p\n"
+                "having n > n[1]"
+            )
+        except AIQLSemanticError as exc:
+            assert "window" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected error")
+
+    def test_event_attr_suggestion(self):
+        try:
+            compile_text("proc p read file f as e[color = 1]\nreturn p")
+        except AIQLSemanticError as exc:
+            assert "optype" in (exc.hint or "")
+        else:  # pragma: no cover
+            pytest.fail("expected error")
+
+    def test_message_prefix(self):
+        with pytest.raises(AIQLSemanticError, match="^semantic error"):
+            compile_text("file f read file g\nreturn f")

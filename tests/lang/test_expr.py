@@ -1,0 +1,158 @@
+"""Unit tests for the having-clause expression evaluator."""
+
+import pytest
+
+from repro.lang.ast import BinOp, FuncCall, Name, Num
+from repro.lang.errors import AIQLSemanticError
+from repro.lang.expr import (
+    MappingEnv,
+    cma,
+    evaluate,
+    evaluate_bool,
+    ewma,
+    max_history_depth,
+    referenced_names,
+    sma,
+    wma,
+)
+from repro.lang.parser import parse
+
+
+def having_of(expr_text: str):
+    """Parse an expression via a full query's having clause."""
+    q = parse(
+        f"proc p read file f\nreturn p, count(f) as freq\ngroup by p\n"
+        f"having {expr_text}"
+    )
+    return q.filters.having
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        env = MappingEnv({"x": [10.0]})
+        assert evaluate(having_of("x + 2"), env) == 12.0
+        assert evaluate(having_of("x - 2"), env) == 8.0
+        assert evaluate(having_of("x * 2"), env) == 20.0
+        assert evaluate(having_of("x / 2"), env) == 5.0
+
+    def test_precedence(self):
+        env = MappingEnv({"x": [10.0]})
+        assert evaluate(having_of("1 + x * 2"), env) == 21.0
+        assert evaluate(having_of("(1 + x) * 2"), env) == 22.0
+
+    def test_unary_minus(self):
+        env = MappingEnv({"x": [10.0]})
+        assert evaluate(having_of("-x + 1"), env) == -9.0
+
+    def test_division_by_zero_is_zero(self):
+        env = MappingEnv({"x": [10.0], "y": [0.0]})
+        assert evaluate(having_of("x / y"), env) == 0.0
+
+    def test_comparisons(self):
+        env = MappingEnv({"x": [10.0]})
+        assert evaluate_bool(having_of("x > 5"), env)
+        assert not evaluate_bool(having_of("x < 5"), env)
+        assert evaluate_bool(having_of("x >= 10"), env)
+        assert evaluate_bool(having_of("x <= 10"), env)
+        assert evaluate_bool(having_of("x = 10"), env)
+        assert evaluate_bool(having_of("x != 5"), env)
+
+    def test_boolean_connectives(self):
+        env = MappingEnv({"x": [10.0]})
+        assert evaluate_bool(having_of("x > 5 && x < 20"), env)
+        assert evaluate_bool(having_of("x > 50 || x < 20"), env)
+        assert not evaluate_bool(having_of("x > 50 && x < 20"), env)
+
+
+class TestHistoryStates:
+    def test_history_indexing(self):
+        env = MappingEnv({"freq": [1.0, 2.0, 3.0]})  # oldest -> newest
+        assert evaluate(Name("freq", 0), env) == 3.0
+        assert evaluate(Name("freq", 1), env) == 2.0
+        assert evaluate(Name("freq", 2), env) == 1.0
+
+    def test_insufficient_history_raises(self):
+        env = MappingEnv({"freq": [1.0]})
+        with pytest.raises(AIQLSemanticError, match="history"):
+            evaluate(Name("freq", 2), env)
+
+    def test_unknown_name(self):
+        env = MappingEnv({})
+        with pytest.raises(AIQLSemanticError, match="unknown result"):
+            evaluate(Name("nope"), env)
+
+    def test_paper_sma3_expression(self):
+        # Query 4: freq > 2 * (freq + freq[1] + freq[2]) / 3
+        expr = having_of("freq > 2 * (freq + freq[1] + freq[2]) / 3")
+        flat = MappingEnv({"freq": [10.0, 10.0, 10.0]})
+        spike = MappingEnv({"freq": [10.0, 10.0, 100.0]})
+        assert not evaluate_bool(expr, flat)
+        assert evaluate_bool(expr, spike)
+
+    def test_max_history_depth(self):
+        expr = having_of("freq > 2 * (freq + freq[1] + freq[2]) / 3")
+        assert max_history_depth(expr) == 2
+        assert max_history_depth(Num(1.0)) == 0
+
+    def test_referenced_names(self):
+        expr = having_of("freq > amt + freq[1]")
+        assert referenced_names(expr) == ["freq", "amt"]
+
+
+class TestMovingAverages:
+    def test_sma(self):
+        assert sma([1.0, 2.0, 3.0, 4.0], 2) == 3.5
+        assert sma([1.0], 5) == 1.0  # shorter series than window
+        assert sma([], 3) == 0.0
+
+    def test_sma_invalid_window(self):
+        with pytest.raises(AIQLSemanticError):
+            sma([1.0], 0)
+
+    def test_cma(self):
+        assert cma([1.0, 2.0, 3.0]) == 2.0
+        assert cma([]) == 0.0
+
+    def test_wma_linear_weights(self):
+        # weights 1,2,3 over last 3: (1*1 + 2*2 + 3*3)/6
+        assert wma([1.0, 2.0, 3.0], 3) == pytest.approx(14.0 / 6.0)
+
+    def test_ewma_heavy_history(self):
+        # alpha=0.9 keeps the baseline close to history despite a spike
+        series = [10.0] * 10 + [100.0]
+        assert ewma(series, 0.9) < 30.0
+
+    def test_ewma_bounds(self):
+        with pytest.raises(AIQLSemanticError):
+            ewma([1.0], 1.5)
+
+    def test_ewma_single_value(self):
+        assert ewma([7.0], 0.9) == 7.0
+
+    def test_function_call_evaluation(self):
+        env = MappingEnv({"freq": [10.0, 10.0, 100.0]})
+        expr = having_of("(freq - EWMA(freq, 0.9)) / EWMA(freq, 0.9) > 0.2")
+        assert evaluate_bool(expr, env)
+
+    def test_sma_via_funccall(self):
+        env = MappingEnv({"freq": [2.0, 4.0]})
+        assert evaluate(FuncCall("sma", (Name("freq"), Num(2.0))), env) == 3.0
+
+    def test_abs(self):
+        env = MappingEnv({"x": [-5.0]})
+        assert evaluate(FuncCall("abs", (Name("x"),)), env) == 5.0
+
+    def test_unknown_function(self):
+        env = MappingEnv({"x": [1.0]})
+        with pytest.raises(AIQLSemanticError, match="unknown function"):
+            evaluate(FuncCall("median", (Name("x"),)), env)
+
+    def test_wrong_arity(self):
+        env = MappingEnv({"x": [1.0]})
+        with pytest.raises(AIQLSemanticError, match="argument"):
+            evaluate(FuncCall("ewma", (Name("x"),)), env)
+
+    def test_series_arg_must_be_plain_name(self):
+        env = MappingEnv({"x": [1.0]})
+        with pytest.raises(AIQLSemanticError, match="plain result name"):
+            evaluate(FuncCall("ewma", (Num(1.0), Num(0.9))), env)

@@ -1,0 +1,74 @@
+"""Language-level tests for the registry/pipe extension types."""
+
+import pytest
+
+from repro.lang.context import compile_multievent
+from repro.lang.errors import AIQLSemanticError
+from repro.lang.formatter import format_query
+from repro.lang.parser import parse
+from repro.model.entities import EntityType
+from repro.model.events import Operation
+
+
+class TestParsing:
+    def test_registry_pattern(self):
+        q = parse('proc p write reg r["HKCU%Run"]\nreturn p, r')
+        assert q.patterns[0].object.type_name == "reg"
+
+    def test_registry_long_keyword(self):
+        q = parse('proc p write registry r["HKCU%"]\nreturn p')
+        assert q.patterns[0].object.type_name == "registry"
+
+    def test_pipe_pattern_with_attr(self):
+        q = parse('proc p read pipe q1[name = "/run/x"]\nreturn p, q1.mode')
+        assert q.patterns[0].object.type_name == "pipe"
+
+
+class TestCompilation:
+    def test_registry_default_attribute(self):
+        ctx = compile_multievent(parse('proc p write reg["%Run"]\nreturn p'))
+        flt = ctx.patterns[0].filter
+        assert flt.object_type is EntityType.REGISTRY
+        leaves = flt.object_pred.leaves()
+        assert leaves[0].attr == "key"
+
+    def test_pipe_operations_validated(self):
+        with pytest.raises(AIQLSemanticError, match="invalid for"):
+            compile_multievent(parse("proc p connect pipe q\nreturn p"))
+
+    def test_registry_delete_allowed(self):
+        ctx = compile_multievent(parse("proc p delete reg r\nreturn p"))
+        assert ctx.patterns[0].filter.operations == frozenset(
+            {Operation.DELETE}
+        )
+
+    def test_value_name_attribute(self):
+        ctx = compile_multievent(
+            parse('proc p write reg r[value_name = "evil"]\nreturn p, r')
+        )
+        leaves = ctx.patterns[0].filter.object_pred.leaves()
+        assert leaves[0].attr == "value_name"
+
+    def test_invalid_registry_attribute(self):
+        with pytest.raises(AIQLSemanticError, match="no attribute"):
+            compile_multievent(
+                parse('proc p write reg r[dst_ip = "x"]\nreturn p')
+            )
+
+
+class TestFormatterRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'proc p write reg r["HKCU%Run"] as e1\nreturn p, r',
+            'proc p read pipe q1[name = "/run/x"] as e1\nreturn p, q1.mode',
+            'agentid = 1\nproc p["%evil%"] write reg r1["%Run"] as e1\n'
+            "proc p start proc c as e2\nwith e1 before e2\nreturn p, r1, c",
+        ],
+    )
+    def test_round_trip(self, text):
+        first = parse(text)
+        formatted = format_query(first)
+        second = parse(formatted)
+        assert len(first.patterns) == len(second.patterns)
+        assert format_query(second) == formatted

@@ -1,0 +1,63 @@
+"""Round-trip tests: parse -> format -> parse is structurally stable."""
+
+import pytest
+
+from repro.lang.formatter import format_query
+from repro.lang.parser import parse
+from repro.workload.corpus import ALL_QUERIES
+
+
+def normalize(tree):
+    """Re-parse the formatted text; compare pattern/relationship shapes."""
+    return tree
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.qid)
+    def test_corpus_round_trips(self, query):
+        first = parse(query.text)
+        formatted = format_query(first)
+        second = parse(formatted)
+        assert type(first) is type(second)
+        if hasattr(first, "patterns"):
+            assert len(first.patterns) == len(second.patterns)
+            assert len(first.relationships) == len(second.relationships)
+            for a, b in zip(first.patterns, second.patterns):
+                assert a.subject.type_name == b.subject.type_name
+                assert a.object.type_name == b.object.type_name
+                assert a.event_id == b.event_id
+        else:
+            assert len(first.nodes) == len(second.nodes)
+            assert [e.direction for e in first.edges] == [
+                e.direction for e in second.edges
+            ]
+        assert len(first.returns.items) == len(second.returns.items)
+        assert first.returns.count == second.returns.count
+        assert first.returns.distinct == second.returns.distinct
+
+    def test_second_format_is_fixpoint(self):
+        from repro.workload.corpus import by_id
+
+        text = by_id("c4-8").text
+        once = format_query(parse(text))
+        twice = format_query(parse(once))
+        assert once == twice
+
+    def test_formats_temporal_bounds(self):
+        q = parse(
+            "proc p1 start proc p2 as e1\nproc p3 start proc p4 as e2\n"
+            "with e1 before[60-120 sec] e2\nreturn p1"
+        )
+        text = format_query(q)
+        assert "before[60-120 sec]" in text
+        again = parse(text)
+        assert again.relationships[0].low == 60.0
+        assert again.relationships[0].high == 120.0
+
+    def test_formats_sliding_window(self):
+        q = parse(
+            '(at "01/01/2017")\nwindow = 1 min, step = 10 sec\n'
+            "proc p read ip i\nreturn p, count(distinct i) as freq\ngroup by p"
+        )
+        text = format_query(q)
+        assert "window = 1 min" in text and "step = 10 sec" in text

@@ -1,0 +1,107 @@
+"""Tests for context-aware syntax shortcuts (paper Sec. 4.1)."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import AIQLSemanticError
+from repro.lang.inference import entity_occurrences, infer_multievent
+from repro.lang.parser import parse
+
+
+def infer(text):
+    return infer_multievent(parse(text))
+
+
+class TestAttributeInference:
+    def test_bare_file_value_gets_name(self):
+        q = infer('proc p read file[".viminfo"]\nreturn p')
+        leaf = q.patterns[0].object.constraints
+        assert leaf.comparison.attr == "name"
+
+    def test_bare_proc_value_gets_exe_name(self):
+        q = infer('proc p["%apache%"] read file f\nreturn p')
+        leaf = q.patterns[0].subject.constraints
+        assert leaf.comparison.attr == "exe_name"
+
+    def test_bare_ip_value_gets_dst_ip(self):
+        q = infer('proc p connect ip i["1.2.3.4"]\nreturn p')
+        leaf = q.patterns[0].object.constraints
+        assert leaf.comparison.attr == "dst_ip"
+
+    def test_inference_descends_into_or(self):
+        q = infer('proc p read file[".viminfo" || ".bash_history"]\nreturn p')
+        node = q.patterns[0].object.constraints
+        assert node.left.comparison.attr == "name"
+        assert node.right.comparison.attr == "name"
+
+    def test_bare_event_constraint_rejected(self):
+        with pytest.raises(AIQLSemanticError, match="default attribute"):
+            infer('proc p read file f as e1["oops"]\nreturn p')
+
+    def test_return_items_get_default_attr(self):
+        q = infer("proc p read file f\nreturn p, f")
+        assert q.returns.items[0].expr.attr == "exe_name"
+        assert q.returns.items[1].expr.attr == "name"
+
+    def test_return_label_stays_short(self):
+        q = infer("proc p read file f\nreturn p, f")
+        assert [i.rename for i in q.returns.items] == ["p", "f"]
+
+    def test_explicit_attr_label_preserved(self):
+        q = infer("proc p read file f as e1\nreturn p.user, e1.optype")
+        assert [i.rename for i in q.returns.items] == ["p.user", "e1.optype"]
+
+    def test_agg_label(self):
+        q = infer("proc p read ip i\nreturn p, count(distinct i) as freq\ngroup by p")
+        assert q.returns.items[1].rename == "freq"
+
+    def test_group_by_inference(self):
+        q = infer("proc p read ip i\nreturn p, count(i) as c\ngroup by p")
+        assert q.filters.group_by[0].attr == "exe_name"
+
+    def test_event_return_requires_attr(self):
+        with pytest.raises(AIQLSemanticError, match="default attribute"):
+            infer("proc p read file f as e1\nreturn e1")
+
+    def test_attr_rel_defaults_to_id(self):
+        q = infer(
+            "proc p1 start proc p2 as e1\nproc p3 read file f as e2\n"
+            "with p2 = p3\nreturn p1"
+        )
+        rel = q.relationships[0]
+        assert (rel.left_attr, rel.right_attr) == ("id", "id")
+
+
+class TestOptionalIds:
+    def test_missing_ids_filled(self):
+        q = infer('proc p read file[".viminfo"]\nreturn p')
+        assert q.patterns[0].object.entity_id is not None
+        assert q.patterns[0].event_id is not None
+
+    def test_fresh_names_do_not_collide(self):
+        q = infer("proc _e1 read file f\nreturn _e1")
+        names = {
+            q.patterns[0].subject.entity_id,
+            q.patterns[0].object.entity_id,
+        }
+        assert len(names) == 2
+
+
+class TestEntityReuse:
+    def test_occurrences_map(self):
+        q = infer(
+            "proc p1 write file f1 as e1\nproc p1 read ip i1 as e2\nreturn p1"
+        )
+        occ = entity_occurrences(q)
+        assert occ["p1"] == [(0, "subject"), (1, "subject")]
+
+    def test_conflicting_type_reuse_rejected(self):
+        with pytest.raises(AIQLSemanticError, match="conflicting types"):
+            infer("proc x read file f\nproc p write file x\nreturn p")
+
+    def test_reuse_as_subject_and_object(self):
+        q = infer(
+            "proc p1 start proc p2 as e1\nproc p2 read file f as e2\nreturn p2"
+        )
+        occ = entity_occurrences(q)
+        assert occ["p2"] == [(0, "object"), (1, "subject")]

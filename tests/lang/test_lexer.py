@@ -1,0 +1,131 @@
+"""Unit tests for the AIQL lexer."""
+
+import pytest
+
+from repro.lang.errors import AIQLSyntaxError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+
+
+def types(source):
+    return [t.type for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_numbers(self):
+        tokens = tokenize("proc p1 4444 1.5")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.IDENT,
+            TokenType.IDENT,
+            TokenType.NUMBER,
+            TokenType.NUMBER,
+        ]
+        assert tokens[2].value == 4444
+        assert tokens[3].value == 1.5
+
+    def test_strings_double_and_single(self):
+        tokens = tokenize("\"%telnet%\" '.viminfo'")
+        assert tokens[0].value == "%telnet%"
+        assert tokens[1].value == ".viminfo"
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].value == 'a"b'
+
+    def test_two_char_operators(self):
+        assert types("&& || != <= >= -> <-") == [
+            TokenType.AND,
+            TokenType.OR,
+            TokenType.NEQ,
+            TokenType.LTE,
+            TokenType.GTE,
+            TokenType.ARROW,
+            TokenType.BACKARROW,
+        ]
+
+    def test_single_char_operators(self):
+        assert types("= < > ! ( ) [ ] , . : + - * /") == [
+            TokenType.EQ,
+            TokenType.LT,
+            TokenType.GT,
+            TokenType.BANG,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.COLON,
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+        ]
+
+    def test_identifier_with_underscores_digits(self):
+        assert texts("exe_name evt1 _tmp") == ["exe_name", "evt1", "_tmp"]
+
+
+class TestCommentsAndLayout:
+    def test_line_comments_skipped(self):
+        tokens = tokenize("agentid = 1 // host id\nproc p")
+        assert texts("agentid = 1 // host id\nproc p") == [
+            "agentid",
+            "=",
+            "1",
+            "proc",
+            "p",
+        ]
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_comment_does_not_eat_division(self):
+        assert types("4 / 2") == [
+            TokenType.NUMBER,
+            TokenType.SLASH,
+            TokenType.NUMBER,
+        ]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(AIQLSyntaxError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_string_with_newline(self):
+        with pytest.raises(AIQLSyntaxError):
+            tokenize('"ab\ncd"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(AIQLSyntaxError, match="unexpected character"):
+            tokenize("a # b")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("abc\n  @")
+        except AIQLSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected error")
+
+
+class TestNumberEdgeCases:
+    def test_float_vs_attribute_access(self):
+        # '1.5' is a float but 'freq[1]' style int stays int
+        tokens = tokenize("0.9 2")
+        assert tokens[0].value == 0.9
+        assert tokens[1].value == 2
+
+    def test_number_followed_by_dot_ident(self):
+        # must not absorb the dot of e.g. '1.foo' (pathological but safe)
+        tokens = tokenize("1.foo")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[1].type is TokenType.DOT

@@ -1,0 +1,236 @@
+"""Parser tests: every query in the paper parses to the expected structure."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import AIQLSyntaxError
+from repro.lang.parser import parse, parse_many
+
+QUERY_1 = """
+agentid = 1 // host id; spatial constraints
+(at "01/01/2017") // temporal constraints
+proc p1 start proc p2["%telnet%"] as evt1
+proc p3 start ip ipp[dstport = 4444] as evt2
+proc p4["%apache%"] read file f1["/var/www%"] as evt3
+with p2 = p3, // attribute relationship
+evt1 before evt2, evt3 after evt2 // temporal relationships
+return p1, p2, p4, f1
+"""
+
+QUERY_2 = """
+agentid = 1
+(at "01/01/2017")
+proc p2 start proc p1 as evt1
+proc p3 read file[".viminfo" || ".bash_history"] as evt2
+with p1 = p3, evt1 before evt2
+return p2, p1
+sort by p2, p1
+"""
+
+QUERY_3 = """
+(at "01/01/2017")
+forward: proc p1["%/bin/cp%", agentid = 2] ->[write] file f1["/var/www/%info_stealer%"]
+<-[read] proc p2["%apache%"]
+->[connect] proc p3[agentid=3]
+->[write] file f2["%info_stealer%"]
+return f1, p1, p2, p3, f2
+"""
+
+QUERY_4 = """
+(at "01/01/2017")
+window = 1 min
+step = 10 sec
+proc p read ip ipp
+return p, count(distinct ipp) as freq
+group by p
+having freq > 2 * (freq + freq[1] + freq[2]) / 3
+"""
+
+
+class TestPaperQueries:
+    def test_query1_structure(self):
+        q = parse(QUERY_1)
+        assert isinstance(q, ast.MultieventQuery)
+        assert len(q.patterns) == 3
+        assert len(q.relationships) == 3
+        assert isinstance(q.relationships[0], ast.AttrRel)
+        assert isinstance(q.relationships[1], ast.TempRel)
+        assert q.relationships[2].kind == "after"
+        assert [i.expr.ref for i in q.returns.items] == ["p1", "p2", "p4", "f1"]
+
+    def test_query1_globals(self):
+        q = parse(QUERY_1)
+        kinds = [type(g).__name__ for g in q.globals]
+        assert kinds == ["GlobalConstraint", "TimeWindowSpec"]
+
+    def test_query2_bare_values_and_sort(self):
+        q = parse(QUERY_2)
+        obj = q.patterns[1].object
+        assert obj.entity_id is None
+        assert isinstance(obj.constraints, ast.CstrOr)
+        assert q.filters.sort.attrs == ("p2", "p1")
+
+    def test_query3_dependency(self):
+        q = parse(QUERY_3)
+        assert isinstance(q, ast.DependencyQuery)
+        assert q.direction == "forward"
+        assert len(q.nodes) == 5
+        assert [e.direction for e in q.edges] == ["->", "<-", "->", "->"]
+        # comma inside brackets means AND
+        assert isinstance(q.nodes[0].constraints, ast.CstrAnd)
+
+    def test_query4_anomaly(self):
+        q = parse(QUERY_4)
+        assert q.is_anomaly
+        assert q.sliding_window.window_seconds == 60.0
+        assert q.sliding_window.step_seconds == 10.0
+        agg = q.returns.items[1].expr
+        assert isinstance(agg, ast.ResAgg)
+        assert agg.func == "count" and agg.distinct
+        assert q.returns.items[1].rename == "freq"
+        assert q.filters.having is not None
+
+    def test_query4_history_expression(self):
+        q = parse(QUERY_4)
+        having = q.filters.having
+        assert isinstance(having, ast.BinOp) and having.op == ">"
+        names = []
+
+        def walk(n):
+            if isinstance(n, ast.Name):
+                names.append((n.name, n.history))
+            elif isinstance(n, ast.BinOp):
+                walk(n.left)
+                walk(n.right)
+
+        walk(having)
+        assert ("freq", 1) in names and ("freq", 2) in names
+
+
+class TestGrammarFeatures:
+    def test_window_and_step_on_one_line(self):
+        q = parse(
+            'window = 1 min, step = 10 sec\n(at "01/01/2017")\n'
+            "proc p read ip i\nreturn p, count(i) as c\ngroup by p"
+        )
+        assert q.sliding_window is not None
+
+    def test_window_without_step_rejected(self):
+        with pytest.raises(AIQLSyntaxError, match="both"):
+            parse("window = 1 min\nproc p read file f\nreturn p")
+
+    def test_temporal_bounds(self):
+        q = parse(
+            "proc p1 start proc p2 as e1\nproc p3 start proc p4 as e2\n"
+            "with e1 before[1-2 min] e2\nreturn p1"
+        )
+        rel = q.relationships[0]
+        assert (rel.low, rel.high) == (60.0, 120.0)
+
+    def test_temporal_bounds_reversed_rejected(self):
+        with pytest.raises(AIQLSyntaxError, match="low bound"):
+            parse(
+                "proc p1 start proc p2 as e1\nproc p3 start proc p4 as e2\n"
+                "with e1 before[5-2 min] e2\nreturn p1"
+            )
+
+    def test_within_relationship(self):
+        q = parse(
+            "proc p1 start proc p2 as e1\nproc p3 start proc p4 as e2\n"
+            "with e1 within[0-30 sec] e2\nreturn p1"
+        )
+        assert q.relationships[0].kind == "within"
+
+    def test_in_and_not_in_constraints(self):
+        q = parse('proc p[pid in (1, 2, 3)] read file f[name not in ("/a")]\nreturn p')
+        subj = q.patterns[0].subject.constraints
+        assert subj.comparison.op == "in"
+        assert subj.comparison.value == (1, 2, 3)
+        obj = q.patterns[0].object.constraints
+        assert obj.comparison.op == "not in"
+
+    def test_negated_constraint(self):
+        q = parse('proc p[!"%svchost%"] read file f\nreturn p')
+        assert isinstance(q.patterns[0].subject.constraints, ast.CstrNot)
+
+    def test_op_expressions(self):
+        q = parse("proc p read || write file f\nreturn p")
+        assert isinstance(q.patterns[0].operation, ast.OpOr)
+        q = parse("proc p !read file f\nreturn p")
+        assert isinstance(q.patterns[0].operation, ast.OpNot)
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(AIQLSyntaxError, match="unknown operation"):
+            parse("proc p teleport file f\nreturn p")
+
+    def test_unknown_entity_type_rejected(self):
+        with pytest.raises(AIQLSyntaxError, match="expected an event pattern"):
+            parse("socket s read file f\nreturn s")
+
+    def test_unknown_object_entity_type_rejected(self):
+        with pytest.raises(AIQLSyntaxError, match="unknown entity type"):
+            parse("proc p read socket s\nreturn p")
+
+    def test_event_constraints(self):
+        q = parse("proc p write ip i as e1[amount > 1000]\nreturn p")
+        assert q.patterns[0].event_constraints is not None
+
+    def test_per_pattern_time_window(self):
+        q = parse(
+            'proc p read file f as e1 (from "01/01/2017" to "01/02/2017")\nreturn p'
+        )
+        assert q.patterns[0].window.kind == "range"
+
+    def test_return_count_distinct(self):
+        q = parse("proc p read file f\nreturn count distinct p")
+        assert q.returns.count and q.returns.distinct
+
+    def test_return_count_function_not_flag(self):
+        q = parse("proc p read file f\nreturn count(p) as n")
+        assert not q.returns.count
+        assert isinstance(q.returns.items[0].expr, ast.ResAgg)
+
+    def test_top_and_sort_desc(self):
+        q = parse(
+            "proc p read file f\nreturn p, count(f) as n\n"
+            "group by p\nsort by n desc\ntop 5"
+        )
+        assert q.filters.top == 5
+        assert q.filters.sort.descending
+
+    def test_event_attr_in_return(self):
+        q = parse("proc p read file f as e1\nreturn p, e1.optype, e1.amount")
+        assert q.returns.items[1].expr.attr == "optype"
+
+    def test_from_to_global_window(self):
+        q = parse(
+            '(from "01/01/2017" to "01/03/2017")\nproc p read file f\nreturn p'
+        )
+        spec = q.globals[0]
+        assert spec.kind == "range" and spec.end_text == "01/03/2017"
+
+    def test_agentid_in_list_global(self):
+        q = parse("agentid in (1, 2)\nproc p read file f\nreturn p")
+        assert q.globals[0].comparison.value == (1, 2)
+
+    def test_dependency_requires_edge(self):
+        with pytest.raises(AIQLSyntaxError):
+            parse("forward: proc p1 return p1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(AIQLSyntaxError, match="end of query"):
+            parse("proc p read file f\nreturn p extra")
+
+    def test_parse_many(self):
+        queries = parse_many(
+            "proc p read file f\nreturn p ; proc q write file g\nreturn q"
+        )
+        assert len(queries) == 2
+
+    def test_error_message_includes_caret(self):
+        try:
+            parse("proc p read file f\nreturn")
+        except AIQLSyntaxError as exc:
+            assert "expected" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected error")

@@ -1,0 +1,162 @@
+"""Unit tests for repro.model.entities (paper Table 1)."""
+
+import pytest
+
+from repro.model.entities import (
+    ATTRIBUTES_BY_TYPE,
+    EntityRegistry,
+    EntityType,
+    default_attribute,
+    is_valid_attribute,
+    normalize_attribute,
+)
+
+
+class TestEntityType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("proc", EntityType.PROCESS),
+            ("process", EntityType.PROCESS),
+            ("FILE", EntityType.FILE),
+            ("ip", EntityType.NETWORK),
+            ("conn", EntityType.NETWORK),
+        ],
+    )
+    def test_parse_aliases(self, text, expected):
+        assert EntityType.parse(text) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            EntityType.parse("socket")
+
+    def test_extension_types_parse(self):
+        assert EntityType.parse("registry") is EntityType.REGISTRY
+        assert EntityType.parse("pipe") is EntityType.PIPE
+
+
+class TestAttributeSchema:
+    def test_table1_file_attributes(self):
+        # Table 1: Name, Owner/Group, VolID, DataID
+        for attr in ("name", "owner", "group", "vol_id", "data_id"):
+            assert attr in ATTRIBUTES_BY_TYPE[EntityType.FILE]
+
+    def test_table1_process_attributes(self):
+        # Table 1: PID, Name, User, Cmd, Binary Signature
+        for attr in ("pid", "exe_name", "user", "cmd", "signature"):
+            assert attr in ATTRIBUTES_BY_TYPE[EntityType.PROCESS]
+
+    def test_table1_network_attributes(self):
+        # Table 1: IP, Port, Protocol
+        for attr in ("src_ip", "src_port", "dst_ip", "dst_port", "protocol"):
+            assert attr in ATTRIBUTES_BY_TYPE[EntityType.NETWORK]
+
+    def test_agent_id_on_every_type(self):
+        for etype in EntityType:
+            assert "agent_id" in ATTRIBUTES_BY_TYPE[etype]
+
+    def test_default_attributes(self):
+        assert default_attribute(EntityType.FILE) == "name"
+        assert default_attribute(EntityType.PROCESS) == "exe_name"
+        assert default_attribute(EntityType.NETWORK) == "dst_ip"
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("dstip", "dst_ip"),
+            ("dstport", "dst_port"),
+            ("srcip", "src_ip"),
+            ("agentid", "agent_id"),
+            ("exename", "exe_name"),
+            ("DSTIP", "dst_ip"),
+        ],
+    )
+    def test_alias_normalization(self, alias, canonical):
+        assert normalize_attribute(None, alias) == canonical
+
+    def test_is_valid_attribute(self):
+        assert is_valid_attribute(EntityType.NETWORK, "dstport")
+        assert not is_valid_attribute(EntityType.FILE, "dstport")
+
+
+class TestEntityRegistry:
+    def test_ids_unique_and_increasing(self):
+        reg = EntityRegistry()
+        a = reg.file(1, "/a")
+        b = reg.process(1, 2, "bash")
+        c = reg.connection(1, "10.0.0.1", 1, "10.0.0.2", 2)
+        assert len({a.id, b.id, c.id}) == 3
+
+    def test_file_dedup(self):
+        reg = EntityRegistry()
+        a = reg.file(1, "/etc/passwd")
+        b = reg.file(1, "/etc/passwd")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_file_differs_per_agent(self):
+        reg = EntityRegistry()
+        assert reg.file(1, "/etc/passwd").id != reg.file(2, "/etc/passwd").id
+
+    def test_process_dedup_by_pid_and_generation(self):
+        reg = EntityRegistry()
+        a = reg.process(1, 100, "bash")
+        b = reg.process(1, 100, "bash")
+        c = reg.process(1, 100, "bash", generation=1)
+        assert a is b
+        assert a.id != c.id
+
+    def test_connection_dedup_by_five_tuple(self):
+        reg = EntityRegistry()
+        a = reg.connection(1, "10.0.0.1", 5000, "1.2.3.4", 443)
+        b = reg.connection(1, "10.0.0.1", 5000, "1.2.3.4", 443)
+        c = reg.connection(1, "10.0.0.1", 5001, "1.2.3.4", 443)
+        assert a is b
+        assert a.id != c.id
+
+    def test_get_and_maybe_get(self):
+        reg = EntityRegistry()
+        a = reg.file(1, "/x")
+        assert reg.get(a.id) is a
+        assert reg.maybe_get(a.id) is a
+        assert reg.maybe_get(99999) is None
+
+    def test_iteration_covers_all(self):
+        reg = EntityRegistry()
+        reg.file(1, "/a")
+        reg.file(1, "/b")
+        assert len(list(reg)) == 2
+
+
+class TestEntityAttributeLookup:
+    def test_file_attribute(self):
+        reg = EntityRegistry()
+        f = reg.file(3, "/var/log/syslog", owner="root")
+        assert f.attribute("name") == "/var/log/syslog"
+        assert f.attribute("owner") == "root"
+        assert f.attribute("agent_id") == 3
+        assert f.attribute("agentid") == 3
+
+    def test_process_attribute_alias(self):
+        reg = EntityRegistry()
+        p = reg.process(1, 42, "nginx", user="www")
+        assert p.attribute("exename") == "nginx"
+        assert p.attribute("pid") == 42
+
+    def test_network_attribute_alias(self):
+        reg = EntityRegistry()
+        n = reg.connection(1, "10.0.0.1", 1234, "8.8.8.8", 53, protocol="udp")
+        assert n.attribute("dstip") == "8.8.8.8"
+        assert n.attribute("dstport") == 53
+        assert n.attribute("protocol") == "udp"
+
+    def test_invalid_attribute_raises(self):
+        reg = EntityRegistry()
+        f = reg.file(1, "/x")
+        with pytest.raises(AttributeError):
+            f.attribute("dst_ip")
+
+    def test_cmd_defaults_to_exe_name(self):
+        reg = EntityRegistry()
+        p = reg.process(1, 7, "sshd")
+        assert p.attribute("cmd") == "sshd"

@@ -1,0 +1,138 @@
+"""Unit tests for repro.model.events (paper Table 2)."""
+
+import pytest
+
+from repro.model.entities import EntityRegistry, EntityType
+from repro.model.events import (
+    EVENT_ATTRIBUTES,
+    OPERATIONS_BY_OBJECT,
+    EventType,
+    Operation,
+    SystemEvent,
+    event_type_of,
+    validate_event,
+)
+
+
+def _event(**overrides):
+    defaults = dict(
+        event_id=1,
+        agent_id=1,
+        seq=1,
+        start_time=100.0,
+        end_time=101.0,
+        operation=Operation.READ,
+        subject_id=10,
+        object_id=20,
+        object_type=EntityType.FILE,
+        amount=512,
+    )
+    defaults.update(overrides)
+    return SystemEvent(**defaults)
+
+
+class TestOperation:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("read", Operation.READ),
+            ("WRITE", Operation.WRITE),
+            ("exec", Operation.EXECUTE),
+            ("fork", Operation.START),
+            ("spawn", Operation.START),
+            ("unlink", Operation.DELETE),
+            ("mv", Operation.RENAME),
+            ("receive", Operation.RECV),
+        ],
+    )
+    def test_parse_aliases(self, text, expected):
+        assert Operation.parse(text) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Operation.parse("teleport")
+
+    def test_start_only_for_processes(self):
+        assert Operation.START in OPERATIONS_BY_OBJECT[EntityType.PROCESS]
+        assert Operation.START not in OPERATIONS_BY_OBJECT[EntityType.FILE]
+        assert Operation.START not in OPERATIONS_BY_OBJECT[EntityType.NETWORK]
+
+    def test_connect_only_for_network(self):
+        assert Operation.CONNECT in OPERATIONS_BY_OBJECT[EntityType.NETWORK]
+        assert Operation.CONNECT not in OPERATIONS_BY_OBJECT[EntityType.FILE]
+
+
+class TestEventTypes:
+    def test_categorization_by_object(self):
+        assert event_type_of(EntityType.FILE) is EventType.FILE
+        assert event_type_of(EntityType.PROCESS) is EventType.PROCESS
+        assert event_type_of(EntityType.NETWORK) is EventType.NETWORK
+
+    def test_event_type_property(self):
+        assert _event(object_type=EntityType.NETWORK).event_type is EventType.NETWORK
+
+
+class TestSystemEvent:
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ValueError):
+            _event(start_time=100.0, end_time=99.0)
+
+    def test_table2_attributes_present(self):
+        # Table 2: operation, start/end time, sequence, subject/object ids...
+        for attr in (
+            "optype",
+            "starttime",
+            "endtime",
+            "seq",
+            "agentid",
+            "amount",
+            "failure_code",
+            "subject_id",
+            "object_id",
+        ):
+            assert attr in EVENT_ATTRIBUTES
+
+    def test_attribute_lookup(self):
+        e = _event()
+        assert e.attribute("optype") == "read"
+        assert e.attribute("starttime") == 100.0
+        assert e.attribute("start_time") == 100.0
+        assert e.attribute("amount") == 512
+        assert e.attribute("agentid") == 1
+        assert e.attribute("access") == "read"
+
+    def test_attribute_unknown(self):
+        with pytest.raises(AttributeError):
+            _event().attribute("color")
+
+
+class TestValidation:
+    def setup_method(self):
+        self.reg = EntityRegistry()
+        self.proc = self.reg.process(1, 5, "bash")
+        self.file = self.reg.file(1, "/x")
+
+    def test_valid_file_read(self):
+        event = _event(subject_id=self.proc.id, object_id=self.file.id)
+        validate_event(event, self.proc, self.file)  # does not raise
+
+    def test_subject_must_be_process(self):
+        event = _event(subject_id=self.file.id, object_id=self.proc.id,
+                       object_type=EntityType.PROCESS,
+                       operation=Operation.START)
+        with pytest.raises(ValueError, match="subject must be a process"):
+            validate_event(event, self.file, self.proc)
+
+    def test_operation_object_compatibility(self):
+        event = _event(
+            subject_id=self.proc.id,
+            object_id=self.file.id,
+            operation=Operation.CONNECT,
+        )
+        with pytest.raises(ValueError, match="invalid for object type"):
+            validate_event(event, self.proc, self.file)
+
+    def test_id_mismatch_detected(self):
+        event = _event(subject_id=999, object_id=self.file.id)
+        with pytest.raises(ValueError, match="ids do not match"):
+            validate_event(event, self.proc, self.file)

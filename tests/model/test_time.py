@@ -1,0 +1,159 @@
+"""Unit tests for repro.model.time."""
+
+import pytest
+
+from repro.model.time import (
+    DAY,
+    HOUR,
+    MINUTE,
+    ClockSynchronizer,
+    TimeParseError,
+    TimeWindow,
+    day_of,
+    day_start,
+    format_timestamp,
+    parse_datetime,
+    parse_duration,
+    parse_duration_text,
+)
+
+
+class TestParseDatetime:
+    def test_us_date(self):
+        assert parse_datetime("01/01/2017") == 1483228800.0
+
+    def test_us_datetime(self):
+        assert parse_datetime("01/01/2017 01:00:00") == 1483228800.0 + HOUR
+
+    def test_us_datetime_minutes(self):
+        assert parse_datetime("01/01/2017 00:30") == 1483228800.0 + 30 * MINUTE
+
+    def test_iso_date(self):
+        assert parse_datetime("2017-01-01") == 1483228800.0
+
+    def test_iso_datetime_t_separator(self):
+        assert parse_datetime("2017-01-01T02:00:00") == 1483228800.0 + 2 * HOUR
+
+    def test_iso_datetime_space_separator(self):
+        assert parse_datetime("2017-01-01 02:00:00") == 1483228800.0 + 2 * HOUR
+
+    def test_quoted_input_accepted(self):
+        assert parse_datetime('"01/01/2017"') == 1483228800.0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TimeParseError):
+            parse_datetime("yesterday")
+
+    def test_rejects_partial(self):
+        with pytest.raises(TimeParseError):
+            parse_datetime("2017")
+
+
+class TestDurations:
+    @pytest.mark.parametrize(
+        "amount,unit,expected",
+        [
+            (1, "sec", 1.0),
+            (2, "seconds", 2.0),
+            (1, "min", MINUTE),
+            (10, "minutes", 10 * MINUTE),
+            (1, "hour", HOUR),
+            (3, "h", 3 * HOUR),
+            (1, "day", DAY),
+            (2, "d", 2 * DAY),
+        ],
+    )
+    def test_units(self, amount, unit, expected):
+        assert parse_duration(amount, unit) == expected
+
+    def test_unit_case_insensitive(self):
+        assert parse_duration(1, "MIN") == MINUTE
+
+    def test_unknown_unit(self):
+        with pytest.raises(TimeParseError):
+            parse_duration(1, "fortnight")
+
+    def test_text_form(self):
+        assert parse_duration_text("10 sec") == 10.0
+        assert parse_duration_text("1 min") == 60.0
+
+    def test_text_form_rejects_missing_unit(self):
+        with pytest.raises(TimeParseError):
+            parse_duration_text("10")
+
+
+class TestTimeWindow:
+    def test_contains_half_open(self):
+        w = TimeWindow(start=10.0, end=20.0)
+        assert w.contains(10.0)
+        assert w.contains(19.999)
+        assert not w.contains(20.0)
+        assert not w.contains(9.999)
+
+    def test_unbounded_contains_everything(self):
+        w = TimeWindow()
+        assert w.contains(-1e12)
+        assert w.contains(1e12)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(start=20.0, end=10.0)
+
+    def test_at_day_covers_exactly_one_day(self):
+        w = TimeWindow.at_day("01/01/2017")
+        assert w.end - w.start == DAY
+        assert w.contains(w.start)
+        assert not w.contains(w.end)
+
+    def test_intersect_bounded(self):
+        a = TimeWindow(start=0.0, end=100.0)
+        b = TimeWindow(start=50.0, end=200.0)
+        c = a.intersect(b)
+        assert (c.start, c.end) == (50.0, 100.0)
+
+    def test_intersect_with_unbounded(self):
+        a = TimeWindow(start=10.0)
+        b = TimeWindow(end=50.0)
+        c = a.intersect(b)
+        assert (c.start, c.end) == (10.0, 50.0)
+
+    def test_intersect_disjoint_is_empty(self):
+        a = TimeWindow(start=0.0, end=10.0)
+        b = TimeWindow(start=20.0, end=30.0)
+        assert a.intersect(b).is_empty()
+
+    def test_days_range(self):
+        w = TimeWindow(start=0.0, end=2 * DAY)
+        assert list(w.days()) == [0, 1]
+
+    def test_days_partial_day(self):
+        w = TimeWindow(start=DAY + 100, end=DAY + 200)
+        assert list(w.days()) == [1]
+
+    def test_days_unbounded_is_none(self):
+        assert TimeWindow(start=0.0).days() is None
+
+    def test_day_of_and_day_start_inverse(self):
+        assert day_of(day_start(5)) == 5
+        assert day_of(day_start(5) + DAY - 1) == 5
+
+    def test_format_timestamp(self):
+        assert format_timestamp(1483228800.0) == "2017-01-01 00:00:00"
+
+
+class TestClockSynchronizer:
+    def test_offset_correction(self):
+        clock = ClockSynchronizer()
+        clock.observe(agent_id=7, agent_clock=1000.0, server_clock=1003.5)
+        assert clock.offset(7) == 3.5
+        assert clock.correct(7, 2000.0) == 2003.5
+
+    def test_unknown_agent_no_correction(self):
+        clock = ClockSynchronizer()
+        assert clock.correct(99, 500.0) == 500.0
+
+    def test_latest_observation_wins(self):
+        clock = ClockSynchronizer()
+        clock.observe(1, 100.0, 101.0)
+        clock.observe(1, 100.0, 99.0)
+        assert clock.offset(1) == -1.0

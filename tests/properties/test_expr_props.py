@@ -1,0 +1,81 @@
+"""Property tests for moving averages and history-state evaluation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast import Name
+from repro.lang.expr import MappingEnv, cma, evaluate, ewma, sma, wma
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(series=values, n=st.integers(min_value=1, max_value=60))
+def test_sma_bounded_by_extremes(series, n):
+    result = sma(series, n)
+    window = series[-n:]
+    assert min(window) - 1e-6 <= result <= max(window) + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(series=values)
+def test_cma_is_arithmetic_mean(series):
+    assert abs(cma(series) - sum(series) / len(series)) < 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(series=values, n=st.integers(min_value=1, max_value=60))
+def test_wma_bounded_by_extremes(series, n):
+    result = wma(series, n)
+    window = series[-n:]
+    assert min(window) - 1e-6 <= result <= max(window) + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    series=values,
+    alpha=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_ewma_bounded_by_extremes(series, alpha):
+    result = ewma(series, alpha)
+    assert min(series) - 1e-6 <= result <= max(series) + 1e-6
+
+
+@settings(max_examples=100, deadline=None)
+@given(series=values)
+def test_ewma_alpha_one_ignores_new_values(series):
+    assert ewma(series, 1.0) == series[0]
+
+
+@settings(max_examples=100, deadline=None)
+@given(series=values)
+def test_ewma_alpha_zero_tracks_last_value(series):
+    assert ewma(series, 0.0) == series[-1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(series=values, k=st.integers(min_value=0, max_value=49))
+def test_history_indexing_matches_series(series, k):
+    env = MappingEnv({"x": series})
+    if k < len(series):
+        assert evaluate(Name("x", k), env) == series[-(k + 1)]
+
+
+@settings(max_examples=100, deadline=None)
+@given(series=values)
+def test_constant_series_never_spikes(series):
+    """SMA3 spike rule can't fire on a constant positive series."""
+    from repro.lang.parser import parse
+
+    q = parse(
+        "proc p read file f\nreturn p, count(f) as freq\ngroup by p\n"
+        "having freq > 2 * (freq + freq[1] + freq[2]) / 3"
+    )
+    constant = [series[0]] * 5
+    env = MappingEnv({"freq": constant})
+    from repro.lang.expr import evaluate_bool
+
+    assert not evaluate_bool(q.filters.having, env)

@@ -1,0 +1,81 @@
+"""Property tests: random query generation -> parse/format round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.formatter import format_query
+from repro.lang.parser import parse
+
+ids = st.sampled_from(["p1", "p2", "p3", "f1", "f2", "i1"])
+proc_ids = st.sampled_from(["p1", "p2", "p3"])
+values = st.sampled_from(['"%cmd%"', '"%x.log"', "4444", '"10.0.0.1"'])
+attrs = st.sampled_from(["pid", "user", "exe_name"])
+file_attrs = st.sampled_from(["name", "owner"])
+
+
+@st.composite
+def entity(draw, type_name, id_pool):
+    text = type_name
+    if draw(st.booleans()):
+        text += " " + draw(id_pool)
+    if draw(st.booleans()):
+        if type_name == "proc" and draw(st.booleans()):
+            text += f"[{draw(attrs)} = {draw(values)}]"
+        else:
+            text += f"[{draw(values)}]"
+    return text
+
+
+@st.composite
+def pattern(draw, index):
+    kind = draw(st.sampled_from(["file", "proc", "ip"]))
+    subject = draw(entity("proc", proc_ids))
+    if kind == "file":
+        op = draw(st.sampled_from(["read", "write", "read || write", "delete"]))
+        obj = draw(entity("file", st.sampled_from(["f1", "f2"])))
+    elif kind == "proc":
+        op = "start"
+        obj = draw(entity("proc", proc_ids))
+    else:
+        op = draw(st.sampled_from(["connect", "read", "send"]))
+        obj = draw(entity("ip", st.sampled_from(["i1", "i2"])))
+    return f"{subject} {op} {obj} as evt{index}"
+
+
+@st.composite
+def multievent_query(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    lines = []
+    if draw(st.booleans()):
+        lines.append(f"agentid = {draw(st.integers(min_value=1, max_value=9))}")
+    if draw(st.booleans()):
+        lines.append('(at "01/01/2017")')
+    patterns = [draw(pattern(i + 1)) for i in range(n)]
+    lines.extend(patterns)
+    rels = []
+    if n >= 2 and draw(st.booleans()):
+        rels.append("evt1 before evt2")
+    if rels:
+        lines.append("with " + ", ".join(rels))
+    lines.append("return evt1.optype, evt1.amount")
+    if draw(st.booleans()):
+        lines.append(f"top {draw(st.integers(min_value=1, max_value=100))}")
+    return "\n".join(lines)
+
+
+@settings(max_examples=120, deadline=None)
+@given(text=multievent_query())
+def test_format_parse_fixpoint(text):
+    """format(parse(q)) parses, and formatting again is a fixpoint."""
+    tree = parse(text)
+    once = format_query(tree)
+    reparsed = parse(once)
+    twice = format_query(reparsed)
+    assert once == twice
+    assert len(tree.patterns) == len(reparsed.patterns)
+    assert len(tree.relationships) == len(reparsed.relationships)
+
+
+@settings(max_examples=120, deadline=None)
+@given(text=multievent_query())
+def test_parsing_is_deterministic(text):
+    assert parse(text) == parse(text)

@@ -1,0 +1,38 @@
+"""Property tests: translation never crashes and AIQL stays competitive."""
+
+from hypothesis import given, settings
+
+from repro.baselines.conciseness import text_metrics, translate_all
+from tests.properties.test_lang_props import multievent_query
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=multievent_query())
+def test_translate_all_total(text):
+    """Every generated multievent query translates to all four languages."""
+    translated = translate_all(text)
+    assert set(translated) == {"aiql", "sql", "cypher", "spl"}
+    for language, query in translated.items():
+        assert query.text.strip(), language
+        assert query.constraints >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=multievent_query())
+def test_sql_never_terser_than_aiql(text):
+    """SQL repeats joins + per-alias constraints; it can never be shorter."""
+    translated = translate_all(text)
+    aiql_words, aiql_chars = text_metrics(translated["aiql"].text)
+    sql_words, sql_chars = text_metrics(translated["sql"].text)
+    assert sql_words >= aiql_words
+    assert sql_chars >= aiql_chars
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=multievent_query())
+def test_translation_is_deterministic(text):
+    first = translate_all(text)
+    second = translate_all(text)
+    for language in first:
+        assert first[language].text == second[language].text
+        assert first[language].constraints == second[language].constraints

@@ -1,0 +1,207 @@
+"""Unit tests for repro.storage.filters."""
+
+import pytest
+
+from repro.model.entities import EntityRegistry, EntityType
+from repro.model.events import Operation, SystemEvent
+from repro.model.time import TimeWindow
+from repro.storage.filters import (
+    AttrPredicate,
+    EventFilter,
+    PredicateAnd,
+    PredicateLeaf,
+    PredicateNot,
+    PredicateOr,
+    conjoin,
+    like_to_regex,
+    top_level_equalities,
+)
+
+
+class TestLikeMatching:
+    @pytest.mark.parametrize(
+        "pattern,value,matches",
+        [
+            ("%telnet%", "/usr/bin/telnetd", True),
+            ("%telnet%", "ssh", False),
+            ("/var/www%", "/var/www/html/a", True),
+            ("/var/www%", "/var/log/www", False),
+            ("%.dmp", "backup1.dmp", True),
+            ("%.dmp", "backup1.dmp.gz", False),
+            ("a%b%c", "aXXbYYc", True),
+            ("%CMD.EXE", "c:/windows/cmd.exe", True),  # case-insensitive
+        ],
+    )
+    def test_patterns(self, pattern, value, matches):
+        assert bool(like_to_regex(pattern).match(value)) is matches
+
+    def test_special_chars_escaped(self):
+        assert like_to_regex("a.b%").match("a.bc")
+        assert not like_to_regex("a.b%").match("axbc")
+
+
+class TestAttrPredicate:
+    def test_equality_case_insensitive_strings(self):
+        pred = AttrPredicate("exe_name", "=", "CMD.EXE")
+        assert pred.matches("cmd.exe")
+
+    def test_like_detection(self):
+        assert AttrPredicate("name", "=", "%x%").is_like
+        assert not AttrPredicate("name", "=", "x").is_like
+        assert not AttrPredicate("port", "=", 80).is_like
+
+    def test_like_negated(self):
+        pred = AttrPredicate("name", "!=", "%.log")
+        assert pred.matches("a.txt")
+        assert not pred.matches("a.log")
+
+    def test_numeric_coercion_string_literal(self):
+        pred = AttrPredicate("dst_port", "=", "4444")
+        assert pred.matches(4444)
+        assert not pred.matches(80)
+
+    def test_numeric_comparisons(self):
+        assert AttrPredicate("amount", ">", 100).matches(200)
+        assert not AttrPredicate("amount", ">", 100).matches(100)
+        assert AttrPredicate("amount", ">=", 100).matches(100)
+        assert AttrPredicate("amount", "<", 100).matches(99)
+        assert AttrPredicate("amount", "<=", 100).matches(100)
+        assert AttrPredicate("amount", "!=", 100).matches(99)
+
+    def test_in_and_not_in(self):
+        pred = AttrPredicate("name", "in", (".viminfo", ".bash_history"))
+        assert pred.matches(".viminfo")
+        assert not pred.matches(".profile")
+        pred = AttrPredicate("name", "not in", (".viminfo",))
+        assert pred.matches(".profile")
+
+    def test_incomparable_types_false(self):
+        assert not AttrPredicate("amount", ">", "abc").matches(5)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            AttrPredicate("x", "~", 1)
+
+
+class TestPredicateTrees:
+    def lookup(self, mapping):
+        return lambda attr: mapping[attr]
+
+    def test_and_or_not(self):
+        a = PredicateLeaf(AttrPredicate("x", "=", 1))
+        b = PredicateLeaf(AttrPredicate("y", "=", 2))
+        tree = PredicateAnd((a, PredicateNot(b)))
+        assert tree.evaluate(self.lookup({"x": 1, "y": 3}))
+        assert not tree.evaluate(self.lookup({"x": 1, "y": 2}))
+        tree = PredicateOr((a, b))
+        assert tree.evaluate(self.lookup({"x": 0, "y": 2}))
+
+    def test_missing_attribute_is_false(self):
+        leaf = PredicateLeaf(AttrPredicate("nope", "=", 1))
+
+        def lookup(attr):
+            raise AttributeError(attr)
+
+        assert not leaf.evaluate(lookup)
+
+    def test_constraint_count(self):
+        a = PredicateLeaf(AttrPredicate("x", "=", 1))
+        b = PredicateLeaf(AttrPredicate("y", "=", 2))
+        assert PredicateAnd((a, PredicateOr((a, b)))).constraint_count() == 3
+
+    def test_conjoin(self):
+        a = PredicateLeaf(AttrPredicate("x", "=", 1))
+        assert conjoin([]) is None
+        assert conjoin([None, a]) is a
+        combined = conjoin([a, a])
+        assert isinstance(combined, PredicateAnd)
+
+    def test_top_level_equalities(self):
+        eq = AttrPredicate("x", "=", 1)
+        inp = AttrPredicate("y", "in", (1, 2))
+        gt = AttrPredicate("z", ">", 1)
+        tree = PredicateAnd(
+            (
+                PredicateLeaf(eq),
+                PredicateLeaf(inp),
+                PredicateLeaf(gt),
+                PredicateOr((PredicateLeaf(eq), PredicateLeaf(eq))),
+            )
+        )
+        found = top_level_equalities(tree)
+        assert eq in found and inp in found
+        assert gt not in found
+        # nothing under OR may be used
+        assert len(found) == 2
+
+
+class TestEventFilter:
+    def setup_method(self):
+        self.reg = EntityRegistry()
+        self.proc = self.reg.process(1, 5, "bash")
+        self.file = self.reg.file(1, "/etc/passwd")
+        self.event = SystemEvent(
+            event_id=1,
+            agent_id=1,
+            seq=1,
+            start_time=100.0,
+            end_time=100.0,
+            operation=Operation.READ,
+            subject_id=self.proc.id,
+            object_id=self.file.id,
+            object_type=EntityType.FILE,
+        )
+
+    def test_empty_filter_matches(self):
+        assert EventFilter().matches(self.event, self.proc, self.file)
+
+    def test_agent_filter(self):
+        assert not EventFilter(agent_ids=frozenset({2})).matches(
+            self.event, self.proc, self.file
+        )
+
+    def test_window_filter(self):
+        flt = EventFilter(window=TimeWindow(start=200.0))
+        assert not flt.matches(self.event, self.proc, self.file)
+
+    def test_operation_filter(self):
+        flt = EventFilter(operations=frozenset({Operation.WRITE}))
+        assert not flt.matches(self.event, self.proc, self.file)
+
+    def test_object_type_filter(self):
+        flt = EventFilter(object_type=EntityType.NETWORK)
+        assert not flt.matches(self.event, self.proc, self.file)
+
+    def test_id_set_filters(self):
+        flt = EventFilter(subject_ids=frozenset({self.proc.id}))
+        assert flt.matches(self.event, self.proc, self.file)
+        flt = EventFilter(object_ids=frozenset({999}))
+        assert not flt.matches(self.event, self.proc, self.file)
+
+    def test_predicate_sides(self):
+        flt = EventFilter(
+            subject_pred=PredicateLeaf(AttrPredicate("exe_name", "=", "bash")),
+            object_pred=PredicateLeaf(AttrPredicate("name", "=", "%passwd")),
+        )
+        assert flt.matches(self.event, self.proc, self.file)
+
+    def test_constraint_count(self):
+        flt = EventFilter(
+            agent_ids=frozenset({1}),
+            window=TimeWindow(start=0.0, end=1.0),
+            operations=frozenset({Operation.READ}),
+            object_type=EntityType.FILE,
+            subject_pred=PredicateLeaf(AttrPredicate("exe_name", "=", "bash")),
+        )
+        # agent + window + ops + object type + 1 predicate leaf
+        assert flt.constraint_count() == 5
+
+    def test_narrowed_intersects(self):
+        flt = EventFilter(subject_ids=frozenset({1, 2, 3}))
+        narrowed = flt.narrowed(subject_ids=frozenset({2, 3, 4}))
+        assert narrowed.subject_ids == frozenset({2, 3})
+
+    def test_narrowed_window(self):
+        flt = EventFilter(window=TimeWindow(start=0.0, end=100.0))
+        narrowed = flt.narrowed(window=TimeWindow(start=50.0))
+        assert (narrowed.window.start, narrowed.window.end) == (50.0, 100.0)

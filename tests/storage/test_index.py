@@ -1,0 +1,128 @@
+"""Unit tests for repro.storage.index."""
+
+from repro.model.entities import EntityRegistry, EntityType
+from repro.storage.filters import AttrPredicate
+from repro.storage.index import (
+    EntityAttributeIndex,
+    HashIndex,
+    SortedTimeIndex,
+)
+
+
+class TestHashIndex:
+    def test_exact_lookup(self):
+        idx = HashIndex()
+        idx.add("bash", 1)
+        idx.add("bash", 2)
+        idx.add("zsh", 3)
+        assert idx.lookup("bash") == frozenset({1, 2})
+        assert idx.lookup("fish") == frozenset()
+
+    def test_case_insensitive_keys(self):
+        idx = HashIndex()
+        idx.add("CMD.EXE", 1)
+        assert idx.lookup("cmd.exe") == frozenset({1})
+
+    def test_lookup_in(self):
+        idx = HashIndex()
+        idx.add("a", 1)
+        idx.add("b", 2)
+        assert idx.lookup_in(["a", "b", "c"]) == frozenset({1, 2})
+
+    def test_lookup_like(self):
+        idx = HashIndex()
+        idx.add("/usr/bin/telnetd", 1)
+        idx.add("/usr/bin/sshd", 2)
+        assert idx.lookup_like("%telnet%") == frozenset({1})
+        assert idx.lookup_like("/usr/bin/%") == frozenset({1, 2})
+
+    def test_lookup_predicate(self):
+        idx = HashIndex()
+        idx.add("x", 1)
+        assert idx.lookup_predicate(AttrPredicate("a", "=", "x")) == frozenset({1})
+        assert idx.lookup_predicate(AttrPredicate("a", "in", ("x", "y"))) == frozenset({1})
+        assert idx.lookup_predicate(AttrPredicate("a", ">", 1)) is None
+        assert idx.lookup_predicate(AttrPredicate("a", "!=", "x")) is None
+
+    def test_numeric_keys(self):
+        idx = HashIndex()
+        idx.add(4444, 1)
+        assert idx.lookup(4444) == frozenset({1})
+
+
+class TestEntityAttributeIndex:
+    def setup_method(self):
+        self.reg = EntityRegistry()
+        self.idx = EntityAttributeIndex()
+        self.p1 = self.reg.process(1, 10, "cmd.exe")
+        self.p2 = self.reg.process(1, 11, "osql.exe")
+        self.f1 = self.reg.file(1, "/var/www/a.html")
+        self.n1 = self.reg.connection(1, "10.0.0.1", 1, "8.8.8.8", 443)
+        for entity in (self.p1, self.p2, self.f1, self.n1):
+            self.idx.add(entity)
+
+    def test_default_coverage(self):
+        assert self.idx.covers(EntityType.PROCESS, "exe_name")
+        assert self.idx.covers(EntityType.FILE, "name")
+        assert self.idx.covers(EntityType.NETWORK, "dst_ip")
+        assert not self.idx.covers(EntityType.PROCESS, "user")
+
+    def test_candidates_exact(self):
+        preds = [AttrPredicate("exe_name", "=", "cmd.exe")]
+        assert self.idx.candidates(EntityType.PROCESS, preds) == frozenset(
+            {self.p1.id}
+        )
+
+    def test_candidates_like(self):
+        preds = [AttrPredicate("exe_name", "=", "%sql%")]
+        assert self.idx.candidates(EntityType.PROCESS, preds) == frozenset(
+            {self.p2.id}
+        )
+
+    def test_candidates_unservable_returns_none(self):
+        preds = [AttrPredicate("user", "=", "root")]
+        assert self.idx.candidates(EntityType.PROCESS, preds) is None
+
+    def test_candidates_intersection(self):
+        preds = [
+            AttrPredicate("exe_name", "=", "%exe%"),
+            AttrPredicate("exe_name", "=", "cmd.exe"),
+        ]
+        assert self.idx.candidates(EntityType.PROCESS, preds) == frozenset(
+            {self.p1.id}
+        )
+
+    def test_all_ids(self):
+        assert self.idx.all_ids(EntityType.PROCESS) == frozenset(
+            {self.p1.id, self.p2.id}
+        )
+
+
+class TestSortedTimeIndex:
+    def test_in_order_append_and_range(self):
+        idx = SortedTimeIndex()
+        for pos, t in enumerate([1.0, 2.0, 3.0, 4.0]):
+            idx.add(t, pos)
+        assert idx.range(2.0, 4.0) == [1, 2]
+        assert idx.range(None, 2.0) == [0]
+        assert idx.range(3.0, None) == [2, 3]
+        assert idx.range(None, None) == [0, 1, 2, 3]
+
+    def test_out_of_order_insertion(self):
+        idx = SortedTimeIndex()
+        idx.add(5.0, 0)
+        idx.add(1.0, 1)
+        idx.add(3.0, 2)
+        assert idx.range(None, None) == [1, 2, 0]
+        assert idx.range(2.0, 4.0) == [2]
+
+    def test_half_open_semantics(self):
+        idx = SortedTimeIndex()
+        idx.add(10.0, 0)
+        assert idx.range(10.0, 11.0) == [0]
+        assert idx.range(9.0, 10.0) == []
+
+    def test_len(self):
+        idx = SortedTimeIndex()
+        idx.add(1.0, 0)
+        assert len(idx) == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the ingestion pipeline."""
+
+import pytest
+
+from repro.model.entities import EntityRegistry
+from repro.model.time import ClockSynchronizer
+from repro.storage.flat import FlatStore
+from repro.storage.ingest import IngestError, Ingestor
+
+
+def make_ingestor(clock=None):
+    ingestor = Ingestor(clock=clock)
+    store = FlatStore(registry=ingestor.registry)
+    ingestor.attach(store)
+    return ingestor, store
+
+
+class TestIngestor:
+    def test_sequence_numbers_monotone_per_agent(self):
+        ingestor, _ = make_ingestor()
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        q = ingestor.process(2, 5, "zsh")
+        g = ingestor.file(2, "/y")
+        e1 = ingestor.emit(1, 10.0, "read", p, f)
+        e2 = ingestor.emit(2, 10.0, "read", q, g)
+        e3 = ingestor.emit(1, 11.0, "write", p, f)
+        assert (e1.seq, e3.seq) == (1, 2)
+        assert e2.seq == 1
+
+    def test_event_ids_globally_unique(self):
+        ingestor, _ = make_ingestor()
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        events = [ingestor.emit(1, float(i), "read", p, f) for i in range(5)]
+        assert len({e.event_id for e in events}) == 5
+
+    def test_clock_correction_applied(self):
+        clock = ClockSynchronizer()
+        clock.observe(agent_id=1, agent_clock=100.0, server_clock=103.0)
+        ingestor, _ = make_ingestor(clock)
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        event = ingestor.emit(1, 200.0, "read", p, f)
+        assert event.start_time == 203.0
+
+    def test_duration_sets_end_time(self):
+        ingestor, _ = make_ingestor()
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        event = ingestor.emit(1, 100.0, "read", p, f, duration=2.5)
+        assert event.end_time == 102.5
+
+    def test_operation_string_parsed(self):
+        ingestor, _ = make_ingestor()
+        p = ingestor.process(1, 5, "bash")
+        child = ingestor.process(1, 6, "vim")
+        event = ingestor.emit(1, 100.0, "fork", p, child)
+        assert event.operation.value == "start"
+
+    def test_model_violation_raises_ingest_error(self):
+        ingestor, store = make_ingestor()
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        with pytest.raises(IngestError):
+            ingestor.emit(1, 100.0, "connect", p, f)  # connect on a file
+        assert len(store) == 0  # nothing was stored
+
+    def test_fan_out_to_multiple_stores(self):
+        ingestor = Ingestor()
+        s1 = FlatStore(registry=ingestor.registry)
+        s2 = FlatStore(registry=ingestor.registry)
+        ingestor.attach(s1)
+        ingestor.attach(s2)
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        ingestor.emit(1, 100.0, "read", p, f)
+        assert len(s1) == 1 and len(s2) == 1
+
+    def test_attach_foreign_registry_rejected(self):
+        ingestor = Ingestor()
+        foreign = FlatStore(registry=EntityRegistry())
+        with pytest.raises(ValueError):
+            ingestor.attach(foreign)
+
+    def test_emit_batch(self):
+        ingestor, store = make_ingestor()
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        events = ingestor.emit_batch(
+            1, [(10.0, "read", p, f, 100), (11.0, "write", p, f, 200)]
+        )
+        assert len(events) == 2
+        assert ingestor.events_ingested == 2
+
+    def test_entity_helpers_deduplicate(self):
+        ingestor, _ = make_ingestor()
+        a = ingestor.file(1, "/etc/passwd")
+        b = ingestor.file(1, "/etc/passwd")
+        assert a is b

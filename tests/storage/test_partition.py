@@ -1,0 +1,70 @@
+"""Unit tests for time/space partitioning (paper Sec. 3.2)."""
+
+import pytest
+
+from repro.model.time import DAY, TimeWindow
+from repro.storage.partition import PartitionKey, PartitionScheme
+
+
+class TestScheme:
+    def test_key_for(self):
+        scheme = PartitionScheme(agents_per_group=10)
+        key = scheme.key_for(agent_id=13, start_time=3 * DAY + 5)
+        assert key == PartitionKey(day=3, agent_group=1)
+
+    def test_group_width(self):
+        scheme = PartitionScheme(agents_per_group=5)
+        assert scheme.group_of(0) == 0
+        assert scheme.group_of(4) == 0
+        assert scheme.group_of(5) == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PartitionScheme(agents_per_group=0)
+
+
+class TestPruning:
+    def setup_method(self):
+        self.scheme = PartitionScheme(agents_per_group=10)
+        self.keys = [
+            PartitionKey(day=d, agent_group=g)
+            for d in range(3)
+            for g in range(2)
+        ]
+
+    def test_no_constraints_keeps_all(self):
+        kept = self.scheme.prune(self.keys, None, TimeWindow())
+        assert len(kept) == len(self.keys)
+
+    def test_agent_pruning(self):
+        kept = self.scheme.prune(self.keys, frozenset({3}), TimeWindow())
+        assert {k.agent_group for k in kept} == {0}
+
+    def test_day_pruning(self):
+        window = TimeWindow(start=DAY, end=2 * DAY)
+        kept = self.scheme.prune(self.keys, None, window)
+        assert {k.day for k in kept} == {1}
+
+    def test_combined_pruning(self):
+        window = TimeWindow(start=0.0, end=DAY)
+        kept = self.scheme.prune(self.keys, frozenset({15}), window)
+        assert kept == [PartitionKey(day=0, agent_group=1)]
+
+    def test_half_bounded_window_overlap(self):
+        window = TimeWindow(start=2 * DAY - 1)  # touches day 1 and later
+        kept = self.scheme.prune(self.keys, None, window)
+        assert {k.day for k in kept} == {1, 2}
+
+    def test_end_only_window(self):
+        window = TimeWindow(end=DAY)  # day 0 only
+        kept = self.scheme.prune(self.keys, None, window)
+        assert {k.day for k in kept} == {0}
+
+    def test_window_ending_exactly_at_midnight(self):
+        window = TimeWindow(start=0.0, end=DAY)
+        kept = self.scheme.prune(self.keys, None, window)
+        assert {k.day for k in kept} == {0}
+
+    def test_output_deterministically_sorted(self):
+        kept = self.scheme.prune(reversed(self.keys), None, TimeWindow())
+        assert kept == sorted(kept, key=lambda k: (k.day, k.agent_group))

@@ -1,0 +1,121 @@
+"""Snapshot persistence round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.engine.executor import MultieventExecutor
+from repro.model.entities import EntityRegistry
+from repro.storage.database import EventStore
+from repro.storage.flat import FlatStore
+from repro.storage.ingest import Ingestor
+from repro.storage.persist import (
+    SnapshotError,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.workload.corpus import by_id
+from repro.workload.loader import build_enterprise
+from tests.conftest import compile_text
+
+
+@pytest.fixture(scope="module")
+def small_enterprise():
+    return build_enterprise(stores=("flat",), events_per_host_day=30)
+
+
+class TestRoundTrip:
+    def test_events_and_entities_preserved(self, small_enterprise, tmp_path):
+        source = small_enterprise.store("flat")
+        path = tmp_path / "snap.jsonl"
+        written = save_snapshot(path, small_enterprise.registry, iter(source))
+        assert written == len(source)
+
+        registry = EntityRegistry()
+        restored = FlatStore(registry=registry)
+        loaded = load_snapshot(path, registry, [restored])
+        assert loaded == written
+        assert len(restored) == len(source)
+        assert len(registry) == len(small_enterprise.registry)
+
+    def test_query_results_identical_after_restore(
+        self, small_enterprise, tmp_path
+    ):
+        source = small_enterprise.store("flat")
+        path = tmp_path / "snap.jsonl"
+        save_snapshot(path, small_enterprise.registry, iter(source))
+
+        registry = EntityRegistry()
+        restored = EventStore(registry=registry)  # different backend!
+        load_snapshot(path, registry, [restored])
+
+        query = by_id("c5-7").text
+        ctx = compile_text(query)
+        before = set(MultieventExecutor(source).run(ctx).rows)
+        after = set(MultieventExecutor(restored).run(ctx).rows)
+        assert before == after and before
+
+    def test_restore_into_multiple_backends(self, small_enterprise, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        source = small_enterprise.store("flat")
+        save_snapshot(path, small_enterprise.registry, iter(source))
+        registry = EntityRegistry()
+        flat = FlatStore(registry=registry)
+        partitioned = EventStore(registry=registry)
+        load_snapshot(path, registry, [flat, partitioned])
+        assert len(flat) == len(partitioned) == len(source)
+
+    def test_extension_entities_survive(self, tmp_path):
+        ingestor = Ingestor()
+        store = FlatStore(registry=ingestor.registry)
+        ingestor.attach(store)
+        proc = ingestor.process(1, 10, "evil.exe")
+        key = ingestor.registry_value(1, "HKCU/Run", "evil")
+        fifo = ingestor.pipe(1, "/run/p")
+        ingestor.emit(1, 100.0, "write", proc, key)
+        ingestor.emit(1, 101.0, "write", proc, fifo, amount=9)
+
+        path = tmp_path / "snap.jsonl"
+        save_snapshot(path, ingestor.registry, iter(store))
+        registry = EntityRegistry()
+        restored = FlatStore(registry=registry)
+        load_snapshot(path, registry, [restored])
+        events = list(restored)
+        assert len(events) == 2
+        assert registry.get(events[0].object_id).key == "HKCU/Run"
+        assert registry.get(events[1].object_id).name == "/run/p"
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SnapshotError, match="empty"):
+            load_snapshot(path, EntityRegistry(), [])
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"version": 99, "entities": 0}) + "\n")
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(path, EntityRegistry(), [])
+
+    def test_truncated_entities(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text(json.dumps({"version": 1, "entities": 3}) + "\n")
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(path, EntityRegistry(), [])
+
+    def test_non_fresh_registry_detected(self, tmp_path):
+        ingestor = Ingestor()
+        store = FlatStore(registry=ingestor.registry)
+        ingestor.attach(store)
+        p = ingestor.process(1, 10, "a")
+        f = ingestor.file(1, "/x")
+        ingestor.emit(1, 1.0, "read", p, f)
+        path = tmp_path / "snap.jsonl"
+        save_snapshot(path, ingestor.registry, iter(store))
+
+        dirty = EntityRegistry()
+        dirty.file(9, "/occupies-id-1")  # shifts id allocation
+        with pytest.raises(SnapshotError, match="mismatch"):
+            load_snapshot(path, dirty, [FlatStore(registry=dirty)])

@@ -1,0 +1,106 @@
+"""Unit tests for repro.storage.table: access paths must equal full scans."""
+
+import pytest
+
+from repro.model.entities import EntityRegistry, EntityType
+from repro.model.time import TimeWindow
+from repro.storage.filters import AttrPredicate, EventFilter, PredicateLeaf
+from repro.storage.index import EntityAttributeIndex
+from repro.storage.ingest import Ingestor
+from repro.storage.table import EventTable
+
+
+@pytest.fixture()
+def populated():
+    """A table with a mix of file/process/network events."""
+    ingestor = Ingestor()
+    reg = ingestor.registry
+    table = EventTable(reg.get)
+    index = EntityAttributeIndex()
+
+    class _Sink:
+        registry = reg
+
+        def register_entity(self, entity):
+            index.add(entity)
+
+        def add_event(self, event):
+            table.append(event)
+
+    ingestor.attach(_Sink())
+    shell = ingestor.process(1, 10, "bash")
+    editor = ingestor.process(1, 11, "vim")
+    browser = ingestor.process(2, 12, "firefox")
+    passwd = ingestor.file(1, "/etc/passwd")
+    notes = ingestor.file(1, "/home/u/notes.txt")
+    conn = ingestor.connection(2, "10.0.0.2", 5000, "8.8.8.8", 443)
+    ingestor.emit(1, 100.0, "read", shell, passwd)
+    ingestor.emit(1, 200.0, "write", editor, notes, amount=100)
+    ingestor.emit(1, 300.0, "start", shell, editor)
+    ingestor.emit(2, 400.0, "connect", browser, conn)
+    ingestor.emit(2, 500.0, "read", browser, conn, amount=4096)
+    return table, index, {"shell": shell, "editor": editor, "passwd": passwd}
+
+
+class TestScanPaths:
+    def test_scan_equals_full_scan_empty_filter(self, populated):
+        table, index, _ = populated
+        flt = EventFilter()
+        assert table.scan(flt, index) == table.full_scan(flt)
+
+    def test_time_index_path(self, populated):
+        table, index, _ = populated
+        flt = EventFilter(window=TimeWindow(start=150.0, end=450.0))
+        events = table.scan(flt, index)
+        assert [e.start_time for e in events] == [200.0, 300.0, 400.0]
+        assert events == table.full_scan(flt)
+
+    def test_entity_index_path(self, populated):
+        table, index, _ = populated
+        flt = EventFilter(
+            subject_pred=PredicateLeaf(AttrPredicate("exe_name", "=", "bash")),
+        )
+        events = table.scan(flt, index)
+        assert len(events) == 2
+        assert events == table.full_scan(flt)
+
+    def test_object_index_path(self, populated):
+        table, index, _ = populated
+        flt = EventFilter(
+            object_type=EntityType.FILE,
+            object_pred=PredicateLeaf(AttrPredicate("name", "=", "%passwd")),
+        )
+        events = table.scan(flt, index)
+        assert len(events) == 1
+        assert events == table.full_scan(flt)
+
+    def test_id_set_path(self, populated):
+        table, index, keys = populated
+        flt = EventFilter(subject_ids=frozenset({keys["shell"].id}))
+        events = table.scan(flt, index)
+        assert {e.subject_id for e in events} == {keys["shell"].id}
+        assert events == table.full_scan(flt)
+
+    def test_results_sorted_by_time(self, populated):
+        table, index, _ = populated
+        events = table.scan(EventFilter(), index)
+        times = [e.start_time for e in events]
+        assert times == sorted(times)
+
+    def test_min_max_time_tracked(self, populated):
+        table, _, _ = populated
+        assert table.min_time == 100.0
+        assert table.max_time == 500.0
+
+    def test_scan_without_entity_index(self, populated):
+        table, _, _ = populated
+        flt = EventFilter(
+            subject_pred=PredicateLeaf(AttrPredicate("exe_name", "=", "bash")),
+        )
+        # no index: falls back to scanning, same results
+        assert table.scan(flt, None) == table.full_scan(flt)
+
+    def test_len_and_iter(self, populated):
+        table, _, _ = populated
+        assert len(table) == 5
+        assert len(list(table)) == 5

@@ -1,0 +1,83 @@
+"""Corpus structure tests: Table 3 counts and query well-formedness."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.workload.corpus import (
+    ALL_QUERIES,
+    CASE_STUDY_QUERIES,
+    CASE_STUDY_WITH_ANOMALY,
+    CONCISENESS_QUERY_IDS,
+    PERFORMANCE_QUERIES,
+    by_id,
+    pattern_counts,
+)
+from tests.conftest import compile_text
+
+
+class TestTable3Counts:
+    """Sec. 6.2: 26 multievent queries + 1 anomaly query; per-step query
+    and event-pattern counts match Table 3."""
+
+    def test_twenty_six_plus_one(self):
+        assert len(CASE_STUDY_QUERIES) == 26
+        assert len(CASE_STUDY_WITH_ANOMALY) == 27
+
+    @pytest.mark.parametrize(
+        "step,queries,patterns",
+        [("c1", 1, 3), ("c2", 8, 27), ("c3", 2, 4), ("c4", 8, 35), ("c5", 7, 18)],
+    )
+    def test_per_step_counts(self, step, queries, patterns):
+        assert pattern_counts()[step] == (queries, patterns)
+
+    def test_total_patterns_is_87(self):
+        assert sum(v[1] for v in pattern_counts().values()) == 87
+
+    def test_c48_is_seven_patterns(self):
+        """Sec. 6.2.2: 'The largest AIQL query is c4-8 with 7 event
+        patterns'."""
+        q = parse(by_id("c4-8").text)
+        assert len(q.patterns) == 7
+        assert max(
+            len(parse(query.text).patterns) for query in CASE_STUDY_QUERIES
+        ) == 7
+
+
+class TestPerformanceCorpus:
+    def test_nineteen_queries(self):
+        assert len(PERFORMANCE_QUERIES) == 19
+
+    def test_behavior_groups(self):
+        groups = [q.group for q in PERFORMANCE_QUERIES]
+        assert groups.count("a") == 5
+        assert groups.count("d") == 3
+        assert groups.count("v") == 5
+        assert groups.count("s") == 6
+
+    def test_dependency_queries_are_dependencies(self):
+        from repro.lang.ast import DependencyQuery
+
+        for qid in ("d1", "d2", "d3"):
+            assert isinstance(parse(by_id(qid).text), DependencyQuery)
+
+    def test_s5_s6_are_anomalies_and_excluded_from_conciseness(self):
+        assert by_id("s5").kind == "anomaly"
+        assert by_id("s6").kind == "anomaly"
+        assert "s5" not in CONCISENESS_QUERY_IDS
+        assert "s6" not in CONCISENESS_QUERY_IDS
+        assert len(CONCISENESS_QUERY_IDS) == 17
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.qid)
+    def test_parses_and_compiles(self, query):
+        ctx = compile_text(query.text)
+        assert ctx.kind in ("multievent", "anomaly")
+
+    def test_by_id_unknown(self):
+        with pytest.raises(KeyError):
+            by_id("zz-99")
+
+    def test_qids_unique(self):
+        qids = [q.qid for q in ALL_QUERIES]
+        assert len(qids) == len(set(qids))
