@@ -1,0 +1,133 @@
+"""Concurrent query service: throughput/latency at 1/8/32 in-flight queries.
+
+The ISSUE-1 acceptance benchmark: a batch of *identical-pattern* queries
+(same event patterns, distinct ``top N`` so query-level dedup cannot
+collapse them) is pushed through :class:`repro.service.QueryService` at
+three concurrency levels, with the partition-scan cache on and off.  The
+cache amortizes the per-partition scans across the batch, so cache-on
+throughput at 8 concurrent queries must be >= 2x cache-off.
+
+Run:  PYTHONPATH=src python benchmarks/bench_concurrent_service.py
+      (add ``--check`` to exit nonzero if the 2x criterion fails;
+      AIQL_BENCH_RATE scales the workload, default 300 events/host-day)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+from typing import List
+
+from repro.service import QueryService, ScanCache, SharedExecutor
+
+# Identical pattern, distinct text (the varying ``top N`` defeats
+# query-level dedup but not the scan cache).  Deliberately scan-heavy: no
+# entity predicates the attribute indexes could narrow, and a multi-day
+# window, so every data query walks many partitions.
+QUERY_TEMPLATE = """
+    (from "01/02/2017" to "01/09/2017")
+    proc p1 write file f1 as evt1[amount > 2000000]
+    proc p2 read file f1 as evt2[amount > 2000000]
+    with evt1 before evt2
+    return distinct p1, f1, p2 top {n}
+"""
+
+CONCURRENCY_LEVELS = (1, 8, 32)
+BATCH_SIZE = 32
+
+
+def measure(store, concurrency: int, use_cache: bool) -> dict:
+    store.scan_cache = ScanCache(max_entries=1024) if use_cache else None
+    executor = SharedExecutor(max_workers=concurrency)
+    service = QueryService(store, executor=executor)
+    queries = [
+        QUERY_TEMPLATE.format(n=100 + i) for i in range(BATCH_SIZE)
+    ]
+    latencies: List[float] = []
+    started = time.perf_counter()
+    futures = []
+    for text in queries:
+        t0 = time.perf_counter()
+        future = service.submit(text)
+        future.add_done_callback(
+            lambda f, t0=t0: latencies.append(time.perf_counter() - t0)
+        )
+        futures.append(future)
+    sizes = [len(f.result()) for f in futures]
+    wall = time.perf_counter() - started
+    # result() can return before the done-callback appended the last
+    # latency sample; wait for the stragglers before computing stats.
+    while len(latencies) < len(queries):
+        time.sleep(0.001)
+    executor.shutdown()
+    cache_stats = store.scan_cache.stats() if use_cache else {}
+    store.scan_cache = None
+    # Identical patterns, differing only in top N: row counts must be the
+    # shared total capped at each query's own limit.
+    total = max(sizes)
+    assert all(n == min(total, 100 + i) for i, n in enumerate(sizes)), sizes
+    assert total > 0, "benchmark query returned no rows"
+    return {
+        "concurrency": concurrency,
+        "cache": use_cache,
+        "wall_s": wall,
+        "qps": len(queries) / wall,
+        "mean_ms": statistics.mean(latencies) * 1000,
+        "p95_ms": sorted(latencies)[int(len(latencies) * 0.95) - 1] * 1000,
+        "cache_stats": cache_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless cache-on >= 2x cache-off at "
+                             "8 concurrent queries")
+    args = parser.parse_args(argv)
+
+    from repro.workload.loader import build_enterprise
+
+    rate = int(os.environ.get("AIQL_BENCH_RATE", "300"))
+    print(f"deploying enterprise (rate={rate})...", file=sys.stderr)
+    enterprise = build_enterprise(
+        stores=("partitioned",), events_per_host_day=rate
+    )
+    store = enterprise.store("partitioned")
+    # Warm the entity-attribute LIKE caches once so both scenarios start
+    # from the same index state.
+    QueryService(store).run(QUERY_TEMPLATE.format(n=99))
+
+    results = []
+    for concurrency in CONCURRENCY_LEVELS:
+        for use_cache in (False, True):
+            results.append(measure(store, concurrency, use_cache))
+
+    print(f"\n=== concurrent query service: {BATCH_SIZE} identical-pattern "
+          f"queries ===")
+    print(f"{'conc':>4s} {'cache':>5s} {'wall s':>8s} {'q/s':>8s} "
+          f"{'mean ms':>8s} {'p95 ms':>8s}  scan cache")
+    for r in results:
+        cs = r["cache_stats"]
+        cache_col = (
+            f"hits={cs['hits']} misses={cs['misses']} "
+            f"shared={cs['shared_waits']}" if cs else "-"
+        )
+        print(f"{r['concurrency']:4d} {'on' if r['cache'] else 'off':>5s} "
+              f"{r['wall_s']:8.3f} {r['qps']:8.1f} {r['mean_ms']:8.1f} "
+              f"{r['p95_ms']:8.1f}  {cache_col}")
+
+    by_key = {(r["concurrency"], r["cache"]): r for r in results}
+    speedup = by_key[(8, True)]["qps"] / by_key[(8, False)]["qps"]
+    print(f"\ncache speedup at 8 concurrent queries: {speedup:.1f}x "
+          f"(acceptance: >= 2x)")
+    if args.check and speedup < 2.0:
+        print("FAIL: below the 2x acceptance threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,9 @@ provides:
 * :mod:`repro.baselines` -- the PostgreSQL-, Neo4j- and Greenplum-like
   comparison systems and the SQL/Cypher/SPL conciseness corpus;
 * :mod:`repro.workload` -- the synthetic enterprise and the paper's attack
-  scenarios (APT case study, dependency chains, malware, abnormal behavior).
+  scenarios (APT case study, dependency chains, malware, abnormal behavior);
+* :mod:`repro.service` -- the concurrent query service: shared executor,
+  partition-scan cache, batched/deduplicated query submission.
 """
 
 from repro.core.config import SystemConfig
@@ -21,15 +23,18 @@ from repro.core.system import AIQLSystem
 from repro.engine.result import ResultSet
 from repro.lang.errors import AIQLError, AIQLSemanticError, AIQLSyntaxError
 from repro.lang.parser import parse
+from repro.service import QueryService, ScanCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AIQLError",
     "AIQLSemanticError",
     "AIQLSyntaxError",
     "AIQLSystem",
+    "QueryService",
     "ResultSet",
+    "ScanCache",
     "SystemConfig",
     "parse",
     "__version__",

@@ -23,13 +23,16 @@ from repro.core.system import AIQLSystem
 from repro.lang.errors import AIQLError
 
 
-def _build_system(rate: int) -> AIQLSystem:
+def _build_system(rate: int, cache: bool = True) -> AIQLSystem:
+    from repro.core.config import SystemConfig
     from repro.workload.loader import build_enterprise
 
     print(f"deploying the simulated enterprise (rate={rate})...", file=sys.stderr)
     enterprise = build_enterprise(events_per_host_day=rate)
     system = AIQLSystem.over(
-        enterprise.store("partitioned"), ingestor=enterprise.ingestor
+        enterprise.store("partitioned"),
+        ingestor=enterprise.ingestor,
+        config=SystemConfig(scan_cache=cache),
     )
     print(f"{enterprise.total_events} events ready", file=sys.stderr)
     return system
@@ -93,7 +96,9 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         print(query.text.strip())
         return 0
     if args.run:
-        system = _build_system(args.rate)
+        system = _build_system(args.rate, cache=not args.no_cache)
+        if args.jobs > 1:
+            return _run_corpus_concurrent(system, ALL_QUERIES, args.jobs)
         failures = 0
         for query in ALL_QUERIES:
             try:
@@ -111,6 +116,35 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     for query in ALL_QUERIES:
         print(f"{query.qid:12s} {query.group:3s} {query.kind}")
     return 0
+
+
+def _run_corpus_concurrent(system: AIQLSystem, queries, jobs: int) -> int:
+    """Run the corpus through the concurrent query service."""
+    from repro.service import QueryService, SharedExecutor
+
+    service = QueryService(
+        system.store,
+        scheduling=system.config.scheduling,
+        parallel=system.config.parallel,
+        executor=SharedExecutor(max_workers=jobs),
+    )
+    started = time.perf_counter()
+    futures = service.submit_many([q.text for q in queries])
+    failures = 0
+    for query, future in zip(queries, futures):
+        try:
+            result = future.result()
+            status = "ok" if len(result) >= query.min_rows else "EMPTY"
+            failures += status != "ok"
+            print(f"{query.qid:12s} {status:5s} {len(result):5d} row(s)")
+        except AIQLError as exc:
+            failures += 1
+            print(f"{query.qid:12s} ERROR {exc}")
+    elapsed = time.perf_counter() - started
+    print(f"({len(queries)} queries, {jobs} workers: {elapsed:.2f} s, "
+          f"{len(queries) / elapsed:.1f} q/s)")
+    print(f"service stats: {service.stats_snapshot()}")
+    return 1 if failures else 0
 
 
 def cmd_translate(args: argparse.Namespace) -> int:
@@ -157,6 +191,11 @@ def make_parser() -> argparse.ArgumentParser:
                         help="execute the whole corpus against a deployment")
     corpus.add_argument("--show", metavar="QID", help="print one query's text")
     corpus.add_argument("--rate", type=int, default=120)
+    corpus.add_argument("--jobs", "-j", type=int, default=1,
+                        help="run the corpus through the concurrent query "
+                             "service with this many workers")
+    corpus.add_argument("--no-cache", action="store_true",
+                        help="disable the partition-scan cache")
     corpus.set_defaults(func=cmd_corpus)
 
     translate = sub.add_parser(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 BACKENDS = ("partitioned", "flat", "segmented")
 SCHEDULINGS = ("relationship", "relationship_cardinality", "fetch_filter")
@@ -29,6 +30,21 @@ class SystemConfig:
         segment count and distribution policy of the segmented store
         (``domain`` = AIQL's semantics-aware placement, ``arrival`` =
         ingest-order placement).
+    scan_cache
+        enable the partition-scan cache on the partitioned store
+        (default on).  Scan results are memoized per
+        ``(partition, canonical filter)`` and invalidated automatically
+        when ingest appends to a partition; disable for memory-constrained
+        deployments or write-dominated workloads.
+    scan_cache_entries
+        LRU bound of the scan cache: the maximum number of cached
+        per-partition scan results (default 512).
+    max_workers
+        size of the process-wide shared executor that serves both
+        concurrent queries and partition/sub-window scan fan-out.
+        ``None`` uses the stdlib heuristic (cpu count + 4, capped at 32).
+        Only effective for the config that first touches the shared pool;
+        later systems in the same process reuse it.
     """
 
     backend: str = "partitioned"
@@ -37,6 +53,9 @@ class SystemConfig:
     agents_per_group: int = 10
     segments: int = 5
     distribution: str = "domain"
+    scan_cache: bool = True
+    scan_cache_entries: int = 512
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -48,3 +67,7 @@ class SystemConfig:
                 f"unknown scheduling {self.scheduling!r}; "
                 f"expected one of {SCHEDULINGS}"
             )
+        if self.scan_cache_entries < 1:
+            raise ValueError("scan_cache_entries must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None)")

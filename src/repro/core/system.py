@@ -25,14 +25,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import SystemConfig
+from repro.engine import compile_query
 from repro.engine.anomaly import AnomalyExecutor
-from repro.engine.dependency import compile_dependency
 from repro.engine.executor import MultieventExecutor
 from repro.engine.result import ResultSet
-from repro.lang import ast
-from repro.lang.context import QueryContext, compile_multievent
-from repro.lang.parser import parse
+from repro.lang.context import QueryContext
 from repro.model.entities import EntityRegistry
+from repro.service import QueryService, ScanCache, get_shared_executor
 from repro.storage.database import EventStore
 from repro.storage.flat import FlatStore
 from repro.storage.ingest import Ingestor
@@ -41,10 +40,15 @@ from repro.storage.segments import SegmentedStore
 
 
 def _build_store(config: SystemConfig, registry: EntityRegistry):
+    executor = get_shared_executor(config.max_workers)
     if config.backend == "partitioned":
         return EventStore(
             registry=registry,
             scheme=PartitionScheme(agents_per_group=config.agents_per_group),
+            executor=executor,
+            scan_cache=ScanCache(config.scan_cache_entries)
+            if config.scan_cache
+            else None,
         )
     if config.backend == "flat":
         return FlatStore(registry=registry)
@@ -52,6 +56,7 @@ def _build_store(config: SystemConfig, registry: EntityRegistry):
         registry=registry,
         segments=config.segments,
         policy=config.distribution,
+        executor=executor,
     )
 
 
@@ -77,6 +82,7 @@ class AIQLSystem:
             scheduling=self.config.scheduling,
             parallel=self.config.parallel,
         )
+        self._service: Optional[QueryService] = None
 
     @classmethod
     def over(
@@ -94,6 +100,13 @@ class AIQLSystem:
             ingestor.attach(store)
         self.ingestor = ingestor
         self.store = store
+        if (
+            self.config.scan_cache
+            and isinstance(store, EventStore)
+            and store.scan_cache is None
+        ):
+            store.scan_cache = ScanCache(self.config.scan_cache_entries)
+        self._service = None
         self._multievent = MultieventExecutor(
             store,
             scheduling=self.config.scheduling,
@@ -110,10 +123,7 @@ class AIQLSystem:
 
     def compile(self, text: str) -> QueryContext:
         """Parse + semantic analysis, without executing."""
-        tree = parse(text)
-        if isinstance(tree, ast.DependencyQuery):
-            return compile_dependency(tree)
-        return compile_multievent(tree)
+        return compile_query(text)
 
     def query(self, text: str) -> ResultSet:
         """Parse, compile, optimize and execute one AIQL query."""
@@ -157,6 +167,27 @@ class AIQLSystem:
             lines.append(f"temp rel: evt{rel.left} {rel.kind}{bounds} evt{rel.right}")
         return "\n".join(lines)
 
+    # -- concurrent service ----------------------------------------------------
+
+    @property
+    def service(self) -> QueryService:
+        """The concurrent query front-end over this system's store.
+
+        Created lazily; all submissions share the process-wide executor
+        and the store's partition-scan cache.
+        """
+        if self._service is None:
+            self._service = QueryService(
+                self.store,
+                scheduling=self.config.scheduling,
+                parallel=self.config.parallel,
+            )
+        return self._service
+
+    def query_many(self, texts) -> list:
+        """Execute a batch of queries concurrently (order-preserving)."""
+        return self.service.run_many(texts)
+
     # -- introspection ---------------------------------------------------------
 
     @property
@@ -164,4 +195,8 @@ class AIQLSystem:
         return self._multievent.last_stats or self._anomaly.last_stats
 
     def stats(self) -> dict:
-        return dict(self.store.stats())
+        stats = dict(self.store.stats())
+        cache = getattr(self.store, "scan_cache", None)
+        if cache is not None:
+            stats["scan_cache"] = cache.stats()
+        return stats

@@ -25,6 +25,22 @@ from repro.engine.scheduler import (
     make_scheduler,
 )
 from repro.engine.tuples import TupleSet
+from repro.lang import ast as _ast
+from repro.lang.context import QueryContext, compile_multievent
+from repro.lang.parser import parse as _parse
+
+
+def compile_query(text: str) -> QueryContext:
+    """Parse + semantic analysis for any AIQL query kind (no execution).
+
+    The one compile entry point shared by :class:`repro.AIQLSystem` and
+    the query service, so kind dispatch cannot diverge between them.
+    """
+    tree = _parse(text)
+    if isinstance(tree, _ast.DependencyQuery):
+        return compile_dependency(tree)
+    return compile_multievent(tree)
+
 
 __all__ = [
     "AnomalyExecutor",
@@ -37,6 +53,7 @@ __all__ = [
     "SchedulerStats",
     "TupleSet",
     "compile_dependency",
+    "compile_query",
     "evaluate_returns",
     "make_scheduler",
     "rewrite_dependency",

@@ -46,6 +46,13 @@ class AnomalyExecutor:
         self.last_stats = None
 
     def run(self, ctx: QueryContext) -> ResultSet:
+        result, stats = self.run_with_stats(ctx)
+        self.last_stats = stats
+        return result
+
+    def run_with_stats(self, ctx: QueryContext):
+        """Execute ``ctx``; returns ``(result, scheduler_stats)`` without
+        touching executor state (thread-safe, used by the query service)."""
         if ctx.kind != "anomaly" or ctx.sliding is None:
             raise AIQLSemanticError(
                 "AnomalyExecutor requires an anomaly query",
@@ -58,8 +65,7 @@ class AnomalyExecutor:
 
         scheduler = make_scheduler(self.scheduling, self.store, self.parallel)
         tuples = scheduler.run(ctx)
-        self.last_stats = scheduler.stats
-        return self._slide(ctx, tuples)
+        return self._slide(ctx, tuples), scheduler.stats
 
     # -- sliding-window machinery -------------------------------------------
 

@@ -32,6 +32,17 @@ class MultieventExecutor:
         self.last_stats = None
 
     def run(self, ctx: QueryContext) -> ResultSet:
+        result, stats = self.run_with_stats(ctx)
+        self.last_stats = stats
+        return result
+
+    def run_with_stats(self, ctx: QueryContext):
+        """Execute ``ctx``; returns ``(result, scheduler_stats)``.
+
+        Unlike :meth:`run` this touches no executor state, so one
+        executor instance can serve many threads (the query service calls
+        it from the shared pool).
+        """
         if ctx.kind != "multievent":
             raise AIQLSemanticError(
                 "MultieventExecutor cannot run anomaly queries",
@@ -39,8 +50,8 @@ class MultieventExecutor:
             )
         scheduler = make_scheduler(self.scheduling, self.store, self.parallel)
         tuples = scheduler.run(ctx)
-        self.last_stats = scheduler.stats
-        return evaluate_returns(ctx, tuples, self.store.registry.get)
+        result = evaluate_returns(ctx, tuples, self.store.registry.get)
+        return result, scheduler.stats
 
 
 def evaluate_returns(

@@ -14,12 +14,12 @@ query-level mechanism that works with *any* storage backend.)
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import List
+from typing import List, Optional
 
 from repro.model.events import SystemEvent
 from repro.model.time import DAY, TimeWindow, day_of
+from repro.service.pool import SharedExecutor, get_shared_executor
 from repro.storage.filters import EventFilter
 
 
@@ -52,15 +52,19 @@ def scan_split(
     store,
     flt: EventFilter,
     granularity: float = DAY,
-    max_workers: int = 4,
+    executor: Optional[SharedExecutor] = None,
 ) -> List[SystemEvent]:
-    """Execute one data query as parallel per-day sub-queries."""
+    """Execute one data query as parallel per-day sub-queries.
+
+    Sub-queries run on the process-wide shared executor (or the one passed
+    in); no thread pool is ever constructed per call.
+    """
     pieces = split_window(flt.window, granularity)
     if len(pieces) <= 1:
         return store.scan(flt)
     sub_filters = [replace(flt, window=piece) for piece in pieces]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        chunks = list(pool.map(store.scan, sub_filters))
+    pool = executor if executor is not None else get_shared_executor()
+    chunks = pool.map_all(store.scan, sub_filters)
     merged: List[SystemEvent] = []
     for chunk in chunks:
         merged.extend(chunk)

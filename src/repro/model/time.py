@@ -41,12 +41,17 @@ _UNIT_SECONDS = {
     "days": DAY,
 }
 
-# US formats first (the paper's examples use mm/dd/yyyy), then ISO 8601.
+# US formats first (the paper's examples use mm/dd/yyyy), then ISO 8601
+# at every granularity: date, minutes, seconds, fractional seconds.
 _DATETIME_FORMATS = (
+    "%m/%d/%Y %H:%M:%S.%f",
     "%m/%d/%Y %H:%M:%S",
     "%m/%d/%Y %H:%M",
     "%m/%d/%Y",
+    "%Y-%m-%dT%H:%M:%S.%f",
     "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%dT%H:%M",
+    "%Y-%m-%d %H:%M:%S.%f",
     "%Y-%m-%d %H:%M:%S",
     "%Y-%m-%d %H:%M",
     "%Y-%m-%d",
@@ -63,7 +68,8 @@ def parse_datetime(text: str) -> float:
     """Parse a datetime literal into an epoch timestamp (UTC).
 
     Accepts US formats (``01/01/2017``, ``01/01/2017 10:30:00``) and
-    ISO 8601 (``2017-01-01``, ``2017-01-01T10:30:00``).
+    ISO 8601 at any granularity (``2017-01-01``, ``2017-01-01T10:30``,
+    ``2017-01-01T10:30:00``, ``2017-01-01T10:30:00.500``).
     """
     cleaned = text.strip().strip('"').strip("'")
     for fmt in _DATETIME_FORMATS:

@@ -1,0 +1,33 @@
+"""Concurrent query service subsystem.
+
+Three pieces, layered:
+
+* :mod:`repro.service.pool` — the process-wide shared thread pool that
+  replaced every per-call ``ThreadPoolExecutor``;
+* :mod:`repro.service.cache` — the LRU partition-scan cache (keyed by
+  partition + canonical filter fingerprint, invalidated on ingest);
+* :mod:`repro.service.query_service` — the batch front-end that runs many
+  AIQL queries concurrently and deduplicates overlapping work.
+"""
+
+from repro.service.cache import ScanCache
+from repro.service.pool import SharedExecutor, get_shared_executor
+
+__all__ = [
+    "QueryService",
+    "ScanCache",
+    "ServiceStats",
+    "SharedExecutor",
+    "get_shared_executor",
+]
+
+
+def __getattr__(name: str):
+    # QueryService pulls in the whole engine/lang stack; resolving it
+    # lazily lets the storage layer import pool/cache without creating an
+    # import cycle (storage -> service -> engine -> lang -> storage).
+    if name in ("QueryService", "ServiceStats"):
+        from repro.service import query_service
+
+        return getattr(query_service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,167 @@
+"""Partition-scan cache: shareable, amortized scan work (ROADMAP scaling).
+
+Investigation workloads repeat themselves: iterative refinement (paper
+Sec. 6.2.1) re-issues the same event patterns with small variations, and
+concurrent analysts fire queries whose data queries overlap.  The seed
+implementation re-scanned every partition on every call.
+
+:class:`ScanCache` memoizes per-partition scan results, keyed by
+``(PartitionKey, filter fingerprint)`` where the fingerprint is the
+canonicalized hashable form of an :class:`~repro.storage.filters.EventFilter`
+(see :func:`repro.storage.filters.filter_fingerprint`).  Properties:
+
+* **LRU-bounded** — at most ``max_entries`` cached partition scans.
+* **Invalidation on ingest** — ``EventStore.add_event`` invalidates the
+  entries of the partition the event lands in (and only those).
+* **Single-flight** — concurrent misses on the same key execute the scan
+  once; the other callers wait on the winner's future.  This is the
+  storage-level half of the query service's sub-query deduplication.
+* **Write-race safety** — a result computed while its partition was
+  invalidated is returned to callers (equivalent to a scan racing an
+  ingest without the cache) but never inserted into the cache.
+
+Cached values are tuples of frozen events resolved against frozen entities,
+so sharing them across threads is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Callable, Dict, Hashable, Sequence, Tuple
+
+from repro.model.events import SystemEvent
+
+_Key = Tuple[Hashable, Hashable]  # (partition key, filter fingerprint)
+
+
+class ScanCache:
+    """Thread-safe LRU cache of per-partition scan results."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[_Key, Tuple[SystemEvent, ...]]" = OrderedDict()
+        self._inflight: Dict[_Key, "Future[Tuple[SystemEvent, ...]]"] = {}
+        self._generations: Dict[Hashable, int] = {}
+        # Per-partition key index so ingest-time invalidation is
+        # O(entries for that partition), not a walk of the whole cache.
+        self._keys_by_partition: Dict[Hashable, set] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.shared_waits = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_compute(
+        self,
+        partition: Hashable,
+        fingerprint: Hashable,
+        compute: Callable[[], Sequence[SystemEvent]],
+    ) -> Tuple[SystemEvent, ...]:
+        """Cached scan result for ``(partition, fingerprint)``.
+
+        On a miss, ``compute`` runs exactly once even under concurrent
+        callers (single-flight); its result is cached unless the partition
+        was invalidated while it ran.
+        """
+        key = (partition, fingerprint)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            future = self._inflight.get(key)
+            if future is not None:
+                owner = False
+                self.shared_waits += 1
+            else:
+                owner = True
+                future = Future()
+                self._inflight[key] = future
+                generation = self._generations.get(partition, 0)
+        if not owner:
+            return future.result()
+        try:
+            value = tuple(compute())
+        except BaseException as exc:
+            with self._lock:
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+            future.set_exception(exc)
+            raise
+        with self._lock:
+            # Invalidation may have detached this future and a fresh owner
+            # may have registered since: only remove our own entry.
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+            self.misses += 1
+            if self._generations.get(partition, 0) == generation:
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                self._keys_by_partition.setdefault(partition, set()).add(key)
+                while len(self._entries) > self.max_entries:
+                    evicted_key, _ = self._entries.popitem(last=False)
+                    self._discard_key(evicted_key)
+                    self.evictions += 1
+        future.set_result(value)
+        return value
+
+    def _discard_key(self, key: _Key) -> None:
+        keys = self._keys_by_partition.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._keys_by_partition[key[0]]
+
+    def invalidate(self, partition: Hashable) -> int:
+        """Drop every cached scan of ``partition``; returns entries dropped.
+
+        Also bumps the partition's generation so in-flight scans started
+        before the invalidation are not inserted when they complete.
+        """
+        with self._lock:
+            self._generations[partition] = self._generations.get(partition, 0) + 1
+            # Detach in-flight computes too: a miss arriving after this
+            # invalidation must scan fresh (read-your-writes), not join a
+            # single-flight started before the ingest.  The detached owner
+            # still resolves its waiters; it just won't be cached/joined.
+            for key in [k for k in self._inflight if k[0] == partition]:
+                del self._inflight[key]
+            stale = self._keys_by_partition.pop(partition, None)
+            if not stale:
+                return 0
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += 1
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (in-flight scans will not be inserted either)."""
+        with self._lock:
+            for key in self._inflight:
+                partition = key[0]
+                self._generations[partition] = (
+                    self._generations.get(partition, 0) + 1
+                )
+            self._entries.clear()
+            self._keys_by_partition.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "shared_waits": self.shared_waits,
+            }

@@ -1,0 +1,159 @@
+"""Concurrent AIQL query front-end (the ROADMAP "heavy traffic" seam).
+
+The seed served exactly one query at a time through
+:meth:`repro.AIQLSystem.query`.  :class:`QueryService` executes many AIQL
+queries concurrently against one store:
+
+* queries run as tasks on the process-wide :class:`SharedExecutor`
+  (``submit`` returns a future; ``submit_many``/``run_many`` batch);
+* identical in-flight queries are deduplicated — submitting a query whose
+  canonical text is already executing returns the existing future instead
+  of spawning a second execution;
+* overlapping *sub*-queries (the per-partition data-query scans) are
+  deduplicated and amortized by the store's
+  :class:`~repro.service.cache.ScanCache` — concurrent cache misses on the
+  same ``(partition, filter)`` key execute once (single-flight), and later
+  queries hit the warm cache until ingest invalidates the partition.
+
+Executor instances are created per call via the thread-safe
+``run_with_stats`` entry points, so any number of worker threads can share
+one service.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.engine import compile_query
+from repro.engine.anomaly import AnomalyExecutor
+from repro.engine.executor import MultieventExecutor
+from repro.engine.result import ResultSet
+from repro.lang.context import QueryContext
+from repro.service.pool import SharedExecutor, get_shared_executor
+
+
+@dataclass
+class ServiceStats:
+    """Counters for the service's dedup/concurrency behaviour."""
+
+    submitted: int = 0
+    executed: int = 0
+    deduped: int = 0
+
+
+class QueryService:
+    """Executes many AIQL queries concurrently against one store."""
+
+    def __init__(
+        self,
+        store,
+        scheduling: str = "relationship",
+        parallel: bool = False,
+        executor: Optional[SharedExecutor] = None,
+    ) -> None:
+        self.store = store
+        self.scheduling = scheduling
+        self.parallel = parallel
+        self._executor = (
+            executor if executor is not None else get_shared_executor()
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, "Future[ResultSet]"] = {}
+        self.stats = ServiceStats()
+
+    # -- compilation ---------------------------------------------------------
+
+    @staticmethod
+    def canonical_text(text: str) -> str:
+        """Whitespace-insensitive form used as the in-flight dedup key."""
+        return " ".join(text.split())
+
+    def compile(self, text: str) -> QueryContext:
+        return compile_query(text)
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, source: Union[str, QueryContext]) -> ResultSet:
+        ctx = self.compile(source) if isinstance(source, str) else source
+        if ctx.kind == "anomaly":
+            runner = AnomalyExecutor(
+                self.store, scheduling=self.scheduling, parallel=self.parallel
+            )
+        else:
+            runner = MultieventExecutor(
+                self.store, scheduling=self.scheduling, parallel=self.parallel
+            )
+        result, _stats = runner.run_with_stats(ctx)
+        with self._lock:
+            self.stats.executed += 1
+        return result
+
+    def submit(self, text: str) -> "Future[ResultSet]":
+        """Schedule one query; returns a future for its :class:`ResultSet`.
+
+        If an identical query (up to whitespace) is already in flight, its
+        future is returned instead of executing a second copy.  Dedup has
+        snapshot semantics: the shared execution may have begun before a
+        concurrent ingest, exactly as if the caller's own query had raced
+        the ingest.  Queries submitted after the shared one completes
+        always re-execute and observe the ingest.
+        """
+        key = self.canonical_text(text)
+        with self._lock:
+            self.stats.submitted += 1
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.stats.deduped += 1
+                return existing
+            future: "Future[ResultSet]" = Future()
+            self._inflight[key] = future
+
+        def task() -> None:
+            try:
+                value = self._execute(text)
+            except BaseException as exc:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                future.set_exception(exc)
+            else:
+                # Drop from in-flight before resolving: a submit arriving
+                # after ingest must re-execute, not adopt a stale result.
+                with self._lock:
+                    self._inflight.pop(key, None)
+                future.set_result(value)
+
+        self._executor.submit(task)
+        return future
+
+    def submit_many(self, texts: Sequence[str]) -> List["Future[ResultSet]"]:
+        """Schedule a batch; duplicate texts share one execution/future."""
+        return [self.submit(text) for text in texts]
+
+    def run(self, text: str) -> ResultSet:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(text).result()
+
+    def run_many(self, texts: Sequence[str]) -> List[ResultSet]:
+        """Execute a batch concurrently; results come back in input order."""
+        return [future.result() for future in self.submit_many(texts)]
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def scan_cache(self):
+        return getattr(self.store, "scan_cache", None)
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            snapshot: Dict[str, object] = {
+                "submitted": self.stats.submitted,
+                "executed": self.stats.executed,
+                "deduped": self.stats.deduped,
+            }
+        cache = self.scan_cache
+        if cache is not None:
+            snapshot["scan_cache"] = cache.stats()
+        return snapshot

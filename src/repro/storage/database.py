@@ -10,12 +10,17 @@ parallelization; the query-level half lives in :mod:`repro.engine.parallel`).
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.model.entities import Entity, EntityRegistry, EntityType
 from repro.model.events import SystemEvent
-from repro.storage.filters import EventFilter, top_level_equalities
+from repro.service.cache import ScanCache
+from repro.service.pool import SharedExecutor, get_shared_executor
+from repro.storage.filters import (
+    EventFilter,
+    filter_fingerprint,
+    top_level_equalities,
+)
 from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
 from repro.storage.partition import PartitionKey, PartitionScheme
 from repro.storage.table import EventTable
@@ -43,14 +48,22 @@ def narrow_with_index(flt: EventFilter, index: EntityAttributeIndex) -> EventFil
 
 
 class EventStore:
-    """Partitioned, indexed storage for system monitoring data."""
+    """Partitioned, indexed storage for system monitoring data.
+
+    Concurrency model: single writer, many readers.  One ingest thread may
+    append while any number of query-service workers scan; index lookups
+    are locked, dict iterations snapshot, and every candidate event is
+    re-checked against the full filter, so a racing append is either
+    visible or not-yet-visible but never corrupts a result.
+    """
 
     def __init__(
         self,
         registry: Optional[EntityRegistry] = None,
         scheme: Optional[PartitionScheme] = None,
         indexed_attributes=None,
-        max_workers: int = 4,
+        executor: Optional[SharedExecutor] = None,
+        scan_cache: Optional[ScanCache] = None,
     ) -> None:
         self.registry = registry if registry is not None else EntityRegistry()
         self.scheme = scheme or PartitionScheme()
@@ -60,7 +73,11 @@ class EventStore:
         self._partitions: Dict[PartitionKey, EventTable] = {}
         self._indexed_entities: set[int] = set()
         self._event_count = 0
-        self._max_workers = max_workers
+        # Parallel scans run on the process-wide shared pool (never a
+        # per-call one); the scan cache is optional and owner-provided so
+        # several stores can share or disable it.
+        self._executor = executor
+        self.scan_cache = scan_cache
 
     # -- ingestion ---------------------------------------------------------
 
@@ -79,12 +96,36 @@ class EventStore:
             self._partitions[key] = table
         table.append(event)
         self._event_count += 1
+        if self.scan_cache is not None:
+            self.scan_cache.invalidate(key)
 
     # -- queries -----------------------------------------------------------
 
+    @property
+    def executor(self) -> SharedExecutor:
+        if self._executor is None:
+            self._executor = get_shared_executor()
+        return self._executor
+
+    def _pruned_keys(self, flt: EventFilter) -> List[PartitionKey]:
+        # list() snapshots atomically; pruning must not iterate the live
+        # dict while a single-writer ingest inserts a new partition.
+        return self.scheme.prune(list(self._partitions), flt.agent_ids, flt.window)
+
     def _pruned(self, flt: EventFilter) -> List[EventTable]:
-        keys = self.scheme.prune(self._partitions.keys(), flt.agent_ids, flt.window)
-        return [self._partitions[key] for key in keys]
+        """Tables surviving partition pruning (also a benchmark probe)."""
+        return [self._partitions[key] for key in self._pruned_keys(flt)]
+
+    # Scheduler-narrowed sub-queries can carry join-derived id sets with
+    # thousands of members; their fingerprints are one-off (query-result-
+    # dependent), so caching them churns the LRU and evicts the reusable
+    # base-pattern entries.  Skip the cache above this many narrowed ids.
+    CACHEABLE_ID_SET_LIMIT = 128
+
+    @classmethod
+    def _cacheable(cls, flt: EventFilter) -> bool:
+        ids = len(flt.subject_ids or ()) + len(flt.object_ids or ())
+        return ids <= cls.CACHEABLE_ID_SET_LIMIT
 
     def scan(
         self,
@@ -98,19 +139,40 @@ class EventStore:
         models engines whose B-tree indexes cannot serve leading-wildcard
         LIKE predicates (stock PostgreSQL/Greenplum seq-scan in that case);
         partition pruning and the time index still apply.
+
+        Per-partition results are served from :attr:`scan_cache` when one
+        is attached; entries are keyed by the *narrowed* filter, so a
+        registered entity that changes index narrowing simply produces a
+        fresh cache key rather than a stale hit.
         """
+        # Cacheability is judged on the incoming filter: id sets already
+        # present were injected by the scheduler from join results (one-off
+        # keys), while the index narrowing below derives from the stable
+        # entity population and only shapes the cache key.
+        cache = self.scan_cache
+        cacheable = cache is not None and self._cacheable(flt)
         if use_entity_index:
             flt = narrow_with_index(flt, self.entity_index)
-        tables = self._pruned(flt)
-        if not tables:
+        keys = self._pruned_keys(flt)
+        if not keys:
             return []
-        if parallel and len(tables) > 1:
-            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                chunks = list(
-                    pool.map(lambda t: t.scan(flt, None), tables)
+        if cacheable:
+            fingerprint = filter_fingerprint(flt)
+
+            def scan_one(key: PartitionKey):
+                return cache.get_or_compute(
+                    key, fingerprint, lambda: self._partitions[key].scan(flt, None)
                 )
+
         else:
-            chunks = [table.scan(flt, None) for table in tables]
+
+            def scan_one(key: PartitionKey):
+                return self._partitions[key].scan(flt, None)
+
+        if parallel and len(keys) > 1:
+            chunks = self.executor.map_all(scan_one, keys)
+        else:
+            chunks = [scan_one(key) for key in keys]
         merged: List[SystemEvent] = []
         for chunk in chunks:
             merged.extend(chunk)
@@ -120,7 +182,7 @@ class EventStore:
     def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
         """Index- and pruning-free scan; the soundness oracle for tests."""
         matched: List[SystemEvent] = []
-        for table in self._partitions.values():
+        for table in list(self._partitions.values()):
             matched.extend(table.full_scan(flt))
         matched.sort(key=lambda e: (e.start_time, e.event_id))
         return matched
@@ -131,20 +193,20 @@ class EventStore:
         return self._event_count
 
     def __iter__(self) -> Iterator[SystemEvent]:
-        for key in sorted(self._partitions, key=lambda k: (k.day, k.agent_group)):
+        for key in sorted(list(self._partitions), key=lambda k: (k.day, k.agent_group)):
             yield from self._partitions[key]
 
     @property
     def partition_keys(self) -> Tuple[PartitionKey, ...]:
         return tuple(
-            sorted(self._partitions, key=lambda k: (k.day, k.agent_group))
+            sorted(list(self._partitions), key=lambda k: (k.day, k.agent_group))
         )
 
     def partition_sizes(self) -> Dict[PartitionKey, int]:
-        return {key: len(table) for key, table in self._partitions.items()}
+        return {key: len(table) for key, table in list(self._partitions.items())}
 
     def stats(self) -> Dict[str, object]:
-        sizes = [len(t) for t in self._partitions.values()]
+        sizes = [len(t) for t in list(self._partitions.values())]
         return {
             "events": self._event_count,
             "entities": len(self.registry),

@@ -58,19 +58,22 @@ class AttrPredicate:
             raise ValueError(f"unsupported comparison operator: {self.op!r}")
 
     def _membership(self, actual: object) -> bool:
+        # Scans run on pool workers; memoize via locals and publish the
+        # types set before the value set (readers key off _norm_set), so a
+        # concurrent reader never sees a half-initialized memo.
         normalized = getattr(self, "_norm_set", None)
-        if normalized is None:
+        norm_types = getattr(self, "_norm_types", None)
+        if normalized is None or norm_types is None:
             normalized = frozenset(
                 v.lower() if isinstance(v, str) else v for v in self.value  # type: ignore[union-attr]
             )
+            norm_types = frozenset(type(v) for v in normalized)
+            object.__setattr__(self, "_norm_types", norm_types)
             object.__setattr__(self, "_norm_set", normalized)
-            object.__setattr__(
-                self, "_norm_types", frozenset(type(v) for v in normalized)
-            )
         key = actual.lower() if isinstance(actual, str) else actual
         if key in normalized:
             return True
-        if type(key) in getattr(self, "_norm_types"):
+        if type(key) in norm_types:
             return False
         # fall back only for cross-type comparisons ('4444' vs 4444)
         return any(_equals(actual, v) for v in self.value)  # type: ignore[union-attr]
@@ -213,6 +216,74 @@ def top_level_equalities(node: Optional[PredicateNode]) -> Tuple[AttrPredicate, 
             p for child in node.children for p in top_level_equalities(child)
         )
     return ()
+
+
+# Case may only be folded where matching is case-insensitive: =/!= and
+# membership go through _equals/_norm_set (lower-cased), but the ordered
+# comparisons use raw string ordering.
+_CASE_INSENSITIVE_OPS = frozenset({"=", "!=", "in", "not in"})
+
+
+def canonical_value(value: object, fold_case: bool = True) -> object:
+    """Hashable canonical form of a predicate comparison value.
+
+    With ``fold_case`` strings fold to lower case (for the operators whose
+    matching is case-insensitive); collections become sorted tuples so
+    ``in`` lists compare independently of element order and container type.
+    """
+    if isinstance(value, str):
+        return value.lower() if fold_case else value
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return tuple(
+            sorted((canonical_value(v, fold_case) for v in value), key=repr)
+        )
+    return value
+
+
+def canonical_predicate(node: Optional[PredicateNode]) -> Optional[tuple]:
+    """Hashable canonical form of a predicate tree.
+
+    AND/OR children are sorted (conjunction and disjunction commute), so
+    two filters built from the same constraints in different orders share
+    one fingerprint.
+    """
+    if node is None:
+        return None
+    if isinstance(node, PredicateLeaf):
+        pred = node.pred
+        fold = pred.op in _CASE_INSENSITIVE_OPS
+        return ("leaf", pred.attr, pred.op, canonical_value(pred.value, fold))
+    if isinstance(node, PredicateNot):
+        return ("not", canonical_predicate(node.child))
+    assert isinstance(node, (PredicateAnd, PredicateOr))
+    tag = "and" if isinstance(node, PredicateAnd) else "or"
+    children = sorted(
+        (canonical_predicate(child) for child in node.children), key=repr
+    )
+    return (tag, tuple(children))
+
+
+def filter_fingerprint(flt: "EventFilter") -> tuple:
+    """A hashable key identifying what ``flt`` matches.
+
+    Two filters with equal fingerprints select the same events from the
+    same table: every field that influences matching is included, in a
+    canonical order-independent form.  Used as the partition-scan cache
+    key and for sub-query deduplication in the query service.
+    """
+    return (
+        tuple(sorted(flt.agent_ids)) if flt.agent_ids is not None else None,
+        (flt.window.start, flt.window.end),
+        tuple(sorted(op.value for op in flt.operations))
+        if flt.operations is not None
+        else None,
+        flt.object_type.value if flt.object_type is not None else None,
+        canonical_predicate(flt.subject_pred),
+        canonical_predicate(flt.object_pred),
+        canonical_predicate(flt.event_pred),
+        tuple(sorted(flt.subject_ids)) if flt.subject_ids is not None else None,
+        tuple(sorted(flt.object_ids)) if flt.object_ids is not None else None,
+    )
 
 
 @dataclass(frozen=True)

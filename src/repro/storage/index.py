@@ -17,6 +17,7 @@ destination IP of network connection".  We provide:
 from __future__ import annotations
 
 import bisect
+import threading
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -46,38 +47,47 @@ class HashIndex:
     repeated investigation pattern (the common case — Sec. 6.2.1's
     iterative refinement reuses the same entity constraints) hits a warm
     index.
+
+    Lookups and inserts are mutually locked: the concurrent query service
+    runs reads on pool workers while an ingest thread registers entities,
+    and an unguarded bucket iteration would see the dict resize mid-walk.
     """
 
     def __init__(self) -> None:
         self._buckets: Dict[object, Set[int]] = defaultdict(set)
         self._like_cache: Dict[str, FrozenSet[int]] = {}
+        self._lock = threading.Lock()
 
     def add(self, value: object, item_id: int) -> None:
-        self._buckets[_norm_key(value)].add(item_id)
-        if self._like_cache:
-            self._like_cache.clear()
+        with self._lock:
+            self._buckets[_norm_key(value)].add(item_id)
+            if self._like_cache:
+                self._like_cache.clear()
 
     def lookup(self, value: object) -> FrozenSet[int]:
-        return frozenset(self._buckets.get(_norm_key(value), frozenset()))
+        with self._lock:
+            return frozenset(self._buckets.get(_norm_key(value), frozenset()))
 
     def lookup_in(self, values: Iterable[object]) -> FrozenSet[int]:
         result: Set[int] = set()
-        for value in values:
-            result |= self._buckets.get(_norm_key(value), set())
+        with self._lock:
+            for value in values:
+                result |= self._buckets.get(_norm_key(value), set())
         return frozenset(result)
 
     def lookup_like(self, pattern: str) -> FrozenSet[int]:
-        cached = self._like_cache.get(pattern)
-        if cached is not None:
-            return cached
-        regex = like_to_regex(pattern)
-        result: Set[int] = set()
-        for key, ids in self._buckets.items():
-            if isinstance(key, str) and regex.match(key):
-                result |= ids
-        frozen = frozenset(result)
-        self._like_cache[pattern] = frozen
-        return frozen
+        with self._lock:
+            cached = self._like_cache.get(pattern)
+            if cached is not None:
+                return cached
+            regex = like_to_regex(pattern)
+            result: Set[int] = set()
+            for key, ids in self._buckets.items():
+                if isinstance(key, str) and regex.match(key):
+                    result |= ids
+            frozen = frozenset(result)
+            self._like_cache[pattern] = frozen
+            return frozen
 
     def lookup_predicate(self, pred: AttrPredicate) -> Optional[FrozenSet[int]]:
         """Serve a predicate if this index can; ``None`` if unsupported."""
@@ -108,15 +118,18 @@ class EntityAttributeIndex:
             for attr in attrs
         }
         self._ids_by_type: Dict[EntityType, Set[int]] = defaultdict(set)
+        self._ids_lock = threading.Lock()
 
     def add(self, entity: Entity) -> None:
         etype = entity.entity_type
-        self._ids_by_type[etype].add(entity.id)
+        with self._ids_lock:
+            self._ids_by_type[etype].add(entity.id)
         for attr in self._spec.get(etype, ()):
             self._indexes[(etype, attr)].add(entity.attribute(attr), entity.id)
 
     def all_ids(self, etype: EntityType) -> FrozenSet[int]:
-        return frozenset(self._ids_by_type.get(etype, frozenset()))
+        with self._ids_lock:
+            return frozenset(self._ids_by_type.get(etype, frozenset()))
 
     def covers(self, etype: EntityType, attr: str) -> bool:
         return (etype, normalize_attribute(etype, attr)) in self._indexes
@@ -151,28 +164,39 @@ class SortedTimeIndex:
     Events arrive in near-sorted order (per-agent sequence numbers increase
     monotonically), so maintenance is an append plus an occasional
     ``insort``; lookups are binary searches.
+
+    Add and range are mutually locked: the out-of-order insert updates the
+    two parallel lists in sequence, and a concurrent reader catching them
+    misaligned would map positions to the wrong timestamps.
     """
 
     def __init__(self) -> None:
         self._times: List[float] = []
         self._positions: List[int] = []
+        self._lock = threading.Lock()
 
     def add(self, start_time: float, position: int) -> None:
-        if not self._times or start_time >= self._times[-1]:
-            self._times.append(start_time)
-            self._positions.append(position)
-            return
-        idx = bisect.bisect_right(self._times, start_time)
-        self._times.insert(idx, start_time)
-        self._positions.insert(idx, position)
+        with self._lock:
+            if not self._times or start_time >= self._times[-1]:
+                self._times.append(start_time)
+                self._positions.append(position)
+                return
+            idx = bisect.bisect_right(self._times, start_time)
+            self._times.insert(idx, start_time)
+            self._positions.insert(idx, position)
 
     def range(
         self, start: Optional[float], end: Optional[float]
     ) -> List[int]:
         """Positions of events with ``start <= t < end`` (None = unbounded)."""
-        lo = 0 if start is None else bisect.bisect_left(self._times, start)
-        hi = len(self._times) if end is None else bisect.bisect_left(self._times, end)
-        return self._positions[lo:hi]
+        with self._lock:
+            lo = 0 if start is None else bisect.bisect_left(self._times, start)
+            hi = (
+                len(self._times)
+                if end is None
+                else bisect.bisect_left(self._times, end)
+            )
+            return self._positions[lo:hi]
 
     def __len__(self) -> int:
         return len(self._times)

@@ -15,12 +15,12 @@ Two distribution policies are provided:
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterator, List, Optional
 
 from repro.model.entities import Entity, EntityRegistry
 from repro.model.events import SystemEvent
 from repro.model.time import day_of
+from repro.service.pool import SharedExecutor, get_shared_executor
 from repro.storage.filters import EventFilter
 from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
 from repro.storage.table import EventTable
@@ -37,7 +37,7 @@ class SegmentedStore:
         segments: int = 5,
         policy: str = "domain",
         indexed_attributes=None,
-        max_workers: Optional[int] = None,
+        executor: Optional[SharedExecutor] = None,
     ) -> None:
         if segments < 1:
             raise ValueError("segments must be >= 1")
@@ -56,7 +56,7 @@ class SegmentedStore:
         ]
         self._indexed_entities: set[int] = set()
         self._rr = 0
-        self._max_workers = max_workers or segments
+        self._executor = executor
 
     @property
     def segment_count(self) -> int:
@@ -110,10 +110,11 @@ class SegmentedStore:
             flt = narrow_with_index(flt, self.entity_index)
         segments = self._relevant_segments(flt)
         if parallel and len(segments) > 1:
-            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                chunks = list(
-                    pool.map(lambda s: s.scan(flt, None), segments)
-                )
+            if self._executor is None:
+                self._executor = get_shared_executor()
+            chunks = self._executor.map_all(
+                lambda s: s.scan(flt, None), segments
+            )
         else:
             chunks = [segment.scan(flt, None) for segment in segments]
         merged: List[SystemEvent] = []

@@ -102,6 +102,17 @@ class EventTable:
 
         if position_sets:
             candidates = set.intersection(*position_sets)
+            if candidates and self._window_cuts(flt.window):
+                # Constrained/cached scans narrow by id sets that may span
+                # the whole partition lifetime; dropping out-of-window
+                # positions here (O(|candidates|), cheaper than walking
+                # the time index) keeps the scan from resolving entities
+                # and evaluating predicates for stale positions.
+                contains = flt.window.contains
+                events = self._events
+                candidates = {
+                    p for p in candidates if contains(events[p].start_time)
+                }
             return sorted(candidates)
 
         if flt.window.start is not None or flt.window.end is not None:
@@ -109,12 +120,21 @@ class EventTable:
 
         return range(len(self._events))
 
+    def _window_cuts(self, window) -> bool:
+        """True when ``window`` excludes part of this table's time range."""
+        if self.min_time is None:
+            return False
+        if window.start is not None and window.start > self.min_time:
+            return True
+        # Window ends are exclusive: an end beyond max_time excludes nothing.
+        return window.end is not None and window.end <= self.max_time
+
     def scan(
         self,
         flt: EventFilter,
         entity_index: Optional[EntityAttributeIndex] = None,
     ) -> List[SystemEvent]:
-        """Return all events matching ``flt``, in arrival order."""
+        """Return all events matching ``flt``, sorted by (start_time, event_id)."""
         matched: List[SystemEvent] = []
         lookup = self._entity_lookup
         for position in self._candidate_positions(flt, entity_index):

@@ -40,6 +40,55 @@ class TestParseDatetime:
     def test_quoted_input_accepted(self):
         assert parse_datetime('"01/01/2017"') == 1483228800.0
 
+    def test_iso_datetime_t_separator_minutes(self):
+        # Regression: %Y-%m-%dT%H:%M was rejected while the space-separated
+        # form was accepted.
+        assert parse_datetime("2017-01-01T10:30") == (
+            1483228800.0 + 10 * HOUR + 30 * MINUTE
+        )
+
+    def test_fractional_seconds(self):
+        assert parse_datetime("2017-01-01T10:30:00.500") == (
+            1483228800.0 + 10 * HOUR + 30 * MINUTE + 0.5
+        )
+
+    def test_fractional_seconds_space_separator(self):
+        assert parse_datetime("2017-01-01 10:30:00.250") == (
+            1483228800.0 + 10 * HOUR + 30 * MINUTE + 0.25
+        )
+
+    def test_fractional_seconds_us_format(self):
+        assert parse_datetime("01/01/2017 10:30:00.500") == (
+            1483228800.0 + 10 * HOUR + 30 * MINUTE + 0.5
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "2017-01-01",
+            "2017-01-01 10:30",
+            "2017-01-01T10:30",
+            "2017-01-01T10:30:00",
+            "2017-03-15 23:59:59",
+        ],
+    )
+    def test_round_trip_through_format(self, text):
+        """format_timestamp(parse_datetime(x)) reparses to the same instant."""
+        ts = parse_datetime(text)
+        assert parse_datetime(format_timestamp(ts)) == ts
+
+    def test_equivalent_forms_agree(self):
+        forms = (
+            "2017-01-01T10:30",
+            "2017-01-01 10:30",
+            "2017-01-01T10:30:00",
+            "2017-01-01 10:30:00",
+            "01/01/2017 10:30",
+            "01/01/2017 10:30:00",
+        )
+        stamps = {parse_datetime(f) for f in forms}
+        assert len(stamps) == 1
+
     def test_rejects_garbage(self):
         with pytest.raises(TimeParseError):
             parse_datetime("yesterday")

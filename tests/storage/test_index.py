@@ -126,3 +126,45 @@ class TestSortedTimeIndex:
         idx = SortedTimeIndex()
         idx.add(1.0, 0)
         assert len(idx) == 1
+
+
+class TestConcurrentReads:
+    def test_lookup_like_during_concurrent_add(self):
+        """Regression: the concurrent query service reads indexes while an
+        ingest thread registers entities; lookup_like used to crash with
+        'dictionary changed size during iteration'."""
+        import threading
+
+        index = HashIndex()
+        for i in range(100):
+            index.add(f"/tmp/seed{i}", i)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 1000
+            while not stop.is_set():
+                index.add(f"/tmp/new{i}", i)
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    index.lookup_like("/tmp/%")
+                    index.lookup_in([f"/tmp/seed{i}" for i in range(0, 100, 7)])
+            except RuntimeError as exc:  # pragma: no cover - the old bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert index.lookup_like("/tmp/seed1").issuperset({1})

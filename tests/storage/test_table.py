@@ -104,3 +104,47 @@ class TestScanPaths:
         table, _, _ = populated
         assert len(table) == 5
         assert len(list(table)) == 5
+
+
+class TestIdSetTimeIntersection:
+    """The id-set access path must drop out-of-window positions when the
+    window is bounded, instead of walking every posting position."""
+
+    def test_bounded_window_with_id_set(self, populated):
+        table, index, keys = populated
+        flt = EventFilter(
+            subject_ids=frozenset({keys["shell"].id}),
+            window=TimeWindow(start=150.0, end=350.0),
+        )
+        events = table.scan(flt, index)
+        assert [e.start_time for e in events] == [300.0]
+        assert events == table.full_scan(flt)
+
+    def test_candidates_pruned_by_time_window(self, populated):
+        table, index, keys = populated
+        flt = EventFilter(
+            subject_ids=frozenset({keys["shell"].id}),
+            window=TimeWindow(start=150.0, end=350.0),
+        )
+        positions = list(table._candidate_positions(flt, index))
+        # shell has postings at t=100 and t=300; only t=300 is in-window,
+        # so the walk must touch a single position.
+        assert len(positions) == 1
+
+    def test_unbounded_window_unchanged(self, populated):
+        table, index, keys = populated
+        flt = EventFilter(subject_ids=frozenset({keys["shell"].id}))
+        events = table.scan(flt, index)
+        assert [e.start_time for e in events] == [100.0, 300.0]
+        assert events == table.full_scan(flt)
+
+    def test_covering_window_skips_intersection(self, populated):
+        table, index, keys = populated
+        flt = EventFilter(
+            subject_ids=frozenset({keys["shell"].id}),
+            window=TimeWindow(start=0.0, end=1000.0),
+        )
+        # Window covers the whole table: _window_cuts is False and the
+        # id-set path alone decides.
+        assert not table._window_cuts(flt.window)
+        assert table.scan(flt, index) == table.full_scan(flt)
