@@ -1,0 +1,181 @@
+"""Ingest-while-query: service throughput under live streaming ingest.
+
+The ISSUE-2 acceptance benchmark.  A batch of identical-pattern queries
+(distinct ``top N`` defeats query-level dedup) runs through the concurrent
+query service while a :class:`~repro.workload.live.LiveReplay` streams
+background events into the store at 0 / 1k / 10k events/second, with the
+partition-scan cache on and off.  Live traffic lands in "today's"
+partitions; the queries investigate the historical window — partition-
+scoped invalidation keeps their cached scans hit-warm, where a global
+flush would recompute every scan after every commit.
+
+The acceptance probe asserts the scoping directly: with partitions A and B
+cache-warm, a batch commit touching only A leaves B's entry serving hits.
+
+Run:  PYTHONPATH=src python benchmarks/bench_live_ingest.py
+      (add ``--check`` to exit nonzero if the probe fails;
+      AIQL_BENCH_RATE scales the workload, default 300 events/host-day)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+from typing import List
+
+from repro.model.time import DAY, TimeWindow
+from repro.service import QueryService, ScanCache, SharedExecutor, StreamSession
+from repro.storage.filters import EventFilter
+from repro.workload.live import LiveReplay
+from repro.workload.topology import BASE_DAY
+
+QUERY_TEMPLATE = """
+    (from "01/02/2017" to "01/09/2017")
+    proc p1 write file f1 as evt1[amount > 2000000]
+    proc p2 read file f1 as evt2[amount > 2000000]
+    with evt1 before evt2
+    return distinct p1, f1, p2 top {n}
+"""
+
+INGEST_RATES = (0, 1_000, 10_000)
+JOBS = 8
+BATCH_SIZE = 24
+
+
+def measure(workload_rate: int, ingest_rate: int, use_cache: bool) -> dict:
+    # A fresh deployment per configuration: every cell queries the identical
+    # store state, untouched by the previous cell's live stream.
+    from repro.workload.loader import build_enterprise
+
+    enterprise = build_enterprise(
+        stores=("partitioned",), events_per_host_day=workload_rate
+    )
+    store = enterprise.store("partitioned")
+    QueryService(store).run(QUERY_TEMPLATE.format(n=99))  # warm LIKE caches
+    store.scan_cache = ScanCache(max_entries=1024) if use_cache else None
+    executor = SharedExecutor(max_workers=JOBS)
+    service = QueryService(store, executor=executor)
+    session = StreamSession(enterprise.ingestor)
+    replay_handle = None
+    if ingest_rate:
+        replay_handle = LiveReplay(session, rate=ingest_rate).start()
+
+    queries = [QUERY_TEMPLATE.format(n=100 + i) for i in range(BATCH_SIZE)]
+    latencies: List[float] = []
+    started = time.perf_counter()
+    futures = []
+    for text in queries:
+        t0 = time.perf_counter()
+        future = service.submit(text)
+        future.add_done_callback(
+            lambda f, t0=t0: latencies.append(time.perf_counter() - t0)
+        )
+        futures.append(future)
+    sizes = [len(f.result()) for f in futures]
+    wall = time.perf_counter() - started
+    while len(latencies) < len(queries):
+        time.sleep(0.001)
+
+    replay = replay_handle.stop() if replay_handle else None
+    executor.shutdown()
+    cache_stats = store.scan_cache.stats() if use_cache else {}
+    store.scan_cache = None
+    total = max(sizes)
+    assert total > 0, "benchmark query returned no rows"
+    assert all(n == min(total, 100 + i) for i, n in enumerate(sizes)), sizes
+    return {
+        "ingest_rate": ingest_rate,
+        "cache": use_cache,
+        "wall_s": wall,
+        "qps": len(queries) / wall,
+        "p95_ms": sorted(latencies)[int(len(latencies) * 0.95) - 1] * 1000,
+        "ingested": replay.events if replay else 0,
+        "achieved_ev_s": replay.achieved_rate if replay else 0.0,
+        "cache_stats": cache_stats,
+    }
+
+
+def partition_scoped_probe(workload_rate: int) -> bool:
+    """A commit touching one partition leaves the others' scans hit-warm."""
+    from repro.workload.loader import build_enterprise
+
+    enterprise = build_enterprise(
+        stores=("partitioned",), events_per_host_day=workload_rate
+    )
+    store = enterprise.store("partitioned")
+    store.scan_cache = ScanCache(max_entries=1024)
+    cache = store.scan_cache
+    session = StreamSession(enterprise.ingestor, batch_size=10**9)
+    host = session.process(1, 9999, "probe-daemon")
+    spool = session.file(1, "/var/probe/spool")
+
+    day2 = EventFilter(window=TimeWindow(BASE_DAY + DAY, BASE_DAY + 2 * DAY))
+    day3 = EventFilter(window=TimeWindow(BASE_DAY + 2 * DAY, BASE_DAY + 3 * DAY))
+    store.scan(day2)
+    store.scan(day3)
+
+    # Commit a batch into day 2 only.
+    for i in range(32):
+        session.append(1, BASE_DAY + DAY + 100.0 + i, "write", host, spool)
+    session.commit()
+
+    hits_before = cache.hits
+    misses_before = cache.misses
+    fresh_day2 = store.scan(day2)
+    warm_day3 = store.scan(day3)
+    day2_recomputed = cache.misses > misses_before
+    day3_hit_warm = cache.hits > hits_before
+    saw_batch = any(e.subject_id == host.id for e in fresh_day2)
+    ok = day2_recomputed and day3_hit_warm and saw_batch and warm_day3
+    print(f"\npartition-scoped invalidation probe: "
+          f"touched partition recomputed={day2_recomputed}, "
+          f"batch visible={saw_batch}, "
+          f"untouched partitions hit-warm={day3_hit_warm} "
+          f"-> {'OK' if ok else 'FAIL'}")
+    store.scan_cache = None
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the partition-scoped "
+                             "invalidation probe passes")
+    args = parser.parse_args(argv)
+
+    rate = int(os.environ.get("AIQL_BENCH_RATE", "300"))
+    results = []
+    for use_cache in (False, True):
+        for ingest_rate in INGEST_RATES:
+            print(f"deploying fresh enterprise (rate={rate}) for "
+                  f"ingest={ingest_rate} cache={'on' if use_cache else 'off'}"
+                  f"...", file=sys.stderr)
+            results.append(measure(rate, ingest_rate, use_cache))
+
+    print(f"\n=== ingest-while-query: {BATCH_SIZE} queries, {JOBS} workers, "
+          f"live ingest at 0/1k/10k ev/s ===")
+    print(f"{'ingest/s':>8s} {'cache':>5s} {'wall s':>8s} {'q/s':>8s} "
+          f"{'p95 ms':>8s} {'ingested':>9s} {'ev/s':>8s}  scan cache")
+    for r in results:
+        cs = r["cache_stats"]
+        cache_col = (
+            f"hits={cs['hits']} misses={cs['misses']} "
+            f"inval={cs['invalidations']}" if cs else "-"
+        )
+        print(f"{r['ingest_rate']:8d} {'on' if r['cache'] else 'off':>5s} "
+              f"{r['wall_s']:8.3f} {r['qps']:8.1f} {r['p95_ms']:8.1f} "
+              f"{r['ingested']:9d} {r['achieved_ev_s']:8.0f}  {cache_col}")
+
+    ok = partition_scoped_probe(rate)
+    if args.check and not ok:
+        print("FAIL: batch commit did not leave untouched partitions warm",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,8 @@ Subcommands:
 * ``demo``    — deploy the simulated enterprise and open a query loop (or
   run ``--query``/``--file`` non-interactively);
 * ``explain`` — show the execution plan for a query without running it;
-* ``corpus``  — list the paper's query corpus (``--run`` executes it);
+* ``corpus``  — list the paper's query corpus (``--run`` executes it,
+  ``--jobs N`` concurrently, ``--live RATE`` with streaming ingest);
 * ``translate`` — print the SQL/Cypher/SPL equivalents of an AIQL query.
 
 The CLI exists for exploration; programmatic use goes through
@@ -95,24 +96,50 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         print(f"-- {query.qid} ({query.kind})")
         print(query.text.strip())
         return 0
+    if args.live < 0:
+        print("--live RATE must be >= 0", file=sys.stderr)
+        return 2
     if args.run:
         system = _build_system(args.rate, cache=not args.no_cache)
-        if args.jobs > 1:
-            return _run_corpus_concurrent(system, ALL_QUERIES, args.jobs)
-        failures = 0
-        for query in ALL_QUERIES:
-            try:
-                started = time.perf_counter()
-                result = system.query(query.text)
-                elapsed = (time.perf_counter() - started) * 1000
-                status = "ok" if len(result) >= query.min_rows else "EMPTY"
-                failures += status != "ok"
-                print(f"{query.qid:12s} {status:5s} {len(result):5d} row(s) "
-                      f"{elapsed:8.1f} ms")
-            except AIQLError as exc:
-                failures += 1
-                print(f"{query.qid:12s} ERROR {exc}")
-        return 1 if failures else 0
+        replay_handle = None
+        session = None
+        if args.live:
+            from repro.workload.live import LiveReplay
+
+            session = system.stream()
+            replay_handle = LiveReplay(session, rate=args.live).start()
+            print(f"live ingest started at {args.live} events/s",
+                  file=sys.stderr)
+        try:
+            if args.jobs > 1:
+                rc = _run_corpus_concurrent(system, ALL_QUERIES, args.jobs)
+            else:
+                failures = 0
+                for query in ALL_QUERIES:
+                    try:
+                        started = time.perf_counter()
+                        result = system.query(query.text)
+                        elapsed = (time.perf_counter() - started) * 1000
+                        status = "ok" if len(result) >= query.min_rows else "EMPTY"
+                        failures += status != "ok"
+                        print(f"{query.qid:12s} {status:5s} {len(result):5d} "
+                              f"row(s) {elapsed:8.1f} ms")
+                    except AIQLError as exc:
+                        failures += 1
+                        print(f"{query.qid:12s} ERROR {exc}")
+                rc = 1 if failures else 0
+        finally:
+            if replay_handle is not None:
+                stats = replay_handle.stop()
+                print(f"live ingest: {stats.events} events in "
+                      f"{stats.batches} batch(es) over {stats.wall_s:.2f} s "
+                      f"({stats.achieved_rate:.0f} ev/s, target "
+                      f"{stats.target_rate:.0f}); watermark "
+                      f"{session.watermark}")
+                cache = getattr(system.store, "scan_cache", None)
+                if cache is not None:
+                    print(f"scan cache under live ingest: {cache.stats()}")
+        return rc
     for query in ALL_QUERIES:
         print(f"{query.qid:12s} {query.group:3s} {query.kind}")
     return 0
@@ -196,6 +223,9 @@ def make_parser() -> argparse.ArgumentParser:
                              "service with this many workers")
     corpus.add_argument("--no-cache", action="store_true",
                         help="disable the partition-scan cache")
+    corpus.add_argument("--live", type=float, default=0, metavar="RATE",
+                        help="with --run: stream live background events at "
+                             "RATE events/sec while the corpus executes")
     corpus.set_defaults(func=cmd_corpus)
 
     translate = sub.add_parser(

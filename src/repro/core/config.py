@@ -39,6 +39,12 @@ class SystemConfig:
     scan_cache_entries
         LRU bound of the scan cache: the maximum number of cached
         per-partition scan results (default 512).
+    stream_batch_size
+        auto-commit threshold of :meth:`AIQLSystem.stream` sessions: a
+        live-ingestion batch is committed (published atomically, touched
+        partitions invalidated) once this many events are staged.  Smaller
+        batches shrink ingest-to-visibility latency; larger batches
+        amortize commit overhead and cache invalidations.
     max_workers
         size of the process-wide shared executor that serves both
         concurrent queries and partition/sub-window scan fan-out.
@@ -55,6 +61,7 @@ class SystemConfig:
     distribution: str = "domain"
     scan_cache: bool = True
     scan_cache_entries: int = 512
+    stream_batch_size: int = 256
     max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -69,5 +76,7 @@ class SystemConfig:
             )
         if self.scan_cache_entries < 1:
             raise ValueError("scan_cache_entries must be >= 1")
+        if self.stream_batch_size < 1:
+            raise ValueError("stream_batch_size must be >= 1")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1 (or None)")

@@ -31,7 +31,12 @@ from repro.engine.executor import MultieventExecutor
 from repro.engine.result import ResultSet
 from repro.lang.context import QueryContext
 from repro.model.entities import EntityRegistry
-from repro.service import QueryService, ScanCache, get_shared_executor
+from repro.service import (
+    QueryService,
+    ScanCache,
+    StreamSession,
+    get_shared_executor,
+)
 from repro.storage.database import EventStore
 from repro.storage.flat import FlatStore
 from repro.storage.ingest import Ingestor
@@ -187,6 +192,21 @@ class AIQLSystem:
     def query_many(self, texts) -> list:
         """Execute a batch of queries concurrently (order-preserving)."""
         return self.service.run_many(texts)
+
+    # -- live ingestion --------------------------------------------------------
+
+    def stream(self, batch_size: Optional[int] = None) -> StreamSession:
+        """Open a live-ingestion session over this system's ingestor.
+
+        Events appended to the session become visible to queries at each
+        batch commit (atomic per partition, monotone watermark); only the
+        scan-cache entries of partitions a batch touches are invalidated,
+        so concurrent queries over other partitions stay cache-warm.
+        """
+        return StreamSession(
+            self.ingestor,
+            batch_size=batch_size or self.config.stream_batch_size,
+        )
 
     # -- introspection ---------------------------------------------------------
 

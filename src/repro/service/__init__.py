@@ -7,17 +7,22 @@ Three pieces, layered:
 * :mod:`repro.service.cache` — the LRU partition-scan cache (keyed by
   partition + canonical filter fingerprint, invalidated on ingest);
 * :mod:`repro.service.query_service` — the batch front-end that runs many
-  AIQL queries concurrently and deduplicates overlapping work.
+  AIQL queries concurrently and deduplicates overlapping work;
+* :mod:`repro.service.stream` — live streaming ingestion: batched atomic
+  commits concurrent with query execution, with a monotone watermark and
+  partition-scoped cache invalidation.
 """
 
 from repro.service.cache import ScanCache
 from repro.service.pool import SharedExecutor, get_shared_executor
+from repro.service.stream import StreamSession
 
 __all__ = [
     "QueryService",
     "ScanCache",
     "ServiceStats",
     "SharedExecutor",
+    "StreamSession",
     "get_shared_executor",
 ]
 

@@ -1,0 +1,165 @@
+"""Live streaming ingestion: batched appends concurrent with queries.
+
+The paper's deployment ingests a continuous agent stream while analysts run
+investigation queries.  :class:`StreamSession` makes that a first-class
+scenario: one streaming writer appends events while any number of query
+service workers read, and the write path is incremental instead of
+stop-the-world:
+
+* **Batched atomic commits** — appends are staged in the session and
+  committed per batch.  Each partition publishes its sub-batch with a
+  single visibility bump (:meth:`repro.storage.table.EventTable.append_batch`),
+  and the store's committed-event watermark moves only after *every*
+  partition of the batch has published, so a concurrent scan observes a
+  prefix-consistent snapshot: whole batches — even ones spanning
+  partitions — never a torn one.
+* **Monotone ingest watermark** — :meth:`commit` returns the total number of
+  events durably visible in the attached stores.  A query issued after
+  observing watermark *W* sees every event counted by *W* (read-your-writes).
+* **Partition-scoped cache invalidation** — a commit evicts only the scan
+  cache entries of partitions the batch actually touched (once per
+  partition, not once per event); cached scans of every other partition
+  stay hit-warm.
+* **Exactly-once validation** — events are validated at :meth:`append` time
+  through :meth:`repro.storage.ingest.Ingestor.build_event`; the commit
+  fan-out appends the already-validated batch to every store.
+
+The session is duck-type compatible with the :class:`Ingestor` surface the
+workload generators use (``process``/``file``/``connection``/
+``registry_value``/``pipe`` observation helpers and ``emit``), so any
+generator can be pointed at a session to stream instead of burst-load —
+that is what ``repro.workload.live`` and ``corpus --live`` do.
+
+Concurrency contract: the attached stores are single-writer/multi-reader;
+one StreamSession is that single writer.  ``append``/``commit`` are
+internally locked so an auto-flush racing an explicit ``commit`` stays
+well-ordered, but two sessions (or a session plus direct ``emit`` calls
+from another thread) must not write concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.model.events import SystemEvent
+
+DEFAULT_BATCH_SIZE = 256
+
+
+class StreamSession:
+    """Batched live-ingestion front-end over an :class:`Ingestor`."""
+
+    def __init__(self, ingestor, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.ingestor = ingestor
+        self.batch_size = batch_size
+        self._lock = threading.Lock()
+        self._pending: List[SystemEvent] = []
+        self._watermark = ingestor.events_ingested
+        self.appended = 0
+        self.batches_committed = 0
+
+    # -- entity observations (instant, not batched) -------------------------
+
+    @property
+    def registry(self):
+        return self.ingestor.registry
+
+    @property
+    def clock(self):
+        return self.ingestor.clock
+
+    def process(self, *args, **kwargs):
+        return self.ingestor.process(*args, **kwargs)
+
+    def file(self, *args, **kwargs):
+        return self.ingestor.file(*args, **kwargs)
+
+    def connection(self, *args, **kwargs):
+        return self.ingestor.connection(*args, **kwargs)
+
+    def registry_value(self, *args, **kwargs):
+        return self.ingestor.registry_value(*args, **kwargs)
+
+    def pipe(self, *args, **kwargs):
+        return self.ingestor.pipe(*args, **kwargs)
+
+    # -- event stream --------------------------------------------------------
+
+    @property
+    def watermark(self) -> int:
+        """Monotone count of events committed and visible to queries."""
+        return self._watermark
+
+    @property
+    def events_ingested(self) -> int:
+        """Committed plus staged events (the generator-facing counter)."""
+        with self._lock:
+            return self.ingestor.events_ingested + len(self._pending)
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def append(
+        self,
+        agent_id: int,
+        timestamp: float,
+        operation,
+        subject,
+        obj,
+        duration: float = 0.0,
+        amount: int = 0,
+        failure_code: int = 0,
+    ) -> SystemEvent:
+        """Stage one event; auto-commits when the batch fills.
+
+        The event is clock-corrected, numbered and validated immediately
+        (an invalid event raises :class:`IngestError` here and stages
+        nothing); it becomes visible to queries at the next commit.
+        """
+        event = self.ingestor.build_event(
+            agent_id, timestamp, operation, subject, obj,
+            duration=duration, amount=amount, failure_code=failure_code,
+        )
+        with self._lock:
+            self._pending.append(event)
+            self.appended += 1
+            flush = len(self._pending) >= self.batch_size
+        if flush:
+            self.commit()
+        return event
+
+    # Generator compatibility: BackgroundGenerator and the attack injectors
+    # call ``ingestor.emit``; pointed at a session they stream instead.
+    emit = append
+
+    def commit(self) -> int:
+        """Atomically publish the staged batch; returns the new watermark."""
+        with self._lock:
+            batch, self._pending = self._pending, []
+            if batch:
+                self.ingestor.commit(batch)
+                self.batches_committed += 1
+            self._watermark = self.ingestor.events_ingested
+            return self._watermark
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Commit the tail even on error: already-staged events are valid.
+        self.commit()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "appended": self.appended,
+                "committed": self._watermark,
+                "pending": len(self._pending),
+                "batches": self.batches_committed,
+                "batch_size": self.batch_size,
+            }

@@ -10,7 +10,7 @@ parallelization; the query-level half lives in :mod:`repro.engine.parallel`).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.entities import Entity, EntityRegistry, EntityType
 from repro.model.events import SystemEvent
@@ -55,6 +55,13 @@ class EventStore:
     are locked, dict iterations snapshot, and every candidate event is
     re-checked against the full filter, so a racing append is either
     visible or not-yet-visible but never corrupts a result.
+
+    Batch commits are atomic across partitions: each partition publishes
+    its sub-batch with one visibility bump, and readers additionally filter
+    by the store's committed-event watermark (``_committed``), which is
+    raised only after every partition of the batch has published.  A scan
+    racing a multi-partition commit therefore sees the whole batch or none
+    of it — never one partition's share without another's.
     """
 
     def __init__(
@@ -73,6 +80,10 @@ class EventStore:
         self._partitions: Dict[PartitionKey, EventTable] = {}
         self._indexed_entities: set[int] = set()
         self._event_count = 0
+        # Highest event id whose commit has fully published (all partitions
+        # bumped).  Readers drop rows above their snapshot of this, which is
+        # what makes a multi-partition batch commit atomic to scans.
+        self._committed = 0
         # Parallel scans run on the process-wide shared pool (never a
         # per-call one); the scan cache is optional and owner-provided so
         # several stores can share or disable it.
@@ -98,6 +109,42 @@ class EventStore:
         self._event_count += 1
         if self.scan_cache is not None:
             self.scan_cache.invalidate(key)
+        self._committed = max(self._committed, event.event_id)
+
+    def add_batch(self, events: Sequence[SystemEvent]) -> Tuple[PartitionKey, ...]:
+        """Append a committed batch; returns the partitions it touched.
+
+        The incremental write path of the streaming ingestion subsystem:
+        events are grouped per partition, each partition publishes its rows
+        and index postings with one visibility bump, and the scan cache is
+        invalidated once per *touched* partition — cached scans of
+        partitions the batch did not touch stay warm, unlike the per-event
+        exclusive path which pays one invalidation per event.  The
+        committed watermark is raised last (after every partition published
+        and the touched cache entries were dropped), so a reader either
+        filters the whole batch out or — once the watermark moves — finds
+        every partition's share already published: no torn batches, and a
+        post-commit query never gets a pre-commit cache entry.
+        """
+        by_key: Dict[PartitionKey, List[SystemEvent]] = {}
+        for event in events:
+            key = self.scheme.key_for(event.agent_id, event.start_time)
+            by_key.setdefault(key, []).append(event)
+        for key, chunk in by_key.items():
+            table = self._partitions.get(key)
+            if table is None:
+                table = EventTable(self.registry.get)
+                self._partitions[key] = table
+            table.append_batch(chunk)
+        if self.scan_cache is not None:
+            for key in by_key:
+                self.scan_cache.invalidate(key)
+        self._event_count += len(events)
+        if events:
+            self._committed = max(
+                self._committed, max(e.event_id for e in events)
+            )
+        return tuple(by_key)
 
     # -- queries -----------------------------------------------------------
 
@@ -149,6 +196,7 @@ class EventStore:
         # present were injected by the scheduler from join results (one-off
         # keys), while the index narrowing below derives from the stable
         # entity population and only shapes the cache key.
+        committed = self._committed  # snapshot before touching any partition
         cache = self.scan_cache
         cacheable = cache is not None and self._cacheable(flt)
         if use_entity_index:
@@ -175,15 +223,21 @@ class EventStore:
             chunks = [scan_one(key) for key in keys]
         merged: List[SystemEvent] = []
         for chunk in chunks:
-            merged.extend(chunk)
+            # Rows published by a still-committing batch (or cached by a
+            # later scan) sit above our committed snapshot; dropping them
+            # keeps multi-partition commits atomic to this scan.
+            merged.extend(e for e in chunk if e.event_id <= committed)
         merged.sort(key=lambda e: (e.start_time, e.event_id))
         return merged
 
     def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
         """Index- and pruning-free scan; the soundness oracle for tests."""
+        committed = self._committed
         matched: List[SystemEvent] = []
         for table in list(self._partitions.values()):
-            matched.extend(table.full_scan(flt))
+            matched.extend(
+                e for e in table.full_scan(flt) if e.event_id <= committed
+            )
         matched.sort(key=lambda e: (e.start_time, e.event_id))
         return matched
 
@@ -193,8 +247,11 @@ class EventStore:
         return self._event_count
 
     def __iter__(self) -> Iterator[SystemEvent]:
+        committed = self._committed
         for key in sorted(list(self._partitions), key=lambda k: (k.day, k.agent_group)):
-            yield from self._partitions[key]
+            for event in self._partitions[key]:
+                if event.event_id <= committed:
+                    yield event
 
     @property
     def partition_keys(self) -> Tuple[PartitionKey, ...]:

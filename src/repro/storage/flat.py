@@ -10,7 +10,7 @@ entity-attribute indexes, but no partition pruning and no scan parallelism.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.model.entities import Entity, EntityRegistry
 from repro.model.events import SystemEvent
@@ -42,6 +42,10 @@ class FlatStore:
 
     def add_event(self, event: SystemEvent) -> None:
         self._table.append(event)
+
+    def add_batch(self, events: Sequence[SystemEvent]) -> None:
+        """Append a committed batch atomically (one visibility bump)."""
+        self._table.append_batch(events)
 
     def scan(
         self,

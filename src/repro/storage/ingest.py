@@ -11,6 +11,13 @@ server.  The :class:`Ingestor` is the server side of that pipeline:
 * fans the stream out to any number of attached stores, so the optimized
   store and the baseline stores ingest identical copies of the data (the
   fairness requirement of Sec. 6.2.2).
+
+Validation and entity deduplication are hoisted above the fan-out: an event
+is validated exactly once (:meth:`Ingestor.build_event`) and an entity is
+registered into each store exactly once, no matter how many stores are
+attached or how often agents re-observe the entity.  Live ingestion goes
+through :class:`repro.service.stream.StreamSession`, which stages events
+built here and commits them in batches via :meth:`Ingestor.commit`.
 """
 
 from __future__ import annotations
@@ -48,12 +55,21 @@ class Ingestor:
         self._event_ids = itertools.count(1)
         self._seq: Dict[int, int] = defaultdict(int)
         self._events_ingested = 0
+        self._known_entities: set[int] = set()
+        self._staged = 0
+        self.validations = 0
 
     def attach(self, store: object) -> None:
-        """Attach a store (EventStore / FlatStore / SegmentedStore)."""
+        """Attach a store (EventStore / FlatStore / SegmentedStore).
+
+        A store attached after entities were already observed receives a
+        replay of the registry, so its attribute indexes match its peers'.
+        """
         if store.registry is not self.registry:  # type: ignore[attr-defined]
             raise ValueError("attached store must share the ingestor's registry")
         self._stores.append(store)
+        for entity in self.registry:
+            store.register_entity(entity)  # type: ignore[attr-defined]
 
     @property
     def events_ingested(self) -> int:
@@ -122,12 +138,18 @@ class Ingestor:
         return entity
 
     def _register(self, entity: Entity) -> None:
+        # Hoisted dedup: agents re-observe the same entity constantly (every
+        # event mentions two), so the fan-out runs once per entity, not once
+        # per observation per store.
+        if entity.id in self._known_entities:
+            return
+        self._known_entities.add(entity.id)
         for store in self._stores:
             store.register_entity(entity)  # type: ignore[attr-defined]
 
     # -- event ingestion ----------------------------------------------------
 
-    def emit(
+    def build_event(
         self,
         agent_id: int,
         timestamp: float,
@@ -138,7 +160,18 @@ class Ingestor:
         amount: int = 0,
         failure_code: int = 0,
     ) -> SystemEvent:
-        """Ingest one event; returns the stored (corrected) form."""
+        """Clock-correct, number and validate one event, without storing it.
+
+        This is the single validation point of the pipeline: an event is
+        checked against the data model exactly once here, regardless of how
+        many stores the fan-out will later append it to.  Streaming sessions
+        call this at append time and commit the already-validated batch.
+
+        Every built event MUST reach the stores through :meth:`commit` (or
+        the caller's own batched append): its id is issued into the stream
+        order, and the stores' commit watermarks assume ids become visible
+        in order.
+        """
         if isinstance(operation, str):
             operation = Operation.parse(operation)
         corrected = self.clock.correct(agent_id, timestamp)
@@ -160,10 +193,65 @@ class Ingestor:
             validate_event(event, subject, obj)
         except ValueError as exc:
             raise IngestError(str(exc)) from exc
+        self.validations += 1
+        self._staged += 1
+        return event
+
+    def emit(
+        self,
+        agent_id: int,
+        timestamp: float,
+        operation,
+        subject: Entity,
+        obj: Entity,
+        duration: float = 0.0,
+        amount: int = 0,
+        failure_code: int = 0,
+    ) -> SystemEvent:
+        """Ingest one event; returns the stored (corrected) form.
+
+        Refused while a streaming batch is staged: the stores' commit
+        watermarks require event ids to become visible in issue order, and
+        a single-event append racing ahead of staged (lower-id) events
+        would let a reader observe a later batch half-published.  Commit
+        the session first.
+        """
+        if self._staged:
+            raise IngestError(
+                "cannot emit single events while a streaming batch is "
+                "staged; commit the StreamSession first"
+            )
+        event = self.build_event(
+            agent_id, timestamp, operation, subject, obj,
+            duration=duration, amount=amount, failure_code=failure_code,
+        )
+        self._staged -= 1
         for store in self._stores:
             store.add_event(event)  # type: ignore[attr-defined]
         self._events_ingested += 1
         return event
+
+    def commit(self, events: Sequence[SystemEvent]) -> None:
+        """Fan a pre-validated batch out to every attached store.
+
+        Stores exposing ``add_batch`` receive the whole batch (atomic
+        publication, one cache invalidation per touched partition); others
+        fall back to per-event appends.
+        """
+        if not events:
+            return
+        events = tuple(events)
+        # max() tolerates batches built outside build_event (e.g. replayed
+        # snapshots); the staged counter must never go negative.
+        self._staged = max(0, self._staged - len(events))
+        for store in self._stores:
+            add_batch = getattr(store, "add_batch", None)
+            if add_batch is not None:
+                add_batch(events)
+            else:
+                for event in events:
+                    store.add_event(event)  # type: ignore[attr-defined]
+        self._events_ingested += len(events)
 
     def emit_batch(
         self,

@@ -15,7 +15,7 @@ Two distribution policies are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.model.entities import Entity, EntityRegistry
 from repro.model.events import SystemEvent
@@ -57,6 +57,12 @@ class SegmentedStore:
         self._indexed_entities: set[int] = set()
         self._rr = 0
         self._executor = executor
+        # Committed-event watermark (see EventStore): raised after every
+        # segment of a batch published, filtered on by readers, so a batch
+        # spanning segments is atomic to concurrent scans, iteration and
+        # len(); _event_count is likewise bumped once per commit.
+        self._committed = 0
+        self._event_count = 0
 
     @property
     def segment_count(self) -> int:
@@ -77,6 +83,28 @@ class SegmentedStore:
 
     def add_event(self, event: SystemEvent) -> None:
         self._segments[self._segment_for(event)].append(event)
+        self._event_count += 1
+        self._committed = max(self._committed, event.event_id)
+
+    def add_batch(self, events: Sequence[SystemEvent]) -> None:
+        """Append a committed batch; each segment publishes its share once.
+
+        Segment assignment is identical to the per-event path (round-robin
+        state advances per event under ``arrival``), so a streamed ingest
+        places every event exactly where a burst ingest would have.  The
+        watermark moves only after every segment published, making the
+        batch atomic to concurrent scans.
+        """
+        by_segment: Dict[int, List[SystemEvent]] = {}
+        for event in events:
+            by_segment.setdefault(self._segment_for(event), []).append(event)
+        for segment, chunk in by_segment.items():
+            self._segments[segment].append_batch(chunk)
+        self._event_count += len(events)
+        if events:
+            self._committed = max(
+                self._committed, max(e.event_id for e in events)
+            )
 
     def _relevant_segments(self, flt: EventFilter) -> List[EventTable]:
         """Segment pruning, only possible under the domain policy.
@@ -106,6 +134,7 @@ class SegmentedStore:
     ) -> List[SystemEvent]:
         from repro.storage.database import narrow_with_index
 
+        committed = self._committed  # snapshot before touching any segment
         if use_entity_index:
             flt = narrow_with_index(flt, self.entity_index)
         segments = self._relevant_segments(flt)
@@ -119,23 +148,29 @@ class SegmentedStore:
             chunks = [segment.scan(flt, None) for segment in segments]
         merged: List[SystemEvent] = []
         for chunk in chunks:
-            merged.extend(chunk)
+            merged.extend(e for e in chunk if e.event_id <= committed)
         merged.sort(key=lambda e: (e.start_time, e.event_id))
         return merged
 
     def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
+        committed = self._committed
         matched: List[SystemEvent] = []
         for segment in self._segments:
-            matched.extend(segment.full_scan(flt))
+            matched.extend(
+                e for e in segment.full_scan(flt) if e.event_id <= committed
+            )
         matched.sort(key=lambda e: (e.start_time, e.event_id))
         return matched
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._segments)
+        return self._event_count
 
     def __iter__(self) -> Iterator[SystemEvent]:
+        committed = self._committed
         for segment in self._segments:
-            yield from segment
+            for event in segment:
+                if event.event_id <= committed:
+                    yield event
 
     def segment_sizes(self) -> List[int]:
         return [len(s) for s in self._segments]

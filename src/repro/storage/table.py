@@ -11,12 +11,29 @@ of the MPP store.  It keeps events in arrival order, with
 
 The table itself is semantics-agnostic; domain optimizations (partition
 pruning, spatial/temporal parallelism) live above it.
+
+Visibility model (single writer, many readers): rows and index postings are
+staged first and *published* by a single monotone ``_visible`` bump, so a
+reader never observes part of a batch.  :meth:`append` publishes per event
+(the legacy exclusive write path); :meth:`append_batch` stages a whole
+batch and publishes it with one bump, which is what makes a streaming
+commit atomic with respect to concurrent scans of this partition.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from repro.model.entities import Entity, EntityType
 from repro.model.events import Operation, SystemEvent
@@ -34,10 +51,14 @@ class EventTable:
         self._by_subject: Dict[int, List[int]] = defaultdict(list)
         self._by_object: Dict[int, List[int]] = defaultdict(list)
         self._by_operation: Dict[Operation, List[int]] = defaultdict(list)
+        # Readers only see positions < _visible; the writer stages rows and
+        # index entries first, then publishes them with one assignment (an
+        # atomic int store under the GIL), so a batch is all-or-nothing.
+        self._visible = 0
         self.min_time: Optional[float] = None
         self.max_time: Optional[float] = None
 
-    def append(self, event: SystemEvent) -> None:
+    def _stage(self, event: SystemEvent) -> None:
         position = len(self._events)
         self._events.append(event)
         self._time_index.add(event.start_time, position)
@@ -49,11 +70,21 @@ class EventTable:
         if self.max_time is None or event.start_time > self.max_time:
             self.max_time = event.start_time
 
+    def append(self, event: SystemEvent) -> None:
+        self._stage(event)
+        self._visible = len(self._events)
+
+    def append_batch(self, events: Sequence[SystemEvent]) -> None:
+        """Stage ``events`` and publish them atomically (one visibility bump)."""
+        for event in events:
+            self._stage(event)
+        self._visible = len(self._events)
+
     def __len__(self) -> int:
-        return len(self._events)
+        return self._visible
 
     def __iter__(self) -> Iterator[SystemEvent]:
-        return iter(self._events)
+        return iter(self._events[: self._visible])
 
     def events_at(self, positions: Iterable[int]) -> List[SystemEvent]:
         return [self._events[p] for p in positions]
@@ -62,12 +93,17 @@ class EventTable:
         self,
         flt: EventFilter,
         entity_index: Optional[EntityAttributeIndex],
+        visible: Optional[int] = None,
     ) -> Iterable[int]:
         """Pick the cheapest access path for a filter.
 
         Preference order: explicit id sets from the scheduler, entity
-        attribute indexes, the time index, then a full scan.
+        attribute indexes, the time index, then a full scan.  Positions at
+        or beyond ``visible`` (defaults to the current publication point)
+        are staged-but-uncommitted batch rows and are never returned.
         """
+        if visible is None:
+            visible = self._visible
         position_sets: List[Set[int]] = []
 
         def positions_for_ids(
@@ -102,6 +138,7 @@ class EventTable:
 
         if position_sets:
             candidates = set.intersection(*position_sets)
+            candidates = {p for p in candidates if p < visible}
             if candidates and self._window_cuts(flt.window):
                 # Constrained/cached scans narrow by id sets that may span
                 # the whole partition lifetime; dropping out-of-window
@@ -116,9 +153,10 @@ class EventTable:
             return sorted(candidates)
 
         if flt.window.start is not None or flt.window.end is not None:
-            return self._time_index.range(flt.window.start, flt.window.end)
+            positions = self._time_index.range(flt.window.start, flt.window.end)
+            return [p for p in positions if p < visible]
 
-        return range(len(self._events))
+        return range(visible)
 
     def _window_cuts(self, window) -> bool:
         """True when ``window`` excludes part of this table's time range."""
@@ -137,7 +175,8 @@ class EventTable:
         """Return all events matching ``flt``, sorted by (start_time, event_id)."""
         matched: List[SystemEvent] = []
         lookup = self._entity_lookup
-        for position in self._candidate_positions(flt, entity_index):
+        visible = self._visible  # one snapshot: the whole scan sees one prefix
+        for position in self._candidate_positions(flt, entity_index, visible):
             event = self._events[position]
             subject = lookup(event.subject_id)
             obj = lookup(event.object_id)
@@ -151,7 +190,7 @@ class EventTable:
         lookup = self._entity_lookup
         matched = [
             event
-            for event in self._events
+            for event in self._events[: self._visible]
             if flt.matches(event, lookup(event.subject_id), lookup(event.object_id))
         ]
         matched.sort(key=lambda e: (e.start_time, e.event_id))

@@ -1,0 +1,197 @@
+"""Live replay: stream the simulated enterprise at a target event rate.
+
+Production monitoring never stops — agents trickle events into the central
+store while analysts run investigation queries.  :class:`LiveReplay` drives
+the :class:`~repro.workload.generator.BackgroundGenerator` through a
+:class:`~repro.service.stream.StreamSession`, pacing emissions to a target
+events/second rate, so benchmarks and ``corpus --live`` can measure query
+throughput *under* concurrent ingest instead of against a frozen store.
+
+The replay generates days beyond the pre-loaded simulation window by
+default, mimicking "today's" traffic arriving on top of the historical
+data the corpus queries investigate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.model.time import DAY
+from repro.workload.generator import BackgroundGenerator, GeneratorConfig
+from repro.workload.topology import BASE_DAY, HOSTS, Host, SIMULATION_DAYS
+
+
+class _StopReplay(Exception):
+    """Internal: unwinds the generator when the replay is told to stop."""
+
+
+class _PacedFeed:
+    """StreamSession proxy that paces ``emit`` to a target rate.
+
+    Entity observations pass through unthrottled (they are metadata, not
+    stream volume); each event emission sleeps as needed to hold the rate
+    and checks the stop signal / event budget.
+    """
+
+    def __init__(
+        self,
+        session,
+        rate: float,
+        stop: Optional[threading.Event],
+        max_events: Optional[int],
+    ) -> None:
+        self._session = session
+        self._rate = rate
+        self._stop = stop
+        self._max = max_events
+        self._started = time.monotonic()
+        self.count = 0
+
+    def __getattr__(self, name):
+        return getattr(self._session, name)
+
+    def emit(self, *args, **kwargs):
+        if self._stop is not None and self._stop.is_set():
+            raise _StopReplay
+        if self._max is not None and self.count >= self._max:
+            raise _StopReplay
+        if self._rate > 0:
+            due = self._started + self.count / self._rate
+            delay = due - time.monotonic()
+            if delay > 0:
+                if self._stop is not None:
+                    # Interruptible: a stop() request must not wait out the
+                    # full inter-event delay (100 s at rate 0.01).
+                    if self._stop.wait(delay):
+                        raise _StopReplay
+                else:
+                    time.sleep(delay)
+        event = self._session.emit(*args, **kwargs)
+        self.count += 1
+        return event
+
+
+@dataclass
+class ReplayStats:
+    """Outcome of one replay run."""
+
+    events: int
+    batches: int
+    wall_s: float
+    target_rate: float
+    watermark: int
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class ReplayHandle:
+    """A replay running on a background thread."""
+
+    def __init__(self, thread: threading.Thread, stop: threading.Event, box: dict):
+        self._thread = thread
+        self._stop = stop
+        self._box = box
+
+    def stop(self, timeout: float = 30.0) -> ReplayStats:
+        """Signal the replay to finish, wait for it, return its stats."""
+        self._stop.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("live replay did not stop in time")
+        error = self._box.get("error")
+        if error is not None:
+            raise error
+        return self._box["stats"]
+
+
+class LiveReplay:
+    """Streams generated enterprise activity through a StreamSession."""
+
+    def __init__(
+        self,
+        session,
+        rate: float = 1000.0,
+        hosts: Sequence[Host] = HOSTS,
+        start_day: Optional[float] = None,
+        seed: int = 20170117,
+        events_per_host_day: int = 400,
+    ) -> None:
+        """``rate`` is the target events/second; 0 means unthrottled.
+
+        ``start_day`` defaults to the first day after the pre-loaded
+        simulation window, so live traffic lands in fresh partitions the
+        way "today's" events would.
+        """
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        self.session = session
+        self.rate = rate
+        self.hosts = hosts
+        self.start_day = (
+            start_day
+            if start_day is not None
+            else BASE_DAY + SIMULATION_DAYS * DAY
+        )
+        self.seed = seed
+        self.events_per_host_day = events_per_host_day
+
+    def stream(
+        self,
+        max_events: Optional[int] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> ReplayStats:
+        """Run the replay on the calling thread until stopped or exhausted.
+
+        Generates day after day of background activity (the day index only
+        shifts timestamps; the stream is unbounded) and commits the tail
+        batch before returning, so everything emitted is visible.
+        """
+        feed = _PacedFeed(self.session, self.rate, stop, max_events)
+        generator = BackgroundGenerator(
+            feed,
+            GeneratorConfig(
+                seed=self.seed,
+                hosts=self.hosts,
+                events_per_host_day=self.events_per_host_day,
+            ),
+        )
+        batches_before = self.session.batches_committed
+        started = time.monotonic()
+        day = 0
+        try:
+            while max_events is None or feed.count < max_events:
+                if stop is not None and stop.is_set():
+                    break
+                generator.run_day(self.start_day + day * DAY)
+                day += 1
+        except _StopReplay:
+            pass
+        watermark = self.session.commit()
+        wall = time.monotonic() - started
+        return ReplayStats(
+            events=feed.count,
+            batches=self.session.batches_committed - batches_before,
+            wall_s=wall,
+            target_rate=self.rate,
+            watermark=watermark,
+        )
+
+    def start(self, max_events: Optional[int] = None) -> ReplayHandle:
+        """Run :meth:`stream` on a daemon thread; stop via the handle."""
+        stop = threading.Event()
+        box: dict = {}
+
+        def run() -> None:
+            try:
+                box["stats"] = self.stream(max_events=max_events, stop=stop)
+            except BaseException as exc:  # surfaced by ReplayHandle.stop
+                box["error"] = exc
+
+        thread = threading.Thread(target=run, name="aiql-live-replay", daemon=True)
+        thread.start()
+        return ReplayHandle(thread, stop, box)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.model.entities import EntityRegistry
+from repro.service.stream import StreamSession
 from repro.storage.database import EventStore
 from repro.storage.flat import FlatStore
 from repro.storage.ingest import Ingestor
@@ -39,6 +40,9 @@ class Enterprise:
     stores: Dict[str, object]
     truths: Dict[str, object] = field(default_factory=dict)
     background_events: int = 0
+    # Set when the deployment was populated through a live StreamSession
+    # (build_enterprise(stream_batch_size=...)) instead of a burst load.
+    session: Optional[StreamSession] = None
 
     @property
     def registry(self) -> EntityRegistry:
@@ -60,6 +64,7 @@ def build_enterprise(
     hosts=HOSTS,
     segments: int = 5,
     inject_attacks: bool = True,
+    stream_batch_size: Optional[int] = None,
 ) -> Enterprise:
     """Build and populate the evaluation environment.
 
@@ -67,6 +72,14 @@ def build_enterprise(
     injections are fixed-size.  The default (120 ev/host/day x 15 hosts x
     16 days ~ 30k background events) keeps the test suite fast; benchmarks
     raise it.
+
+    ``stream_batch_size`` switches population from a burst load to live
+    streaming: the whole workload (background and attacks) is appended
+    through a :class:`StreamSession` and committed in batches of that size,
+    exercising the exact write path a production deployment uses.  The
+    session is returned on :attr:`Enterprise.session` for further live
+    appends.  Either way every attached store ingests the identical event
+    sequence (the Sec. 6.2.2 fairness requirement).
     """
     ingestor = Ingestor()
     built: Dict[str, object] = {}
@@ -97,19 +110,28 @@ def build_enterprise(
         days=days,
         events_per_host_day=events_per_host_day,
     )
-    background = BackgroundGenerator(ingestor, config).run()
+    session: Optional[StreamSession] = None
+    feed = ingestor
+    if stream_batch_size is not None:
+        session = StreamSession(ingestor, batch_size=stream_batch_size)
+        feed = session
+    background = BackgroundGenerator(feed, config).run()
 
     truths: Dict[str, object] = {}
     if inject_attacks:
-        truths["apt"] = inject_apt_case_study(ingestor)
-        truths["apt2"] = inject_apt2(ingestor)
-        truths["dependency"] = inject_dependency_behaviors(ingestor)
-        truths["malware"] = inject_malware_behaviors(ingestor)
-        truths["abnormal"] = inject_abnormal_behaviors(ingestor)
+        truths["apt"] = inject_apt_case_study(feed)
+        truths["apt2"] = inject_apt2(feed)
+        truths["dependency"] = inject_dependency_behaviors(feed)
+        truths["malware"] = inject_malware_behaviors(feed)
+        truths["abnormal"] = inject_abnormal_behaviors(feed)
+
+    if session is not None:
+        session.commit()
 
     return Enterprise(
         ingestor=ingestor,
         stores=built,
         truths=truths,
         background_events=background,
+        session=session,
     )

@@ -98,3 +98,90 @@ class TestIngestor:
         a = ingestor.file(1, "/etc/passwd")
         b = ingestor.file(1, "/etc/passwd")
         assert a is b
+
+
+class RecordingStore:
+    """Minimal store double that records every call the fan-out makes."""
+
+    def __init__(self, registry, batched=True):
+        self.registry = registry
+        self.registered = []
+        self.added = []
+        self.batch_calls = 0
+        if batched:
+            self.add_batch = self._add_batch
+
+    def register_entity(self, entity):
+        self.registered.append(entity.id)
+
+    def add_event(self, event):
+        self.added.append(event.event_id)
+
+    def _add_batch(self, events):
+        self.batch_calls += 1
+        self.added.extend(e.event_id for e in events)
+
+
+class TestFanOutHoisting:
+    """Validation and entity dedup run once, not once per attached store."""
+
+    def test_entity_registered_once_per_store_despite_reobservation(self):
+        ingestor = Ingestor()
+        stores = [RecordingStore(ingestor.registry) for _ in range(3)]
+        for store in stores:
+            ingestor.attach(store)
+        first = ingestor.process(1, 5, "bash")
+        again = ingestor.process(1, 5, "bash")  # agents re-observe constantly
+        assert first is again
+        for store in stores:
+            assert store.registered == [first.id]
+
+    def test_validation_counted_once_regardless_of_store_count(self):
+        ingestor = Ingestor()
+        for _ in range(4):
+            ingestor.attach(RecordingStore(ingestor.registry))
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        ingestor.emit(1, 10.0, "read", p, f)
+        ingestor.commit(
+            [ingestor.build_event(1, 11.0 + i, "read", p, f) for i in range(5)]
+        )
+        assert ingestor.validations == 6
+
+    def test_late_attached_store_receives_entity_replay(self):
+        ingestor = Ingestor()
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        late = RecordingStore(ingestor.registry)
+        ingestor.attach(late)
+        assert set(late.registered) == {p.id, f.id}
+
+    def test_emit_refused_while_batch_staged(self):
+        # A single-event emit racing ahead of staged (lower-id) events
+        # would break the commit watermark's id-order assumption.
+        ingestor, store = make_ingestor()
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        staged = [ingestor.build_event(1, 10.0, "read", p, f)]
+        with pytest.raises(IngestError):
+            ingestor.emit(1, 11.0, "read", p, f)
+        ingestor.commit(staged)
+        event = ingestor.emit(1, 12.0, "read", p, f)  # fine after commit
+        assert event.event_id > staged[0].event_id
+        assert len(store) == 2
+
+    def test_commit_falls_back_to_per_event_appends(self):
+        ingestor = Ingestor()
+        plain = RecordingStore(ingestor.registry, batched=False)
+        batched = RecordingStore(ingestor.registry)
+        ingestor.attach(plain)
+        ingestor.attach(batched)
+        p = ingestor.process(1, 5, "bash")
+        f = ingestor.file(1, "/x")
+        events = [
+            ingestor.build_event(1, 10.0 + i, "read", p, f) for i in range(3)
+        ]
+        ingestor.commit(events)
+        assert plain.added == batched.added == [e.event_id for e in events]
+        assert batched.batch_calls == 1
+        assert ingestor.events_ingested == 3

@@ -1,9 +1,12 @@
 """ScanCache + filter fingerprinting: LRU bounds, invalidation, dedup."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.model.time import DAY, TimeWindow
 from repro.service.cache import ScanCache
+from repro.service.stream import StreamSession
 from repro.storage.database import EventStore
 from repro.storage.filters import (
     AttrPredicate,
@@ -218,3 +221,88 @@ class TestEventStoreIntegration:
         assert store.scan_cache.misses == misses_before + 1
         assert store.scan_cache.hits == 1
         assert result == store.full_scan(flt)
+
+    def test_add_batch_invalidates_touched_partitions_once(self):
+        ingestor, store = self._store()
+        proc = ingestor.process(1, 10, "bash")
+        target = ingestor.file(1, "/etc/passwd")
+        ingestor.emit(1, 5.0, "read", proc, target)
+        ingestor.emit(1, DAY + 5.0, "read", proc, target)
+        flt = EventFilter(window=TimeWindow(start=0.0, end=2 * DAY))
+        store.scan(flt)  # warm both day partitions
+        cache = store.scan_cache
+        invalidations_before = cache.invalidations
+        batch = [
+            ingestor.build_event(1, 6.0 + i, "write", proc, target)
+            for i in range(10)
+        ]
+        touched = store.add_batch(batch)
+        assert len(touched) == 1  # all ten events land in day 0
+        assert cache.invalidations == invalidations_before + 1
+        result = store.scan(flt)
+        assert result == store.full_scan(flt)
+        assert cache.hits == 1  # day 1's entry stayed warm
+
+
+# Random interleavings of batch commits and cached scans.  Three agents with
+# agents_per_group=1 and same-day timestamps give three distinct partitions;
+# the invariants: a scan never returns stale rows for a partition a commit
+# touched, and a commit never evicts the cached scans of untouched
+# partitions (their next scan is a hit, not a recompute).
+
+_AGENTS = (1, 2, 3)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("commit"),
+            st.lists(st.sampled_from(_AGENTS), min_size=1, max_size=3),
+        ),
+        st.tuples(st.just("scan"), st.sampled_from(_AGENTS)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestPartitionScopedInvalidationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_ops)
+    def test_random_interleavings_never_stale_never_overevict(self, ops):
+        ingestor = Ingestor()
+        store = EventStore(
+            registry=ingestor.registry,
+            scheme=PartitionScheme(agents_per_group=1),
+            scan_cache=ScanCache(max_entries=64),
+        )
+        ingestor.attach(store)
+        session = StreamSession(ingestor, batch_size=10**9)
+        procs = {a: ingestor.process(a, 10, "bash") for a in _AGENTS}
+        files = {a: ingestor.file(a, f"/data/{a}") for a in _AGENTS}
+        filters = {a: EventFilter(agent_ids=frozenset({a})) for a in _AGENTS}
+        cache = store.scan_cache
+        clock = {a: 0.0 for a in _AGENTS}
+        warm = set()  # agents whose partition has a cached scan
+        for op in ops:
+            if op[0] == "commit":
+                _, agents = op
+                for agent in agents:
+                    clock[agent] += 1.0
+                    session.append(
+                        agent, 5.0 + clock[agent], "read",
+                        procs[agent], files[agent],
+                    )
+                session.commit()
+                warm -= set(agents)  # touched partitions are invalidated...
+            else:
+                _, agent = op
+                hits_before = cache.hits
+                result = store.scan(filters[agent])
+                # ...and a scan never returns stale rows (oracle equality).
+                assert result == store.full_scan(filters[agent])
+                if agent in warm:
+                    # Untouched partitions were NOT evicted: warm entries
+                    # are served from cache, not recomputed.
+                    assert cache.hits == hits_before + 1
+                if clock[agent] > 0:  # partition exists => entry now cached
+                    warm.add(agent)
