@@ -6,7 +6,11 @@ Subcommands:
   run ``--query``/``--file`` non-interactively);
 * ``explain`` — show the execution plan for a query without running it;
 * ``corpus``  — list the paper's query corpus (``--run`` executes it,
-  ``--jobs N`` concurrently, ``--live RATE`` with streaming ingest);
+  ``--jobs N`` concurrently, ``--live RATE`` with streaming ingest,
+  ``--data-dir DIR`` durably through the tiered storage subsystem);
+* ``archive`` — compact a durable data dir to its retention horizon and
+  checkpoint it (snapshot + WAL truncate);
+* ``recover`` — crash-recover a durable data dir and report what it held;
 * ``translate`` — print the SQL/Cypher/SPL equivalents of an AIQL query.
 
 The CLI exists for exploration; programmatic use goes through
@@ -24,18 +28,50 @@ from repro.core.system import AIQLSystem
 from repro.lang.errors import AIQLError
 
 
-def _build_system(rate: int, cache: bool = True) -> AIQLSystem:
+def _build_system(
+    rate: int,
+    cache: bool = True,
+    data_dir: Optional[str] = None,
+    retention: Optional[int] = None,
+) -> AIQLSystem:
     from repro.core.config import SystemConfig
     from repro.workload.loader import build_enterprise
 
-    print(f"deploying the simulated enterprise (rate={rate})...", file=sys.stderr)
-    enterprise = build_enterprise(events_per_host_day=rate)
-    system = AIQLSystem.over(
-        enterprise.store("partitioned"),
-        ingestor=enterprise.ingestor,
-        config=SystemConfig(scan_cache=cache),
+    if data_dir is None:
+        print(f"deploying the simulated enterprise (rate={rate})...",
+              file=sys.stderr)
+        enterprise = build_enterprise(events_per_host_day=rate)
+        system = AIQLSystem.over(
+            enterprise.store("partitioned"),
+            ingestor=enterprise.ingestor,
+            config=SystemConfig(scan_cache=cache),
+        )
+        print(f"{enterprise.total_events} events ready", file=sys.stderr)
+        return system
+
+    # Durable deployment: open (or recover) the data dir, and stream the
+    # workload through the WAL-backed commit path only when it is empty —
+    # re-running over a populated dir reuses the recovered state.
+    system = AIQLSystem(
+        SystemConfig(
+            scan_cache=cache, data_dir=data_dir, retention_days=retention
+        )
     )
-    print(f"{enterprise.total_events} events ready", file=sys.stderr)
+    recovered = system.recovery.total_events if system.recovery else 0
+    if recovered:
+        print(f"recovered {recovered} events from {data_dir} "
+              f"({system.recovery.to_dict()})", file=sys.stderr)
+    else:
+        print(f"deploying durably into {data_dir} (rate={rate})...",
+              file=sys.stderr)
+        build_enterprise(
+            stores=(),
+            ingestor=system.ingestor,
+            events_per_host_day=rate,
+            stream_batch_size=system.config.stream_batch_size,
+        )
+        print(f"{system.ingestor.events_ingested} events durable",
+              file=sys.stderr)
     return system
 
 
@@ -100,7 +136,12 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         print("--live RATE must be >= 0", file=sys.stderr)
         return 2
     if args.run:
-        system = _build_system(args.rate, cache=not args.no_cache)
+        system = _build_system(
+            args.rate,
+            cache=not args.no_cache,
+            data_dir=args.data_dir,
+            retention=args.retention,
+        )
         replay_handle = None
         session = None
         if args.live:
@@ -139,6 +180,10 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 cache = getattr(system.store, "scan_cache", None)
                 if cache is not None:
                     print(f"scan cache under live ingest: {cache.stats()}")
+            if system.durable:
+                print(f"tier stats: {system.stats().get('cold')}; "
+                      f"wal: {system.stats().get('wal')}", file=sys.stderr)
+            system.close()
         return rc
     for query in ALL_QUERIES:
         print(f"{query.qid:12s} {query.group:3s} {query.kind}")
@@ -172,6 +217,43 @@ def _run_corpus_concurrent(system: AIQLSystem, queries, jobs: int) -> int:
           f"{len(queries) / elapsed:.1f} q/s)")
     print(f"service stats: {service.stats_snapshot()}")
     return 1 if failures else 0
+
+
+def cmd_archive(args: argparse.Namespace) -> int:
+    """Compact a durable data dir to its retention horizon + checkpoint."""
+    with AIQLSystem.recover(args.data_dir) as system:
+        retention = args.retention or system.config.retention_days
+        if retention is None:
+            print("archive needs a retention horizon: pass --retention N",
+                  file=sys.stderr)
+            return 2
+        report = system.compact(retention)
+        written = system.checkpoint()
+        cold = system.stats()["cold"]
+        print(f"compacted {report.events_migrated} event(s) into "
+              f"{report.segments_written} cold segment(s) "
+              f"({report.cold_bytes} bytes; horizon {retention} day(s))")
+        print(f"checkpoint: {written} hot event(s) snapshotted, WAL reset")
+        print(f"cold tier: {cold['segments']} segment(s), "
+              f"{cold['events']} event(s), {cold['bytes']} bytes")
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Crash-recover a durable data dir and report what it held."""
+    with AIQLSystem.recover(args.data_dir) as system:
+        report = system.recovery
+        print(f"recovered {report.total_events} event(s) from {args.data_dir}")
+        print(f"  snapshot: {report.snapshot_events} event(s)")
+        print(f"  wal replay: {report.wal_events_replayed} event(s)")
+        print(f"  cold tier: {report.cold_events} event(s)")
+        if report.duplicates_reconciled:
+            print(f"  reconciled {report.duplicates_reconciled} "
+                  f"half-migrated duplicate(s)")
+        print(f"  next event id: {report.next_event_id}")
+        if args.query:
+            return _run_one(system, args.query)
+    return 0
 
 
 def cmd_translate(args: argparse.Namespace) -> int:
@@ -226,7 +308,32 @@ def make_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--live", type=float, default=0, metavar="RATE",
                         help="with --run: stream live background events at "
                              "RATE events/sec while the corpus executes")
+    corpus.add_argument("--data-dir", metavar="DIR",
+                        help="with --run: deploy durably (WAL + tiered "
+                             "storage) into DIR, recovering it if populated")
+    corpus.add_argument("--retention", type=int, metavar="DAYS",
+                        help="with --data-dir: hot-tier retention horizon "
+                             "(background compactor migrates older days to "
+                             "compressed cold segments)")
     corpus.set_defaults(func=cmd_corpus)
+
+    archive = sub.add_parser(
+        "archive",
+        help="compact a durable data dir to its retention horizon and "
+             "checkpoint it",
+    )
+    archive.add_argument("--data-dir", required=True, metavar="DIR")
+    archive.add_argument("--retention", type=int, metavar="DAYS",
+                         help="hot-tier retention horizon in days")
+    archive.set_defaults(func=cmd_archive)
+
+    recover = sub.add_parser(
+        "recover", help="crash-recover a durable data dir and report it"
+    )
+    recover.add_argument("--data-dir", required=True, metavar="DIR")
+    recover.add_argument("--query", "-q",
+                         help="run one query against the recovered store")
+    recover.set_defaults(func=cmd_recover)
 
     translate = sub.add_parser(
         "translate", help="derive SQL/Cypher/SPL equivalents"

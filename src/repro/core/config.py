@@ -51,6 +51,29 @@ class SystemConfig:
         ``None`` uses the stdlib heuristic (cpu count + 4, capped at 32).
         Only effective for the config that first touches the shared pool;
         later systems in the same process reuse it.
+    data_dir
+        root of the durable tiered-storage state (``repro.tier``):
+        snapshot, write-ahead log and cold segment files.  ``None`` (the
+        default) keeps the deployment RAM-only with no durability; a path
+        makes every committed batch durable before it publishes and opens
+        the directory through recovery (an existing directory restores
+        its state, so constructing a system over a crashed data dir *is*
+        crash recovery).
+    retention_days
+        hot-tier retention horizon in data-time days: compaction migrates
+        committed events on older days out of RAM into compressed cold
+        segments (queries still answer over them through zone-map-pruned
+        cold scans).  ``None`` disables compaction; requires ``data_dir``.
+    compact_interval_s
+        wake-up period of the background compactor thread (only started
+        when both ``data_dir`` and ``retention_days`` are set).
+    wal_sync
+        fsync the write-ahead log on every batch commit (default on).
+        Disabling trades crash durability of the tail batch for ingest
+        throughput (the OS still sees every write in order).
+    cold_cache_segments
+        LRU bound of decompressed cold segments kept hot in memory for
+        repeated cold-window scans.
     """
 
     backend: str = "partitioned"
@@ -63,6 +86,11 @@ class SystemConfig:
     scan_cache_entries: int = 512
     stream_batch_size: int = 256
     max_workers: Optional[int] = None
+    data_dir: Optional[str] = None
+    retention_days: Optional[int] = None
+    compact_interval_s: float = 30.0
+    wal_sync: bool = True
+    cold_cache_segments: int = 4
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -80,3 +108,15 @@ class SystemConfig:
             raise ValueError("stream_batch_size must be >= 1")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1 (or None)")
+        if self.retention_days is not None:
+            if self.retention_days < 1:
+                raise ValueError("retention_days must be >= 1 (or None)")
+            if self.data_dir is None:
+                raise ValueError(
+                    "retention_days requires data_dir: cold segments need "
+                    "somewhere durable to live"
+                )
+        if self.compact_interval_s <= 0:
+            raise ValueError("compact_interval_s must be > 0")
+        if self.cold_cache_segments < 1:
+            raise ValueError("cold_cache_segments must be >= 1")

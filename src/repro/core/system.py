@@ -76,6 +76,30 @@ class AIQLSystem:
         self.config = config or SystemConfig()
         self.ingestor = ingestor or Ingestor()
         self.store = _build_store(self.config, self.ingestor.registry)
+        self._wal = None
+        self.compactor = None
+        self.recovery = None
+        if self.config.data_dir is not None:
+            # Durable tiered deployment: opening the data dir *is* crash
+            # recovery (an empty directory recovers to an empty system).
+            # The hot backend built above becomes the hot tier; every
+            # commit hits the WAL before it publishes.
+            from repro.tier import Compactor, open_data_dir
+
+            self.store, self._wal, self.recovery = open_data_dir(
+                self.config.data_dir,
+                self.store,
+                self.ingestor,
+                retention_days=self.config.retention_days,
+                wal_sync=self.config.wal_sync,
+                cold_cache_segments=self.config.cold_cache_segments,
+            )
+            if self.config.retention_days is not None:
+                self.compactor = Compactor(
+                    self.store,
+                    retention_days=self.config.retention_days,
+                    interval_s=self.config.compact_interval_s,
+                ).start()
         self.ingestor.attach(self.store)
         self._multievent = MultieventExecutor(
             self.store,
@@ -100,6 +124,9 @@ class AIQLSystem:
         :func:`repro.workload.loader.build_enterprise`)."""
         self = cls.__new__(cls)
         self.config = config or SystemConfig()
+        self._wal = None
+        self.compactor = None
+        self.recovery = None
         if ingestor is None:
             ingestor = Ingestor(registry=store.registry)
             ingestor.attach(store)
@@ -123,6 +150,73 @@ class AIQLSystem:
             parallel=self.config.parallel,
         )
         return self
+
+    @classmethod
+    def recover(
+        cls,
+        data_dir: str,
+        config: Optional[SystemConfig] = None,
+    ) -> "AIQLSystem":
+        """Recover a durable deployment from its data directory.
+
+        Replays ``snapshot + WAL`` into a fresh hot backend, attaches the
+        cold tier and continues the event stream where the last durable
+        commit left it.  Equivalent to constructing a system whose config
+        points at ``data_dir``; the explicit name exists for the recovery
+        path to be discoverable (and for the CLI's ``repro recover``).
+        """
+        from dataclasses import replace
+
+        config = replace(config or SystemConfig(), data_dir=str(data_dir))
+        return cls(config)
+
+    # -- durability ------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self._wal is not None
+
+    def checkpoint(self) -> int:
+        """Snapshot registry + hot tier, truncate the WAL; returns events
+        written.  Requires a durable (``data_dir``) deployment."""
+        self._require_durable()
+        from repro.tier import checkpoint
+
+        return checkpoint(self.config.data_dir, self.store, self._wal)
+
+    def compact(self, retention_days: Optional[int] = None):
+        """Run one hot-to-cold migration pass; returns the report."""
+        self._require_durable()
+        return self.store.compact(
+            retention_days
+            if retention_days is not None
+            else self.config.retention_days
+        )
+
+    def close(self) -> None:
+        """Stop the background compactor and close the WAL (idempotent).
+
+        A durable system should be closed (or used as a context manager)
+        so the final WAL record is flushed and the compactor thread does
+        not outlive the deployment; RAM-only systems need no cleanup.
+        """
+        if self.compactor is not None:
+            self.compactor.stop()
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "AIQLSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _require_durable(self) -> None:
+        if not self.durable:
+            raise RuntimeError(
+                "not a durable deployment: construct the system with "
+                "SystemConfig(data_dir=...) to enable tiered storage"
+            )
 
     # -- query pipeline ------------------------------------------------------
 
@@ -219,4 +313,10 @@ class AIQLSystem:
         cache = getattr(self.store, "scan_cache", None)
         if cache is not None:
             stats["scan_cache"] = cache.stats()
+        if self._wal is not None:
+            stats["wal"] = self._wal.stats()
+        if self.compactor is not None:
+            stats["compactor"] = self.compactor.stats()
+        if self.recovery is not None:
+            stats["recovery"] = self.recovery.to_dict()
         return stats

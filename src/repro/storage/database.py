@@ -146,6 +146,44 @@ class EventStore:
             )
         return tuple(by_key)
 
+    def remove_events(self, events: Sequence[SystemEvent]) -> int:
+        """Remove committed events (the cold-migration hand-off).
+
+        Affected partitions are rebuilt without the removed rows and
+        swapped in atomically (readers mid-scan keep the old table, which
+        is still correct — the tiered scan path deduplicates by event id
+        while both copies are reachable); emptied partitions are dropped.
+        Must run on the single writer, serialized with appends.
+        """
+        by_key: Dict[PartitionKey, set] = {}
+        for event in events:
+            key = self.scheme.key_for(event.agent_id, event.start_time)
+            by_key.setdefault(key, set()).add(event.event_id)
+        removed = 0
+        for key, ids in by_key.items():
+            table = self._partitions.get(key)
+            if table is None:
+                continue
+            keep = [e for e in table if e.event_id not in ids]
+            removed += len(table) - len(keep)
+            if keep:
+                fresh = EventTable(self.registry.get)
+                fresh.append_batch(keep)
+                self._partitions[key] = fresh
+            else:
+                self._partitions.pop(key, None)
+            if self.scan_cache is not None:
+                self.scan_cache.invalidate(key)
+        self._event_count -= removed
+        return removed
+
+    def time_range(self) -> Tuple[Optional[float], Optional[float]]:
+        """(min, max) event start time over the hot partitions."""
+        tables = list(self._partitions.values())
+        mins = [t.min_time for t in tables if t.min_time is not None]
+        maxs = [t.max_time for t in tables if t.max_time is not None]
+        return (min(mins) if mins else None, max(maxs) if maxs else None)
+
     # -- queries -----------------------------------------------------------
 
     @property
@@ -161,7 +199,18 @@ class EventStore:
 
     def _pruned(self, flt: EventFilter) -> List[EventTable]:
         """Tables surviving partition pruning (also a benchmark probe)."""
-        return [self._partitions[key] for key in self._pruned_keys(flt)]
+        tables = (self._partitions.get(key) for key in self._pruned_keys(flt))
+        return [table for table in tables if table is not None]
+
+    def estimated_events(self, flt: EventFilter) -> int:
+        """Upper bound on matching events from partition pruning alone.
+
+        The hot half of the tiered cost estimate: the scheduler's
+        cardinality score model prefers this over ``len(store)`` because a
+        spatially/temporally constrained pattern only ever touches its
+        surviving partitions.
+        """
+        return sum(len(table) for table in self._pruned(flt))
 
     # Scheduler-narrowed sub-queries can carry join-derived id sets with
     # thousands of members; their fingerprints are one-off (query-result-
@@ -204,18 +253,25 @@ class EventStore:
         keys = self._pruned_keys(flt)
         if not keys:
             return []
+        # .get: a partition may be migrated cold (popped) between pruning
+        # and the per-partition scan; its events are then served by the
+        # cold tier, so an empty result here is correct, not a lost read.
         if cacheable:
             fingerprint = filter_fingerprint(flt)
 
             def scan_one(key: PartitionKey):
+                table = self._partitions.get(key)
+                if table is None:
+                    return ()
                 return cache.get_or_compute(
-                    key, fingerprint, lambda: self._partitions[key].scan(flt, None)
+                    key, fingerprint, lambda: table.scan(flt, None)
                 )
 
         else:
 
             def scan_one(key: PartitionKey):
-                return self._partitions[key].scan(flt, None)
+                table = self._partitions.get(key)
+                return () if table is None else table.scan(flt, None)
 
         if parallel and len(keys) > 1:
             chunks = self.executor.map_all(scan_one, keys)

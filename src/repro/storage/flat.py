@@ -47,6 +47,25 @@ class FlatStore:
         """Append a committed batch atomically (one visibility bump)."""
         self._table.append_batch(events)
 
+    def remove_events(self, events: Sequence[SystemEvent]) -> int:
+        """Remove committed events (the cold-migration hand-off).
+
+        The heap is rebuilt without the removed rows and swapped in
+        atomically; readers mid-scan keep the old (still correct) table.
+        Must run on the single writer, serialized with appends.
+        """
+        ids = {e.event_id for e in events}
+        keep = [e for e in self._table if e.event_id not in ids]
+        removed = len(self._table) - len(keep)
+        fresh = EventTable(self.registry.get)
+        fresh.append_batch(keep)
+        self._table = fresh
+        return removed
+
+    def time_range(self):
+        """(min, max) event start time over the hot heap."""
+        return (self._table.min_time, self._table.max_time)
+
     def scan(
         self,
         flt: EventFilter,

@@ -22,6 +22,7 @@ built here and commits them in batches via :meth:`Ingestor.commit`.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence
@@ -58,6 +59,13 @@ class Ingestor:
         self._known_entities: set[int] = set()
         self._staged = 0
         self.validations = 0
+        # Durability hook (repro.tier): when a write-ahead log is attached,
+        # every commit appends to it before any store publishes, and the
+        # entities observed since the previous append ride in the same
+        # record as the first events that reference them.
+        self.wal = None
+        self._wal_pending_entities: List[Entity] = []
+        self._wal_lock = contextlib.nullcontext()
 
     def attach(self, store: object) -> None:
         """Attach a store (EventStore / FlatStore / SegmentedStore).
@@ -70,6 +78,44 @@ class Ingestor:
         self._stores.append(store)
         for entity in self.registry:
             store.register_entity(entity)  # type: ignore[attr-defined]
+
+    def attach_wal(self, wal, logged_entity_ids=(), lock=None) -> None:
+        """Attach a write-ahead log; commits append to it before publishing.
+
+        ``logged_entity_ids`` names the entities already durable (in the
+        snapshot or the log itself, after recovery); every other entity
+        currently in the registry is queued so the next batch record
+        carries it.  ``lock`` (the tiered store's writer lock) makes the
+        WAL-append + store-publish sequence atomic with respect to
+        checkpoints: without it, a checkpoint could snapshot the hot tier
+        *before* a batch publishes yet reset the WAL *after* the batch's
+        record landed — acknowledging a commit that is durable nowhere.
+        """
+        self.wal = wal
+        self._wal_lock = lock if lock is not None else contextlib.nullcontext()
+        logged = set(logged_entity_ids)
+        self._wal_pending_entities = [
+            entity for entity in self.registry if entity.id not in logged
+        ]
+
+    def resume(
+        self,
+        next_event_id: int,
+        seqs: Dict[int, int],
+        events_ingested: int,
+    ) -> None:
+        """Fast-forward counters after crash recovery (repro.tier).
+
+        New events continue the durable stream: globally unique ids pick
+        up after the newest recovered event and per-agent sequence numbers
+        after each agent's newest, so the monotonicity invariants the
+        stores' watermarks rely on hold across the crash.
+        """
+        self._event_ids = itertools.count(next_event_id)
+        self._seq = defaultdict(int, dict(seqs))
+        self._events_ingested = events_ingested
+        self._staged = 0
+        self._known_entities.update(entity.id for entity in self.registry)
 
     @property
     def events_ingested(self) -> int:
@@ -144,6 +190,8 @@ class Ingestor:
         if entity.id in self._known_entities:
             return
         self._known_entities.add(entity.id)
+        if self.wal is not None:
+            self._wal_pending_entities.append(entity)
         for store in self._stores:
             store.register_entity(entity)  # type: ignore[attr-defined]
 
@@ -226,10 +274,24 @@ class Ingestor:
             duration=duration, amount=amount, failure_code=failure_code,
         )
         self._staged -= 1
-        for store in self._stores:
-            store.add_event(event)  # type: ignore[attr-defined]
-        self._events_ingested += 1
+        with self._wal_lock:
+            self._wal_append((event,))
+            for store in self._stores:
+                store.add_event(event)  # type: ignore[attr-defined]
+            self._events_ingested += 1
         return event
+
+    def _wal_append(self, events: Sequence[SystemEvent]) -> None:
+        """Make a batch durable before any store publishes it.
+
+        A failed append leaves the pending-entity queue intact and
+        nothing published — the commit simply did not happen.
+        """
+        if self.wal is None:
+            return
+        entities = self._wal_pending_entities
+        self.wal.append(entities, events)
+        self._wal_pending_entities = []
 
     def commit(self, events: Sequence[SystemEvent]) -> None:
         """Fan a pre-validated batch out to every attached store.
@@ -244,14 +306,19 @@ class Ingestor:
         # max() tolerates batches built outside build_event (e.g. replayed
         # snapshots); the staged counter must never go negative.
         self._staged = max(0, self._staged - len(events))
-        for store in self._stores:
-            add_batch = getattr(store, "add_batch", None)
-            if add_batch is not None:
-                add_batch(events)
-            else:
-                for event in events:
-                    store.add_event(event)  # type: ignore[attr-defined]
-        self._events_ingested += len(events)
+        # The lock spans WAL append AND publication: a checkpoint (which
+        # holds the same lock) therefore sees either neither or both, so
+        # its snapshot + WAL reset can never strand an acknowledged batch.
+        with self._wal_lock:
+            self._wal_append(events)
+            for store in self._stores:
+                add_batch = getattr(store, "add_batch", None)
+                if add_batch is not None:
+                    add_batch(events)
+                else:
+                    for event in events:
+                        store.add_event(event)  # type: ignore[attr-defined]
+            self._events_ingested += len(events)
 
     def emit_batch(
         self,

@@ -9,11 +9,25 @@ over a restored store are identical to the original — a test invariant).
 
 Format: one header line, then one line per entity (in id order), then one
 line per event (in event-id order).
+
+Durability: snapshots are written to a temporary file in the destination
+directory, flushed and fsync'd, then atomically renamed over the target.
+A crash mid-snapshot therefore never truncates a previously good snapshot
+— readers see either the old complete file or the new complete file.
+The write path streams: entities and events are encoded one line at a
+time from their iterables, so snapshotting a large store never
+materializes a second full copy in memory.
+
+The per-record codecs (:func:`entity_record` / :func:`rebuild_entity`,
+:func:`event_record` / :func:`rebuild_event`) are shared with the
+write-ahead log of the tiered storage subsystem (:mod:`repro.tier`), so a
+WAL record and a snapshot line round-trip through the same format.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
@@ -43,7 +57,7 @@ class SnapshotError(ValueError):
     """Raised for malformed or incompatible snapshot files."""
 
 
-def _entity_record(entity: Entity) -> dict:
+def entity_record(entity: Entity) -> dict:
     record = {"t": _TYPE_TAGS[type(entity)]}
     record.update(
         {
@@ -54,7 +68,7 @@ def _entity_record(entity: Entity) -> dict:
     return record
 
 
-def _event_record(event: SystemEvent) -> dict:
+def event_record(event: SystemEvent) -> dict:
     return {
         "eid": event.event_id,
         "a": event.agent_id,
@@ -71,22 +85,40 @@ def _event_record(event: SystemEvent) -> dict:
 
 
 def save_snapshot(path, registry: EntityRegistry, events: Iterable[SystemEvent]) -> int:
-    """Write a snapshot; returns the number of events written."""
+    """Write a snapshot atomically; returns the number of events written.
+
+    The snapshot lands under a temporary name first and is renamed over
+    ``path`` only after every line is flushed and fsync'd, so an existing
+    snapshot at ``path`` survives any crash during the write.  ``events``
+    is consumed lazily (one line encoded at a time).
+    """
     path = Path(path)
+    # Sorting holds references only (the registry already owns the
+    # entities); events stream straight from the iterable to the file.
     entities = sorted(registry, key=lambda e: e.id)
     count = 0
-    with path.open("w", encoding="utf-8") as handle:
-        header = {"version": FORMAT_VERSION, "entities": len(entities)}
-        handle.write(json.dumps(header) + "\n")
-        for entity in entities:
-            handle.write(json.dumps(_entity_record(entity)) + "\n")
-        for event in events:
-            handle.write(json.dumps(_event_record(event)) + "\n")
-            count += 1
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            header = {"version": FORMAT_VERSION, "entities": len(entities)}
+            handle.write(json.dumps(header) + "\n")
+            for entity in entities:
+                handle.write(json.dumps(entity_record(entity)) + "\n")
+            for event in events:
+                handle.write(json.dumps(event_record(event)) + "\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return count
 
 
-def _rebuild_entity(registry: EntityRegistry, record: dict) -> Entity:
+def rebuild_entity(registry: EntityRegistry, record: dict) -> Entity:
+    """Re-intern one :func:`entity_record` dict into ``registry``."""
+    record = dict(record)
     tag = record.pop("t")
     expected_id = record.pop("id")
     agent_id = record.pop("agent_id")
@@ -120,7 +152,8 @@ def _rebuild_entity(registry: EntityRegistry, record: dict) -> Entity:
     return entity
 
 
-def _rebuild_event(record: dict) -> SystemEvent:
+def rebuild_event(record: dict) -> SystemEvent:
+    """Decode one :func:`event_record` dict back into a :class:`SystemEvent`."""
     from repro.model.entities import EntityType
 
     return SystemEvent(
@@ -160,12 +193,12 @@ def load_snapshot(
         for line in handle:
             record = json.loads(line)
             if remaining_entities > 0:
-                entity = _rebuild_entity(registry, record)
+                entity = rebuild_entity(registry, record)
                 for store in stores:
                     store.register_entity(entity)
                 remaining_entities -= 1
             else:
-                event = _rebuild_event(record)
+                event = rebuild_event(record)
                 for store in stores:
                     store.add_event(event)
                 events += 1

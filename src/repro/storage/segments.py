@@ -106,6 +106,35 @@ class SegmentedStore:
                 self._committed, max(e.event_id for e in events)
             )
 
+    def remove_events(self, events: Sequence[SystemEvent]) -> int:
+        """Remove committed events (the cold-migration hand-off).
+
+        Each affected segment is rebuilt without the removed rows and
+        swapped in place atomically (readers mid-scan keep the old, still
+        correct, table); round-robin state is untouched, so arrival-order
+        placement of future events is unaffected.  Must run on the single
+        writer, serialized with appends.
+        """
+        ids = {e.event_id for e in events}
+        removed = 0
+        for index, segment in enumerate(self._segments):
+            keep = [e for e in segment if e.event_id not in ids]
+            dropped = len(segment) - len(keep)
+            if not dropped:
+                continue
+            fresh = EventTable(self.registry.get)
+            fresh.append_batch(keep)
+            self._segments[index] = fresh
+            removed += dropped
+        self._event_count -= removed
+        return removed
+
+    def time_range(self):
+        """(min, max) event start time over the hot segments."""
+        mins = [s.min_time for s in self._segments if s.min_time is not None]
+        maxs = [s.max_time for s in self._segments if s.max_time is not None]
+        return (min(mins) if mins else None, max(maxs) if maxs else None)
+
     def _relevant_segments(self, flt: EventFilter) -> List[EventTable]:
         """Segment pruning, only possible under the domain policy.
 

@@ -1,0 +1,432 @@
+"""Cold tier: immutable, compressed, columnar segment files with zone maps.
+
+The hot stores keep the recent retention window in RAM; everything older
+lives here as *cold segments* — one immutable file per migrated hot
+partition chunk, keyed by the ``(day, agent-group)`` partition key.  A
+segment file is a zlib-compressed columnar encoding of its events (one
+array per event attribute), and every segment carries a **zone map** in
+the tier manifest:
+
+* min/max start time and min/max event id,
+* the agent-id, subject-id, object-id and operation sets,
+* per-agent max sequence numbers (so crash recovery can fast-forward the
+  ingestor without decompressing anything).
+
+Zone maps let the scan path — and the scheduler's cost estimates — prune
+cold segments *without opening them*: a query whose window, agent set,
+operation set or scheduler-narrowed entity-id sets are disjoint from a
+segment's zone map never pays the decompression.  Segments that do match
+decompress through a small LRU so iterative investigations over the same
+cold window stay cheap.
+
+The manifest (``manifest.json``) is the tier's source of truth and is
+rewritten atomically (temp file + rename); segment files are written
+durably *before* the manifest references them, so a crash mid-migration
+leaves at worst an orphaned segment file, never a manifest pointing at a
+missing or torn segment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.model.entities import EntityType
+from repro.model.events import Operation, SystemEvent
+from repro.storage.filters import EventFilter
+from repro.storage.partition import PartitionKey
+
+MANIFEST_VERSION = 1
+
+_COLUMNS = ("eid", "a", "s", "t0", "t1", "op", "subj", "obj", "ot", "amt", "fc")
+
+
+class ColdTierError(ValueError):
+    """Raised for unusable cold-tier directories or segment files."""
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-segment pruning metadata; everything needed to skip a segment."""
+
+    filename: str
+    day: int
+    agent_group: int
+    count: int
+    min_time: float
+    max_time: float
+    min_eid: int
+    max_eid: int
+    agents: frozenset
+    operations: frozenset  # operation value strings
+    object_types: frozenset  # entity-type value strings
+    subjects: frozenset
+    objects: frozenset
+    seqs: Tuple[Tuple[int, int], ...]  # (agent_id, max seq) pairs
+
+    @property
+    def key(self) -> PartitionKey:
+        return PartitionKey(day=self.day, agent_group=self.agent_group)
+
+    def may_match(self, flt: EventFilter) -> bool:
+        """False only when *no* event in the segment can satisfy ``flt``."""
+        window = flt.window
+        if window.start is not None and self.max_time < window.start:
+            return False
+        if window.end is not None and self.min_time >= window.end:
+            return False
+        if flt.agent_ids is not None and self.agents.isdisjoint(flt.agent_ids):
+            return False
+        if flt.operations is not None and self.operations.isdisjoint(
+            op.value for op in flt.operations
+        ):
+            return False
+        if (
+            flt.object_type is not None
+            and flt.object_type.value not in self.object_types
+        ):
+            return False
+        if flt.subject_ids is not None and self.subjects.isdisjoint(
+            flt.subject_ids
+        ):
+            return False
+        if flt.object_ids is not None and self.objects.isdisjoint(flt.object_ids):
+            return False
+        return True
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.filename,
+            "day": self.day,
+            "group": self.agent_group,
+            "count": self.count,
+            "min_time": self.min_time,
+            "max_time": self.max_time,
+            "min_eid": self.min_eid,
+            "max_eid": self.max_eid,
+            "agents": sorted(self.agents),
+            "ops": sorted(self.operations),
+            "otypes": sorted(self.object_types),
+            "subjects": sorted(self.subjects),
+            "objects": sorted(self.objects),
+            "seqs": [[agent, seq] for agent, seq in self.seqs],
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "ZoneMap":
+        return cls(
+            filename=record["file"],
+            day=record["day"],
+            agent_group=record["group"],
+            count=record["count"],
+            min_time=record["min_time"],
+            max_time=record["max_time"],
+            min_eid=record["min_eid"],
+            max_eid=record["max_eid"],
+            agents=frozenset(record["agents"]),
+            operations=frozenset(record["ops"]),
+            object_types=frozenset(record["otypes"]),
+            subjects=frozenset(record["subjects"]),
+            objects=frozenset(record["objects"]),
+            seqs=tuple((agent, seq) for agent, seq in record["seqs"]),
+        )
+
+    @classmethod
+    def for_events(
+        cls, filename: str, key: PartitionKey, events: Sequence[SystemEvent]
+    ) -> "ZoneMap":
+        seqs: Dict[int, int] = {}
+        for event in events:
+            if event.seq > seqs.get(event.agent_id, 0):
+                seqs[event.agent_id] = event.seq
+        return cls(
+            filename=filename,
+            day=key.day,
+            agent_group=key.agent_group,
+            count=len(events),
+            min_time=min(e.start_time for e in events),
+            max_time=max(e.start_time for e in events),
+            min_eid=min(e.event_id for e in events),
+            max_eid=max(e.event_id for e in events),
+            agents=frozenset(e.agent_id for e in events),
+            operations=frozenset(e.operation.value for e in events),
+            object_types=frozenset(e.object_type.value for e in events),
+            subjects=frozenset(e.subject_id for e in events),
+            objects=frozenset(e.object_id for e in events),
+            seqs=tuple(sorted(seqs.items())),
+        )
+
+
+def _encode_segment(events: Sequence[SystemEvent]) -> bytes:
+    columns = {name: [] for name in _COLUMNS}
+    for e in events:
+        columns["eid"].append(e.event_id)
+        columns["a"].append(e.agent_id)
+        columns["s"].append(e.seq)
+        columns["t0"].append(e.start_time)
+        columns["t1"].append(e.end_time)
+        columns["op"].append(e.operation.value)
+        columns["subj"].append(e.subject_id)
+        columns["obj"].append(e.object_id)
+        columns["ot"].append(e.object_type.value)
+        columns["amt"].append(e.amount)
+        columns["fc"].append(e.failure_code)
+    return zlib.compress(json.dumps(columns).encode("utf-8"), 6)
+
+
+def _decode_segment(blob: bytes) -> Tuple[SystemEvent, ...]:
+    try:
+        columns = json.loads(zlib.decompress(blob).decode("utf-8"))
+    except (zlib.error, ValueError) as exc:
+        raise ColdTierError(f"corrupt cold segment: {exc}") from exc
+    return tuple(
+        SystemEvent(
+            event_id=columns["eid"][i],
+            agent_id=columns["a"][i],
+            seq=columns["s"][i],
+            start_time=columns["t0"][i],
+            end_time=columns["t1"][i],
+            operation=Operation(columns["op"][i]),
+            subject_id=columns["subj"][i],
+            object_id=columns["obj"][i],
+            object_type=EntityType(columns["ot"][i]),
+            amount=columns["amt"][i],
+            failure_code=columns["fc"][i],
+        )
+        for i in range(len(columns["eid"]))
+    )
+
+
+class ColdTier:
+    """The on-disk cold half of a :class:`~repro.tier.store.TieredStore`."""
+
+    def __init__(
+        self,
+        directory,
+        entity_lookup: Callable[[int], object],
+        cache_segments: int = 4,
+    ) -> None:
+        if cache_segments < 1:
+            raise ValueError("cache_segments must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._entity_lookup = entity_lookup
+        self._zones: List[ZoneMap] = []
+        self._next_id = 0
+        self._cache_segments = cache_segments
+        self._cache: "OrderedDict[str, Tuple[SystemEvent, ...]]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        # Pruning observability (the benchmark's zone-map probe).
+        self.segments_considered = 0
+        self.segments_pruned = 0
+        self.segments_scanned = 0
+        self._load_manifest()
+
+    # -- manifest -----------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path
+        if not path.exists():
+            return
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ColdTierError(f"corrupt cold-tier manifest: {exc}") from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise ColdTierError(
+                f"unsupported cold-tier manifest version "
+                f"{manifest.get('version')!r}"
+            )
+        self._zones = [ZoneMap.from_json(r) for r in manifest["segments"]]
+        self._next_id = int(manifest.get("next_id", len(self._zones)))
+
+    def _save_manifest(self, zones: Sequence[ZoneMap], next_id: int) -> None:
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "next_id": next_id,
+            "segments": [zone.to_json() for zone in zones],
+        }
+        tmp = self._manifest_path.with_name("manifest.json.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._manifest_path)
+
+    # -- writes -------------------------------------------------------------
+
+    def add_segment(
+        self, key: PartitionKey, events: Sequence[SystemEvent]
+    ) -> ZoneMap:
+        """Durably write one immutable segment and publish it.
+
+        Publication order: segment file (fsync'd) -> manifest (atomic
+        rename) -> in-memory zone list.  Readers only ever see fully
+        durable segments.
+        """
+        if not events:
+            raise ValueError("cold segments must not be empty")
+        events = tuple(
+            sorted(events, key=lambda e: (e.start_time, e.event_id))
+        )
+        filename = f"seg-{key.day}-{key.agent_group}-{self._next_id:06d}.seg"
+        zone = ZoneMap.for_events(filename, key, events)
+        path = self.directory / filename
+        tmp = path.with_name(filename + ".tmp")
+        with tmp.open("wb") as handle:
+            handle.write(_encode_segment(events))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._save_manifest(self._zones + [zone], self._next_id + 1)
+        self._next_id += 1
+        self._zones.append(zone)  # publish to readers last
+        return zone
+
+    # -- reads --------------------------------------------------------------
+
+    def _segment_events(self, zone: ZoneMap) -> Tuple[SystemEvent, ...]:
+        with self._cache_lock:
+            cached = self._cache.get(zone.filename)
+            if cached is not None:
+                self._cache.move_to_end(zone.filename)
+                return cached
+        blob = (self.directory / zone.filename).read_bytes()
+        events = _decode_segment(blob)
+        with self._cache_lock:
+            self._cache[zone.filename] = events
+            self._cache.move_to_end(zone.filename)
+            while len(self._cache) > self._cache_segments:
+                self._cache.popitem(last=False)
+        return events
+
+    def scan(self, flt: EventFilter) -> List[SystemEvent]:
+        """Matching cold events, zone-map pruned, sorted by (time, id)."""
+        zones = list(self._zones)  # snapshot against concurrent publishes
+        matched: List[SystemEvent] = []
+        lookup = self._entity_lookup
+        for zone in zones:
+            self.segments_considered += 1
+            if not zone.may_match(flt):
+                self.segments_pruned += 1
+                continue
+            self.segments_scanned += 1
+            for event in self._segment_events(zone):
+                if flt.matches(
+                    event, lookup(event.subject_id), lookup(event.object_id)
+                ):
+                    matched.append(event)
+        matched.sort(key=lambda e: (e.start_time, e.event_id))
+        return matched
+
+    def estimated_events(self, flt: EventFilter) -> int:
+        """Upper bound on matching cold events, from zone maps alone."""
+        return sum(z.count for z in list(self._zones) if z.may_match(flt))
+
+    def contains_event(self, event: SystemEvent) -> bool:
+        """True when ``event`` is already stored in a cold segment.
+
+        Zone-map id ranges prefilter; only segments whose range contains
+        the id are decompressed (and those decompressions hit the LRU).
+        For bulk membership testing use :meth:`event_id_probe`.
+        """
+        return self.event_id_probe()(event)
+
+    def event_id_probe(self):
+        """A fast bulk membership tester (WAL replay / recovery dedup).
+
+        Returns ``probe(event) -> bool``.  Zone-map id ranges prefilter,
+        and each candidate segment's event-id set is materialized at most
+        once for the probe's lifetime (outside the scan LRU), so testing
+        every event of a long WAL or a large hot tier costs one
+        decompression per *overlapping* segment — not one per event.
+        Typical recovery replays recent (high-id) events against old
+        (low-id) segments and decompresses nothing at all.
+        """
+        zones = list(self._zones)
+        id_sets: Dict[str, frozenset] = {}
+
+        def probe(event: SystemEvent) -> bool:
+            for zone in zones:
+                if not (zone.min_eid <= event.event_id <= zone.max_eid):
+                    continue
+                if event.agent_id not in zone.agents:
+                    continue
+                ids = id_sets.get(zone.filename)
+                if ids is None:
+                    ids = frozenset(
+                        e.event_id for e in self._segment_events(zone)
+                    )
+                    id_sets[zone.filename] = ids
+                if event.event_id in ids:
+                    return True
+            return False
+
+        return probe
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def zones(self) -> Tuple[ZoneMap, ...]:
+        return tuple(self._zones)
+
+    @property
+    def event_count(self) -> int:
+        return sum(z.count for z in self._zones)
+
+    def max_event_id(self) -> int:
+        return max((z.max_eid for z in self._zones), default=0)
+
+    def seq_maxima(self) -> Dict[int, int]:
+        """Per-agent max sequence numbers across all segments (manifest only)."""
+        maxima: Dict[int, int] = {}
+        for zone in self._zones:
+            for agent, seq in zone.seqs:
+                if seq > maxima.get(agent, 0):
+                    maxima[agent] = seq
+        return maxima
+
+    def time_range(self) -> Tuple[Optional[float], Optional[float]]:
+        if not self._zones:
+            return (None, None)
+        return (
+            min(z.min_time for z in self._zones),
+            max(z.max_time for z in self._zones),
+        )
+
+    def __iter__(self) -> Iterator[SystemEvent]:
+        for zone in sorted(
+            list(self._zones), key=lambda z: (z.day, z.agent_group, z.min_eid)
+        ):
+            yield from self._segment_events(zone)
+
+    def prune_rate(self) -> float:
+        """Fraction of considered segments skipped via zone maps."""
+        if not self.segments_considered:
+            return 0.0
+        return self.segments_pruned / self.segments_considered
+
+    def size_bytes(self) -> int:
+        return sum(
+            (self.directory / z.filename).stat().st_size for z in self._zones
+        )
+
+    def stats(self) -> dict:
+        return {
+            "segments": len(self._zones),
+            "events": self.event_count,
+            "bytes": self.size_bytes(),
+            "segments_considered": self.segments_considered,
+            "segments_pruned": self.segments_pruned,
+            "segments_scanned": self.segments_scanned,
+        }

@@ -1,0 +1,98 @@
+"""Background compactor: periodic hot-to-cold migration.
+
+One daemon thread per deployment wakes on a fixed interval, asks the
+tiered store to migrate everything older than the retention horizon
+(:meth:`~repro.tier.store.TieredStore.compact`), and optionally triggers a
+checkpoint afterwards so the snapshot+WAL pair shrinks along with the hot
+tier.  Compaction runs concurrently with queries (migration is
+reader-safe by construction) and serializes with the ingest writer on the
+store's writer lock only for the brief hot-removal step.
+
+Errors are contained: a failing pass is recorded on :attr:`last_error`
+and the loop keeps running — a transiently full disk must not kill the
+deployment's retention enforcement.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.tier.store import CompactionReport, TieredStore
+
+
+class Compactor:
+    """Periodic background migration of expired hot partitions."""
+
+    def __init__(
+        self,
+        store: TieredStore,
+        retention_days: int,
+        interval_s: float = 30.0,
+        after_compact: Optional[Callable[[CompactionReport], None]] = None,
+    ) -> None:
+        if retention_days < 1:
+            raise ValueError("retention_days must be >= 1")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.store = store
+        self.retention_days = retention_days
+        self.interval_s = interval_s
+        self.after_compact = after_compact
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.passes = 0
+        self.last_report: Optional[CompactionReport] = None
+        self.last_error: Optional[BaseException] = None
+
+    def run_once(self) -> CompactionReport:
+        """One synchronous compaction pass (also the thread body)."""
+        report = self.store.compact(self.retention_days)
+        self.passes += 1
+        self.last_report = report
+        self.last_error = None  # a healthy pass clears a stale failure
+        if report.moved and self.after_compact is not None:
+            self.after_compact(report)
+        return report
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.run_once()
+            except BaseException as exc:  # keep enforcing retention
+                self.last_error = exc
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "Compactor":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="tier-compactor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_pass: bool = False) -> None:
+        """Stop the thread; with ``final_pass`` run one last migration."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if final_pass:
+            self.run_once()
+
+    def stats(self) -> dict:
+        return {
+            "running": self.running,
+            "passes": self.passes,
+            "retention_days": self.retention_days,
+            "interval_s": self.interval_s,
+            "last_migrated": (
+                self.last_report.events_migrated if self.last_report else 0
+            ),
+            "error": repr(self.last_error) if self.last_error else None,
+        }

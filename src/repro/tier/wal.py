@@ -1,0 +1,264 @@
+"""Write-ahead log: batch durability for live ingestion.
+
+Every committed stream batch is appended here *before* it publishes to the
+in-memory stores (the :class:`~repro.storage.ingest.Ingestor` calls
+:meth:`WriteAheadLog.append` first in its commit fan-out).  After a crash,
+replaying the log over the last snapshot reconstructs exactly the batches
+whose commits were acknowledged — an unacknowledged batch is either absent
+from the log or detected as a torn tail record and discarded.
+
+Record format: one JSON line per committed batch ::
+
+    {"n": <record #>, "eid": <max event id>,
+     "ents": [<entity records>], "evts": [<event records>],
+     "crc": <crc32 of the record without "crc">}
+
+Entity/event records reuse the snapshot codecs of
+:mod:`repro.storage.persist`, so a WAL record and a snapshot line are the
+same wire format.  The checksum (plus the trailing newline) is how replay
+distinguishes a record that was cut short by a crash from a corrupt log:
+replay stops cleanly at the first torn/invalid line, which by the
+append-fsync-acknowledge ordering can only ever be the unacknowledged tail.
+
+New entities observed since the previous append ride in the same record as
+the events that first reference them, so a batch and its entity closure are
+durable atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from repro.model.entities import Entity, EntityRegistry
+from repro.model.events import SystemEvent
+from repro.storage.persist import (
+    entity_record,
+    event_record,
+    rebuild_entity,
+    rebuild_event,
+)
+
+
+class WALError(ValueError):
+    """Raised for unusable write-ahead logs (not for torn tails)."""
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One replayed batch: decoded entity records and events."""
+
+    number: int
+    max_event_id: int
+    entity_records: tuple
+    events: tuple
+
+
+def _checksum(payload: str) -> int:
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+class WriteAheadLog:
+    """Append-only, checksummed batch log with torn-tail detection."""
+
+    def __init__(self, path, sync: bool = True) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        last_number, valid_bytes = self._scan_valid_prefix()
+        # Truncate a torn tail *before* appending: a record written after
+        # a leftover partial line would be unreachable forever (replay
+        # stops at the first torn line), silently losing every commit
+        # acknowledged after the recovery.
+        if self.path.exists() and self.path.stat().st_size > valid_bytes:
+            with self.path.open("rb+") as handle:
+                handle.truncate(valid_bytes)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self.records_appended = 0
+        self.events_appended = 0
+        self._next_number = last_number + 1
+
+    def _scan_valid_prefix(self) -> tuple:
+        """(last record number, byte length of the valid record prefix)."""
+        last, valid = 0, 0
+        if not self.path.exists():
+            return last, valid
+        with self.path.open("rb") as handle:
+            for raw in handle:
+                try:
+                    line = raw.decode("utf-8")
+                except UnicodeDecodeError:
+                    break  # torn mid-write
+                record = self._decode(line)
+                if record is None:
+                    break
+                if record["n"] != last + 1 and last:
+                    raise WALError(
+                        f"write-ahead log {self.path}: record {record['n']} "
+                        f"out of order (expected {last + 1})"
+                    )
+                last = record["n"]
+                valid += len(raw)
+        return last, valid
+
+    # -- write path ---------------------------------------------------------
+
+    def append(
+        self,
+        entities: Sequence[Entity],
+        events: Sequence[SystemEvent],
+    ) -> int:
+        """Durably append one committed batch; returns its record number.
+
+        The record is flushed (and fsync'd when ``sync``) before this
+        returns, so an acknowledged commit survives any later crash.
+        """
+        if self._handle.closed:
+            raise WALError(f"write-ahead log {self.path} is closed")
+        number = self._next_number
+        record = {
+            "n": number,
+            "eid": max((e.event_id for e in events), default=0),
+            "ents": [entity_record(entity) for entity in entities],
+            "evts": [event_record(event) for event in events],
+        }
+        payload = json.dumps(record, sort_keys=True)
+        record["crc"] = _checksum(payload)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+        self._next_number = number + 1
+        self.records_appended += 1
+        self.events_appended += len(events)
+        return number
+
+    # -- read path ----------------------------------------------------------
+
+    def replay(self) -> Iterator[WALRecord]:
+        """Yield durable records in append order.
+
+        Stops cleanly at the first torn or checksum-failing line — the
+        unacknowledged tail a crash mid-append leaves behind.  Record
+        numbers are verified monotone so a corrupted middle cannot be
+        silently skipped.
+        """
+        if not self.path.exists():
+            return
+        expected: Optional[int] = None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                record = self._decode(line)
+                if record is None:
+                    return  # torn tail: everything after it is unacknowledged
+                if expected is not None and record["n"] != expected:
+                    raise WALError(
+                        f"write-ahead log {self.path}: record {record['n']} "
+                        f"out of order (expected {expected})"
+                    )
+                expected = record["n"] + 1
+                yield WALRecord(
+                    number=record["n"],
+                    max_event_id=record["eid"],
+                    entity_records=tuple(record["ents"]),
+                    events=tuple(rebuild_event(r) for r in record["evts"]),
+                )
+
+    @staticmethod
+    def _decode(line: str) -> Optional[dict]:
+        if not line.endswith("\n"):
+            return None  # cut short mid-write
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        crc = record.pop("crc", None)
+        if crc != _checksum(json.dumps(record, sort_keys=True)):
+            return None
+        if not all(key in record for key in ("n", "eid", "ents", "evts")):
+            return None
+        return record
+
+    def replay_into(
+        self,
+        registry: EntityRegistry,
+        stores: Sequence,
+        after_event_id: int = 0,
+        skip_event: Optional[callable] = None,
+    ) -> int:
+        """Apply durable records to ``stores``; returns events applied.
+
+        Events with ids at or below ``after_event_id`` (already covered by
+        the snapshot the log is being replayed over) are skipped, as are
+        events for which ``skip_event`` returns true (already migrated to
+        the cold tier) — which is what makes replay idempotent.  Entities
+        re-intern through the shared registry, so replaying a record twice
+        is harmless.
+        """
+        applied = 0
+        for record in self.replay():
+            for raw in record.entity_records:
+                entity = rebuild_entity(registry, raw)
+                for store in stores:
+                    store.register_entity(entity)
+            batch = [
+                event
+                for event in record.events
+                if event.event_id > after_event_id
+                and (skip_event is None or not skip_event(event))
+            ]
+            if not batch:
+                continue
+            for store in stores:
+                add_batch = getattr(store, "add_batch", None)
+                if add_batch is not None:
+                    add_batch(batch)
+                else:
+                    for event in batch:
+                        store.add_event(event)
+            applied += len(batch)
+        return applied
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Truncate the log (called after a successful checkpoint).
+
+        Safe ordering is the caller's contract: the snapshot covering every
+        logged event must be durably in place *before* the reset, so a
+        crash in between replays a log whose records are all snapshot-
+        covered no-ops.
+        """
+        self._handle.close()
+        self._handle = self.path.open("w", encoding="utf-8")
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+        self._next_number = 1
+
+    def size_bytes(self) -> int:
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "bytes": self.size_bytes(),
+            "records_appended": self.records_appended,
+            "events_appended": self.events_appended,
+        }

@@ -65,6 +65,7 @@ def build_enterprise(
     segments: int = 5,
     inject_attacks: bool = True,
     stream_batch_size: Optional[int] = None,
+    ingestor: Optional[Ingestor] = None,
 ) -> Enterprise:
     """Build and populate the evaluation environment.
 
@@ -80,8 +81,19 @@ def build_enterprise(
     session is returned on :attr:`Enterprise.session` for further live
     appends.  Either way every attached store ingests the identical event
     sequence (the Sec. 6.2.2 fairness requirement).
+
+    ``ingestor`` feeds the workload into an externally wired deployment
+    (e.g. a durable :class:`~repro.core.system.AIQLSystem` whose tiered
+    store and write-ahead log are already attached); pass ``stores=()``
+    with it, since its stores already exist.
     """
-    ingestor = Ingestor()
+    if ingestor is not None and stores:
+        raise ValueError(
+            "pass stores=() with an external ingestor: its stores are "
+            "already attached"
+        )
+    if ingestor is None:
+        ingestor = Ingestor()
     built: Dict[str, object] = {}
     for name in stores:
         if name == "partitioned":

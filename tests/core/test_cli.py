@@ -96,3 +96,74 @@ class TestDemoNonInteractive:
     def test_demo_bad_query(self, capsys):
         rc = main(["demo", "--rate", "20", "--query", "nonsense ((("])
         assert rc == 1
+
+
+class TestTieredStorageCommands:
+    """archive / recover subcommands and durable corpus runs."""
+
+    @staticmethod
+    def _populate(data_dir):
+        from repro.core.config import SystemConfig
+        from repro.core.system import AIQLSystem
+        from repro.workload.loader import build_enterprise
+
+        system = AIQLSystem(
+            SystemConfig(data_dir=str(data_dir), compact_interval_s=3600)
+        )
+        build_enterprise(
+            stores=(),
+            ingestor=system.ingestor,
+            events_per_host_day=10,
+            days=6,
+            inject_attacks=False,
+            stream_batch_size=64,
+        )
+        total = system.ingestor.events_ingested
+        del system  # crash: recovery paths below must rebuild everything
+        return total
+
+    def test_parser_wiring(self):
+        parser = make_parser()
+        for argv in (
+            ["archive", "--data-dir", "d", "--retention", "2"],
+            ["recover", "--data-dir", "d"],
+            ["corpus", "--run", "--data-dir", "d", "--retention", "2"],
+        ):
+            assert callable(parser.parse_args(argv).func)
+
+    def test_recover_reports_the_stream(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        total = self._populate(data_dir)
+        rc = main(["recover", "--data-dir", str(data_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"recovered {total} event(s)" in out
+        assert "wal replay" in out
+
+    def test_archive_compacts_and_checkpoints(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        self._populate(data_dir)
+        rc = main(
+            ["archive", "--data-dir", str(data_dir), "--retention", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "compacted" in out and "cold segment" in out
+        assert "WAL reset" in out
+
+    def test_archive_without_retention_fails(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        self._populate(data_dir)
+        rc = main(["archive", "--data-dir", str(data_dir)])
+        assert rc == 2
+        assert "--retention" in capsys.readouterr().err
+
+    def test_recover_runs_a_query(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        self._populate(data_dir)
+        rc = main([
+            "recover", "--data-dir", str(data_dir),
+            "--query", "agentid = 1\nproc p1 start proc p2\nreturn p1, p2",
+        ])
+        assert rc == 0
+        assert "row(s)" in capsys.readouterr().out

@@ -1,0 +1,40 @@
+"""Child process for the crash-recovery smoke test (not a test module).
+
+Streams events into a durable deployment forever, committing every batch
+and acknowledging each commit by appending the new watermark to an acks
+file (flushed + fsync'd *after* the commit returned, exactly like a real
+producer acknowledging upstream).  The parent test SIGKILLs this process
+mid-run and asserts that recovery retains every acknowledged batch.
+
+Usage: python tests/integration/crash_ingest_child.py DATA_DIR ACKS_FILE
+"""
+
+import os
+import sys
+
+
+def main(data_dir: str, acks_path: str) -> None:
+    from repro.core.config import SystemConfig
+    from repro.core.system import AIQLSystem
+
+    system = AIQLSystem(
+        SystemConfig(data_dir=data_dir, compact_interval_s=3600)
+    )
+    proc = system.ingestor.process(1, 101, "streamer.exe")
+    fobj = system.ingestor.file(1, "/var/log/stream.log")
+    session = system.stream(batch_size=8)
+    base = 1483228800.0  # 2017-01-01T00:00:00Z
+    i = 0
+    with open(acks_path, "a", encoding="utf-8") as acks:
+        while True:
+            session.append(1, base + 60.0 * i, "write", proc, fobj)
+            i += 1
+            if i % 8 == 0:
+                watermark = session.commit()
+                acks.write(f"{watermark}\n")
+                acks.flush()
+                os.fsync(acks.fileno())
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], sys.argv[2])

@@ -119,3 +119,60 @@ class TestErrors:
         dirty.file(9, "/occupies-id-1")  # shifts id allocation
         with pytest.raises(SnapshotError, match="mismatch"):
             load_snapshot(path, dirty, [FlatStore(registry=dirty)])
+
+
+class TestAtomicity:
+    """A crash mid-snapshot never truncates a previously good snapshot."""
+
+    def _populate(self, events=2):
+        ingestor = Ingestor()
+        store = FlatStore(registry=ingestor.registry)
+        ingestor.attach(store)
+        p = ingestor.process(1, 10, "a")
+        f = ingestor.file(1, "/x")
+        for i in range(events):
+            ingestor.emit(1, 1.0 + i, "read", p, f)
+        return ingestor, store
+
+    def test_failed_write_leaves_old_snapshot_intact(self, tmp_path):
+        ingestor, store = self._populate()
+        path = tmp_path / "snap.jsonl"
+        save_snapshot(path, ingestor.registry, iter(store))
+        good = path.read_text()
+
+        def exploding_events():
+            yield next(iter(store))
+            raise OSError("disk full")
+
+        with pytest.raises(OSError, match="disk full"):
+            save_snapshot(path, ingestor.registry, exploding_events())
+        assert path.read_text() == good  # old snapshot untouched
+        assert not list(tmp_path.glob("*.tmp"))  # temp file cleaned up
+
+        registry = EntityRegistry()
+        restored = FlatStore(registry=registry)
+        assert load_snapshot(path, registry, [restored]) == len(store)
+
+    def test_success_leaves_no_temp_file(self, tmp_path):
+        ingestor, store = self._populate()
+        path = tmp_path / "snap.jsonl"
+        save_snapshot(path, ingestor.registry, iter(store))
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_events_stream_lazily(self, tmp_path):
+        """The writer consumes the event iterable without materializing it."""
+        ingestor, store = self._populate(events=5)
+        path = tmp_path / "snap.jsonl"
+        consumed = []
+
+        def tracking():
+            for event in store:
+                consumed.append(event.event_id)
+                yield event
+
+        written = save_snapshot(path, ingestor.registry, tracking())
+        assert written == 5 and len(consumed) == 5
+        registry = EntityRegistry()
+        restored = FlatStore(registry=registry)
+        assert load_snapshot(path, registry, [restored]) == 5

@@ -1,0 +1,185 @@
+"""Cold tier: segment round-trips, zone-map pruning, manifest durability."""
+
+import json
+
+import pytest
+
+from repro.model.entities import EntityType
+from repro.model.events import Operation
+from repro.model.time import DAY, TimeWindow
+from repro.storage.filters import EventFilter
+from repro.storage.partition import PartitionKey
+from repro.tier.cold import ColdTier, ColdTierError, ZoneMap
+
+from tests.tier.conftest import BASE, day_ts
+
+
+def day_ordinal(day: int) -> int:
+    return int(day_ts(day) // DAY)
+
+
+def make_tier(feed, tmp_path, days=(0, 1, 2), agents=(1,), per_day=4, **kw):
+    tier = ColdTier(tmp_path / "cold", feed.ingestor.registry.get, **kw)
+    for day in days:
+        for agent in agents:
+            events = [
+                feed.emit(agent, day_ts(day, 120.0 * i)) for i in range(per_day)
+            ]
+            key = PartitionKey(day=day_ordinal(day), agent_group=agent // 10)
+            tier.add_segment(key, events)
+    return tier
+
+
+class TestSegmentRoundTrip:
+    def test_events_survive_compression(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0,), per_day=6)
+        got = tier.scan(EventFilter())
+        assert len(got) == 6
+        assert got == sorted(got, key=lambda e: (e.start_time, e.event_id))
+        assert all(e.operation is Operation.WRITE for e in got)
+        assert tier.event_count == 6
+
+    def test_reload_from_manifest(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0, 1))
+        before = tier.scan(EventFilter())
+        reloaded = ColdTier(tmp_path / "cold", feed.ingestor.registry.get)
+        assert reloaded.scan(EventFilter()) == before
+        assert reloaded.event_count == tier.event_count
+        assert len(reloaded.zones) == 2
+
+    def test_empty_segment_rejected(self, feed, tmp_path):
+        tier = ColdTier(tmp_path / "cold", feed.ingestor.registry.get)
+        with pytest.raises(ValueError):
+            tier.add_segment(PartitionKey(day=0, agent_group=0), [])
+
+    def test_corrupt_manifest_is_loud(self, feed, tmp_path):
+        make_tier(feed, tmp_path, days=(0,))
+        (tmp_path / "cold" / "manifest.json").write_text("{not json")
+        with pytest.raises(ColdTierError):
+            ColdTier(tmp_path / "cold", feed.ingestor.registry.get)
+
+    def test_unsupported_manifest_version_is_loud(self, feed, tmp_path):
+        make_tier(feed, tmp_path, days=(0,))
+        path = tmp_path / "cold" / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["version"] = 99
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ColdTierError):
+            ColdTier(tmp_path / "cold", feed.ingestor.registry.get)
+
+    def test_corrupt_segment_file_is_loud(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0,))
+        zone = tier.zones[0]
+        (tmp_path / "cold" / zone.filename).write_bytes(b"garbage")
+        fresh = ColdTier(tmp_path / "cold", feed.ingestor.registry.get)
+        with pytest.raises(ColdTierError):
+            fresh.scan(EventFilter())
+
+
+class TestZoneMapPruning:
+    def test_time_window_prunes_other_days(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0, 1, 2, 3))
+        window = TimeWindow(start=day_ts(1, 0.0), end=day_ts(1, 0.0) + DAY)
+        got = tier.scan(EventFilter(window=window))
+        assert len(got) == 4
+        assert tier.segments_pruned == 3
+        assert tier.segments_scanned == 1
+        assert tier.prune_rate() == 0.75
+
+    def test_agent_set_prunes(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0,), agents=(1, 25))
+        got = tier.scan(EventFilter(agent_ids=frozenset({25})))
+        assert {e.agent_id for e in got} == {25}
+        assert tier.segments_pruned == 1
+
+    def test_operation_and_object_type_prune(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0,))
+        assert (
+            tier.scan(EventFilter(operations=frozenset({Operation.CONNECT})))
+            == []
+        )
+        assert tier.segments_pruned == 1
+        assert tier.scan(EventFilter(object_type=EntityType.NETWORK)) == []
+        assert tier.segments_pruned == 2
+
+    def test_entity_id_sets_prune(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0,))
+        proc, fobj = feed.entities(1)
+        assert tier.scan(
+            EventFilter(subject_ids=frozenset({proc.id + 999}))
+        ) == []
+        assert tier.segments_pruned == 1
+        got = tier.scan(EventFilter(object_ids=frozenset({fobj.id})))
+        assert len(got) == 4
+        assert tier.scan(
+            EventFilter(object_ids=frozenset({fobj.id + 999}))
+        ) == []
+
+    def test_estimated_events_counts_unpruned_only(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0, 1, 2))
+        window = TimeWindow(start=day_ts(0, 0.0), end=day_ts(0, 0.0) + DAY)
+        assert tier.estimated_events(EventFilter(window=window)) == 4
+        assert tier.estimated_events(EventFilter()) == 12
+
+    def test_zone_map_json_roundtrip(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0,))
+        zone = tier.zones[0]
+        assert ZoneMap.from_json(zone.to_json()) == zone
+        assert zone.key == PartitionKey(
+            day=day_ordinal(0), agent_group=0
+        )
+
+
+class TestSegmentCache:
+    def test_lru_keeps_hot_segments(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0, 1, 2), cache_segments=2)
+        tier.scan(EventFilter())  # touch all three
+        assert len(tier._cache) == 2  # LRU bound holds
+
+    def test_contains_event_uses_id_range_prefilter(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0,))
+        stored = tier.scan(EventFilter())[0]
+        assert tier.contains_event(stored)
+        fresh = feed.emit(1, day_ts(5))
+        assert not tier.contains_event(fresh)
+
+    def test_event_id_probe_decompresses_each_segment_once(
+        self, feed, tmp_path
+    ):
+        tier = make_tier(feed, tmp_path, days=(0, 1, 2), per_day=5)
+        stored = tier.scan(EventFilter())
+        calls = []
+        original = tier._segment_events
+        tier._segment_events = lambda zone: (
+            calls.append(zone.filename), original(zone)
+        )[1]
+        probe = tier.event_id_probe()
+        assert all(probe(e) for e in stored)
+        fresh = feed.emit(1, day_ts(9))
+        assert not probe(fresh)  # above every zone's id range: no reads
+        # one materialization per segment, however many events were probed
+        assert len(calls) == len(tier.zones)
+
+    def test_seq_maxima_come_from_manifest(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0, 1), agents=(1, 2), per_day=3)
+        reloaded = ColdTier(tmp_path / "cold", feed.ingestor.registry.get)
+        maxima = reloaded.seq_maxima()
+        assert set(maxima) == {1, 2}
+        assert maxima[1] == 6  # 2 days x 3 events, per-agent monotone seq
+        assert maxima[2] == 6
+
+    def test_iteration_and_sizes(self, feed, tmp_path):
+        tier = make_tier(feed, tmp_path, days=(0, 1))
+        assert len(list(iter(tier))) == 8
+        assert tier.size_bytes() > 0
+        assert tier.max_event_id() == max(e.event_id for e in tier)
+        lo, hi = tier.time_range()
+        assert lo == day_ts(0, 0.0) + 0.0 or lo <= hi
+        empty = ColdTier(tmp_path / "cold2", feed.ingestor.registry.get)
+        assert empty.time_range() == (None, None)
+        assert empty.prune_rate() == 0.0
+
+    def test_cache_segments_validation(self, feed, tmp_path):
+        with pytest.raises(ValueError):
+            ColdTier(tmp_path / "cold", feed.ingestor.registry.get,
+                     cache_segments=0)

@@ -1,0 +1,227 @@
+"""Write-ahead log: durability, torn-tail detection, idempotent replay."""
+
+import pytest
+
+from repro.model.entities import EntityRegistry
+from repro.storage.flat import FlatStore
+from repro.tier.wal import WALError, WriteAheadLog
+
+from tests.tier.conftest import day_ts
+
+
+def _batch(feed, agent, day, count):
+    return [feed.build(agent, day_ts(day, 60.0 * i)) for i in range(count)]
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, feed, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        events = _batch(feed, 1, 0, 5)
+        entities = [feed.entities(1)[0], feed.entities(1)[1]]
+        number = wal.append(entities, events)
+        assert number == 1
+        assert wal.append([], _batch(feed, 2, 1, 3)) == 2
+
+        records = list(wal.replay())
+        assert [r.number for r in records] == [1, 2]
+        assert records[0].events == tuple(events)
+        assert records[0].max_event_id == events[-1].event_id
+        assert len(records[0].entity_records) == 2
+        assert wal.stats()["records_appended"] == 2
+        wal.close()
+
+    def test_replay_survives_reopen(self, feed, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append([], _batch(feed, 1, 0, 2))
+        with WriteAheadLog(path) as wal:
+            # record numbering continues across reopen
+            assert wal.append([], _batch(feed, 1, 0, 2)) == 2
+            assert [r.number for r in wal.replay()] == [1, 2]
+
+    def test_append_on_closed_log_raises(self, feed, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(WALError):
+            wal.append([], _batch(feed, 1, 0, 1))
+
+    def test_empty_log_replays_nothing(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        assert list(wal.replay()) == []
+        assert wal.size_bytes() == 0
+        wal.close()
+
+
+class TestTornTail:
+    def test_partial_last_line_is_discarded(self, feed, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append([], _batch(feed, 1, 0, 3))
+            wal.append([], _batch(feed, 1, 1, 3))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 20])  # crash mid-append
+        with WriteAheadLog(path) as wal:
+            records = list(wal.replay())
+        assert [r.number for r in records] == [1]
+
+    def test_torn_tail_is_truncated_on_open(self, feed, tmp_path):
+        """Appends after a torn-tail recovery must stay reachable.
+
+        Without truncation the new record lands behind the partial line
+        and every future replay stops before it — acknowledged commits
+        written after a crash recovery would be silently lost on the
+        *next* restart.
+        """
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append([], _batch(feed, 1, 0, 3))
+            wal.append([], _batch(feed, 1, 1, 3))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 20])  # crash mid-append
+        with WriteAheadLog(path) as wal:
+            assert wal.append([], _batch(feed, 1, 2, 2)) == 2
+        with WriteAheadLog(path) as wal:
+            records = list(wal.replay())
+        assert [r.number for r in records] == [1, 2]
+        assert len(records[1].events) == 2
+
+    def test_checksum_failure_stops_replay(self, feed, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append([], _batch(feed, 1, 0, 2))
+            wal.append([], _batch(feed, 1, 1, 2))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"eid"', '"EID"', 1)  # corrupt record 2
+        path.write_text("\n".join(lines) + "\n")
+        with WriteAheadLog(path) as wal:
+            assert [r.number for r in wal.replay()] == [1]
+
+    def test_non_dict_and_garbage_lines_stop_replay(self, feed, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append([], _batch(feed, 1, 0, 1))
+        with path.open("a") as handle:
+            handle.write("[1, 2, 3]\n")
+        with WriteAheadLog(path) as wal:
+            assert len(list(wal.replay())) == 1
+
+    def test_checksummed_but_incomplete_record_stops_replay(
+        self, feed, tmp_path
+    ):
+        import json
+        import zlib
+
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append([], _batch(feed, 1, 0, 1))
+        bogus = {"n": 2, "eid": 99}  # valid checksum, missing evts/ents
+        bogus["crc"] = zlib.crc32(
+            json.dumps({"n": 2, "eid": 99}, sort_keys=True).encode()
+        )
+        with path.open("a") as handle:
+            handle.write(json.dumps(bogus, sort_keys=True) + "\n")
+        with WriteAheadLog(path) as wal:
+            assert [r.number for r in wal.replay()] == [1]
+
+    def test_replay_of_deleted_file_is_empty(self, feed, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append([], _batch(feed, 1, 0, 1))
+        path.unlink()
+        assert list(wal.replay()) == []
+        assert wal.size_bytes() == 0
+        wal.close()
+
+    def test_out_of_order_middle_raises(self, feed, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append([], _batch(feed, 1, 0, 1))
+            wal.append([], _batch(feed, 1, 1, 1))
+        lines = path.read_text().splitlines()
+        # Duplicate record 2: valid checksums but non-monotone numbering,
+        # which must be loud (a silently skipped middle would lose a
+        # batch).  Opening the log replays it, so the open itself fails.
+        path.write_text(lines[1] + "\n" + lines[1] + "\n")
+        with pytest.raises(WALError):
+            WriteAheadLog(path)
+
+
+class TestReplayInto:
+    def test_applies_entities_and_events(self, feed, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        events = _batch(feed, 1, 0, 4)
+        proc, fobj = feed.entities(1)
+        wal.append([proc, fobj], events)
+
+        registry = EntityRegistry()
+        store = FlatStore(registry=registry)
+        applied = wal.replay_into(registry, [store])
+        assert applied == 4
+        assert len(store) == 4
+        assert len(registry) == 2
+        wal.close()
+
+    def test_skip_rules_make_replay_idempotent(self, feed, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        first = _batch(feed, 1, 0, 3)
+        second = _batch(feed, 1, 1, 3)
+        proc, fobj = feed.entities(1)
+        wal.append([proc, fobj], first)
+        wal.append([], second)
+
+        registry = EntityRegistry()
+        store = FlatStore(registry=registry)
+        snapshot_max = first[-1].event_id  # "already in the snapshot"
+        skipped_id = second[0].event_id  # "already migrated cold"
+        applied = wal.replay_into(
+            registry,
+            [store],
+            after_event_id=snapshot_max,
+            skip_event=lambda e: e.event_id == skipped_id,
+        )
+        assert applied == 2
+        assert {e.event_id for e in store} == {
+            e.event_id for e in second[1:]
+        }
+        # replaying again over the same store adds nothing new
+        applied2 = wal.replay_into(
+            registry, [store], after_event_id=second[-1].event_id
+        )
+        assert applied2 == 0
+        wal.close()
+
+    def test_replay_into_store_without_add_batch(self, feed, tmp_path):
+        class PerEventStore(FlatStore):
+            def __init__(self, registry):
+                super().__init__(registry=registry)
+                self.singles = 0
+
+            def add_event(self, event):
+                self.singles += 1
+                super().add_event(event)
+
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append([], _batch(feed, 1, 0, 3))
+        registry = EntityRegistry()
+        store = PerEventStore(registry)
+        store.add_batch = None
+        assert wal.replay_into(registry, [store]) == 3
+        assert store.singles == 3
+        wal.close()
+
+
+class TestReset:
+    def test_reset_truncates_and_restarts_numbering(self, feed, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append([], _batch(feed, 1, 0, 2))
+        assert wal.size_bytes() > 0
+        wal.reset()
+        assert wal.size_bytes() == 0
+        assert list(wal.replay()) == []
+        assert wal.append([], _batch(feed, 1, 1, 1)) == 1
+        wal.close()
+
+    def test_nosync_mode_still_replays(self, feed, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log", sync=False) as wal:
+            wal.append([], _batch(feed, 1, 0, 2))
+            assert len(list(wal.replay())) == 1
