@@ -74,6 +74,10 @@ class SystemConfig:
     cold_cache_segments
         LRU bound of decompressed cold segments kept hot in memory for
         repeated cold-window scans.
+    cold_scan_cache_entries
+        LRU bound of the cold tier's per-segment scan-result cache
+        (keyed by segment file + canonical filter; segments are immutable
+        so entries never need invalidation).  ``0`` disables it.
     """
 
     backend: str = "partitioned"
@@ -91,6 +95,7 @@ class SystemConfig:
     compact_interval_s: float = 30.0
     wal_sync: bool = True
     cold_cache_segments: int = 4
+    cold_scan_cache_entries: int = 128
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -120,3 +125,5 @@ class SystemConfig:
             raise ValueError("compact_interval_s must be > 0")
         if self.cold_cache_segments < 1:
             raise ValueError("cold_cache_segments must be >= 1")
+        if self.cold_scan_cache_entries < 0:
+            raise ValueError("cold_scan_cache_entries must be >= 0")

@@ -93,6 +93,7 @@ class AIQLSystem:
                 retention_days=self.config.retention_days,
                 wal_sync=self.config.wal_sync,
                 cold_cache_segments=self.config.cold_cache_segments,
+                cold_scan_cache_entries=self.config.cold_scan_cache_entries,
             )
             if self.config.retention_days is not None:
                 self.compactor = Compactor(

@@ -7,19 +7,28 @@ and merges tuple sets as it processes relationships.
 
 Joins prefer hash joins on equality attribute relationships and fall back
 to filtered nested loops for inequality/temporal-only combinations.
+
+Per-row work is kept loop-invariant: relationship checks compile once per
+``filter``/``join`` call into closures with the column indices and field
+extractors pre-resolved (no ``tuple.index`` per row), and joined rows are
+assembled through a precomputed output-column permutation instead of
+rebuilding a pattern->event dict per output row.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.lang.context import FieldRef, ResolvedAttrRel, ResolvedTempRel
 from repro.model.events import SystemEvent
 from repro.storage.filters import AttrPredicate
 
 EntityLookup = Callable[[int], object]
+
+Row = Tuple[SystemEvent, ...]
+RowCheck = Callable[[Row], bool]
 
 
 def _norm(value: object) -> object:
@@ -31,7 +40,14 @@ class TupleSet:
     """Rows of events aligned to ``patterns`` (sorted pattern indices)."""
 
     patterns: Tuple[int, ...]
-    rows: List[Tuple[SystemEvent, ...]]
+    rows: List[Row]
+
+    def __post_init__(self) -> None:
+        # Column positions resolved once per tuple set; every per-row
+        # accessor below reads this instead of tuple.index per row.
+        self._column: Dict[int, int] = {
+            p: i for i, p in enumerate(self.patterns)
+        }
 
     @classmethod
     def from_events(cls, pattern: int, events: Sequence[SystemEvent]) -> "TupleSet":
@@ -42,8 +58,8 @@ class TupleSet:
 
     def column_of(self, pattern: int) -> int:
         try:
-            return self.patterns.index(pattern)
-        except ValueError:
+            return self._column[pattern]
+        except KeyError:
             raise KeyError(f"pattern {pattern} not in tuple set") from None
 
     def events_of(self, pattern: int) -> List[SystemEvent]:
@@ -55,28 +71,44 @@ class TupleSet:
             seen.setdefault(event.event_id, event)
         return list(seen.values())
 
-    # -- relationship evaluation -------------------------------------------
+    # -- relationship compilation ------------------------------------------
 
-    def _field(self, ref: FieldRef, row: Tuple[SystemEvent, ...], entity_of) -> object:
-        return ref.extract(row[self.column_of(ref.pattern)], entity_of)
+    def _field_getter(
+        self, ref: FieldRef, entity_of: EntityLookup
+    ) -> Callable[[Row], object]:
+        """Per-row extractor for ``ref`` with the column resolved once."""
+        col = self.column_of(ref.pattern)
+        attr = ref.attr
+        if ref.role == "event":
+            return lambda row: row[col].attribute(attr)
+        if ref.role == "subject":
+            return lambda row: getattr(entity_of(row[col].subject_id), attr)
+        return lambda row: getattr(entity_of(row[col].object_id), attr)
 
-    def _check_attr_rel(
-        self, rel: ResolvedAttrRel, row: Tuple[SystemEvent, ...], entity_of
-    ) -> bool:
-        left = self._field(rel.left, row, entity_of)
-        right = self._field(rel.right, row, entity_of)
+    def _compile_attr_rel(
+        self, rel: ResolvedAttrRel, entity_of: EntityLookup
+    ) -> RowCheck:
+        left = self._field_getter(rel.left, entity_of)
+        right = self._field_getter(rel.right, entity_of)
         if rel.op == "=":  # hot path: equality joins
-            return _norm(left) == _norm(right)
+            return lambda row: _norm(left(row)) == _norm(right(row))
         if rel.op == "!=":
-            return _norm(left) != _norm(right)
-        return AttrPredicate(attr=rel.left.attr, op=rel.op, value=right).matches(left)
+            return lambda row: _norm(left(row)) != _norm(right(row))
+        attr = rel.left.attr
+        op = rel.op
 
-    def _check_temp_rel(
-        self, rel: ResolvedTempRel, row: Tuple[SystemEvent, ...]
-    ) -> bool:
-        left = row[self.column_of(rel.left)]
-        right = row[self.column_of(rel.right)]
-        return rel.check(left, right)
+        def check(row: Row) -> bool:
+            return AttrPredicate(attr=attr, op=op, value=right(row)).matches(
+                left(row)
+            )
+
+        return check
+
+    def _compile_temp_rel(self, rel: ResolvedTempRel) -> RowCheck:
+        left_col = self.column_of(rel.left)
+        right_col = self.column_of(rel.right)
+        check = rel.check
+        return lambda row: check(row[left_col], row[right_col])
 
     def filter(
         self,
@@ -85,12 +117,19 @@ class TupleSet:
         entity_of: EntityLookup,
     ) -> "TupleSet":
         """Keep rows satisfying all given relationships (both sides bound)."""
-        rows = [
-            row
-            for row in self.rows
-            if all(self._check_attr_rel(r, row, entity_of) for r in attr_rels)
-            and all(self._check_temp_rel(r, row) for r in temp_rels)
+        if not self.rows or (not attr_rels and not temp_rels):
+            return TupleSet(patterns=self.patterns, rows=list(self.rows))
+        checks: List[RowCheck] = [
+            self._compile_attr_rel(rel, entity_of) for rel in attr_rels
         ]
+        checks.extend(self._compile_temp_rel(rel) for rel in temp_rels)
+        if len(checks) == 1:
+            check = checks[0]
+            rows = [row for row in self.rows if check(row)]
+        else:
+            rows = [
+                row for row in self.rows if all(c(row) for c in checks)
+            ]
         return TupleSet(patterns=self.patterns, rows=rows)
 
     # -- joins ---------------------------------------------------------------
@@ -112,6 +151,18 @@ class TupleSet:
             raise ValueError("join requires disjoint tuple sets")
         combined_patterns = tuple(sorted(self.patterns + other.patterns))
 
+        # Output column permutation, computed once: each output position
+        # pulls from (side, source column) instead of rebuilding a
+        # pattern->event dict per joined row.
+        permutation = tuple(
+            (0, self._column[p]) if p in self._column else (1, other._column[p])
+            for p in combined_patterns
+        )
+
+        def combine(left_row: Row, right_row: Row) -> Row:
+            sides = (left_row, right_row)
+            return tuple(sides[side][col] for side, col in permutation)
+
         # Use a composite hash key over every equality relationship that
         # spans the two sets: joining on (dst_ip, dst_port) at once avoids
         # the intermediate blowup of joining on dst_ip and filtering later.
@@ -121,34 +172,23 @@ class TupleSet:
             if rel.is_equality and self._spans(rel, other)
         ]
 
-        joined_rows: List[Tuple[SystemEvent, ...]] = []
-
-        def combine(
-            left_row: Tuple[SystemEvent, ...], right_row: Tuple[SystemEvent, ...]
-        ) -> Tuple[SystemEvent, ...]:
-            mapping: Dict[int, SystemEvent] = dict(zip(self.patterns, left_row))
-            mapping.update(zip(other.patterns, right_row))
-            return tuple(mapping[p] for p in combined_patterns)
+        joined_rows: List[Row] = []
 
         if hash_rels:
-            key_refs = []
+            left_getters = []
+            right_getters = []
             for rel in hash_rels:
                 left_ref, right_ref = rel.left, rel.right
                 if left_ref.pattern not in self.patterns:
                     left_ref, right_ref = right_ref, left_ref
-                key_refs.append((left_ref, right_ref))
-            buckets: Dict[object, List[Tuple[SystemEvent, ...]]] = defaultdict(list)
+                left_getters.append(self._field_getter(left_ref, entity_of))
+                right_getters.append(other._field_getter(right_ref, entity_of))
+            buckets: Dict[object, List[Row]] = defaultdict(list)
             for row in other.rows:
-                key = tuple(
-                    _norm(other._field(ref, row, entity_of))
-                    for _lref, ref in key_refs
-                )
+                key = tuple(_norm(get(row)) for get in right_getters)
                 buckets[key].append(row)
             for row in self.rows:
-                key = tuple(
-                    _norm(self._field(ref, row, entity_of))
-                    for ref, _rref in key_refs
-                )
+                key = tuple(_norm(get(row)) for get in left_getters)
                 for match in buckets.get(key, ()):
                     joined_rows.append(combine(row, match))
         else:

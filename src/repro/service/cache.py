@@ -35,6 +35,19 @@ from repro.model.events import SystemEvent
 
 _Key = Tuple[Hashable, Hashable]  # (partition key, filter fingerprint)
 
+# Scheduler-narrowed sub-queries can carry join-derived id sets with
+# thousands of members; their fingerprints are one-off (query-result-
+# dependent), so caching them churns the LRU and evicts the reusable
+# base-pattern entries.  Shared by the hot partition-scan cache, the cold
+# per-segment result cache and kernel memoization.
+CACHEABLE_ID_SET_LIMIT = 128
+
+
+def cacheable_filter(flt, limit: int = CACHEABLE_ID_SET_LIMIT) -> bool:
+    """Whether ``flt`` is worth a cache entry (narrowed id sets bounded)."""
+    ids = len(flt.subject_ids or ()) + len(flt.object_ids or ())
+    return ids <= limit
+
 
 class ScanCache:
     """Thread-safe LRU cache of per-partition scan results."""

@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.entities import Entity, EntityRegistry, EntityType
 from repro.model.events import SystemEvent
-from repro.service.cache import ScanCache
+from repro.service.cache import CACHEABLE_ID_SET_LIMIT, ScanCache, cacheable_filter
 from repro.service.pool import SharedExecutor, get_shared_executor
 from repro.storage.filters import (
     EventFilter,
@@ -22,6 +22,7 @@ from repro.storage.filters import (
     top_level_equalities,
 )
 from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
+from repro.storage.kernels import kernel_for, kernels_enabled
 from repro.storage.partition import PartitionKey, PartitionScheme
 from repro.storage.table import EventTable
 
@@ -212,16 +213,13 @@ class EventStore:
         """
         return sum(len(table) for table in self._pruned(flt))
 
-    # Scheduler-narrowed sub-queries can carry join-derived id sets with
-    # thousands of members; their fingerprints are one-off (query-result-
-    # dependent), so caching them churns the LRU and evicts the reusable
-    # base-pattern entries.  Skip the cache above this many narrowed ids.
-    CACHEABLE_ID_SET_LIMIT = 128
+    # Skip the cache for filters carrying giant scheduler-narrowed id sets
+    # (one-off fingerprints; see service.cache.cacheable_filter).
+    CACHEABLE_ID_SET_LIMIT = CACHEABLE_ID_SET_LIMIT
 
     @classmethod
     def _cacheable(cls, flt: EventFilter) -> bool:
-        ids = len(flt.subject_ids or ()) + len(flt.object_ids or ())
-        return ids <= cls.CACHEABLE_ID_SET_LIMIT
+        return cacheable_filter(flt, cls.CACHEABLE_ID_SET_LIMIT)
 
     def scan(
         self,
@@ -250,6 +248,12 @@ class EventStore:
         cacheable = cache is not None and self._cacheable(flt)
         if use_entity_index:
             flt = narrow_with_index(flt, self.entity_index)
+        # Compile the filter once for the whole scan; every surviving
+        # partition shares the kernel.  A constant-false filter (empty
+        # window, empty narrowed id set) skips pruning and scanning alike.
+        kernel = kernel_for(flt) if kernels_enabled() else None
+        if kernel is not None and kernel.always_false:
+            return []
         keys = self._pruned_keys(flt)
         if not keys:
             return []
@@ -264,14 +268,14 @@ class EventStore:
                 if table is None:
                     return ()
                 return cache.get_or_compute(
-                    key, fingerprint, lambda: table.scan(flt, None)
+                    key, fingerprint, lambda: table.scan(flt, None, kernel)
                 )
 
         else:
 
             def scan_one(key: PartitionKey):
                 table = self._partitions.get(key)
-                return () if table is None else table.scan(flt, None)
+                return () if table is None else table.scan(flt, None, kernel)
 
         if parallel and len(keys) > 1:
             chunks = self.executor.map_all(scan_one, keys)

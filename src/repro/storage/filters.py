@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Callable, FrozenSet, Optional, Sequence, Tuple
 
 from repro.model.entities import Entity, EntityType
@@ -23,8 +24,14 @@ from repro.model.time import TimeWindow
 COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=", "in", "not in")
 
 
+@lru_cache(maxsize=512)
 def like_to_regex(pattern: str) -> "re.Pattern[str]":
-    """Compile a SQL LIKE pattern (``%`` wildcard) to a regex."""
+    """Compile a SQL LIKE pattern (``%`` wildcard) to a regex.
+
+    Memoized: a LIKE predicate is evaluated once per candidate event, and
+    recompiling the regex per row dominated LIKE-heavy scans.  The cache is
+    shared process-wide (patterns are plain strings) and LRU-bounded.
+    """
     parts = [re.escape(part) for part in pattern.split("%")]
     return re.compile("^" + ".*".join(parts) + "$", re.IGNORECASE)
 

@@ -73,7 +73,8 @@ class FlatStore:
         use_entity_index: bool = True,
     ) -> List[SystemEvent]:
         # ``parallel`` accepted for interface compatibility; a flat heap has
-        # no partitions to parallelize over.
+        # no partitions to parallelize over.  The table compiles the filter
+        # into a scan kernel itself (one heap, one compilation).
         from repro.storage.database import narrow_with_index
 
         if use_entity_index:

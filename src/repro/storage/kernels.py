@@ -1,0 +1,498 @@
+"""Compiled scan kernels: one-shot ``EventFilter`` -> closure compilation.
+
+Every scan in the system funnels per-candidate events through
+:meth:`EventFilter.matches`, which re-interprets up to nine constraint
+branches plus a recursive predicate tree per event, re-coerces literal
+types per comparison and (before memoization) recompiled LIKE regexes per
+row.  On the paper's workload — interactive investigation over hundreds of
+millions of events — that per-event interpretation is the dominant query
+cost once storage is in place.
+
+This module compiles a filter **once per scan** into a single specialized
+function with everything loop-invariant hoisted out of the per-event path:
+
+* absent constraints are eliminated entirely — an unconstrained branch
+  costs zero instead of a ``None`` check per event;
+* LIKE patterns carry their precompiled regex; IN lists their normalized
+  frozenset; literals are pre-coerced against every runtime type an
+  attribute can take, so no ``_coerce`` runs per row;
+* entities are resolved lazily — a filter without subject/object
+  predicates never touches the registry;
+* constant-false filters (empty window, empty scheduler-narrowed id set)
+  short-circuit whole scans to an empty result.
+
+The generated function is built with ``exec`` so the per-event path is one
+flat code object whose constants are bound as default arguments (locals,
+not global lookups).  Kernels are memoized on the filter's canonical
+:func:`~repro.storage.filters.filter_fingerprint` — the same key as the
+partition-scan cache — so repeated and concurrent scans of one filter
+share a single compilation.
+
+Semantics are bit-for-bit those of the interpreted path (differential- and
+property-tested); exotic runtime value types fall back to
+:meth:`AttrPredicate.matches` leaf-by-leaf.
+"""
+
+from __future__ import annotations
+
+import operator
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.model.entities import ATTRIBUTES_BY_TYPE, normalize_attribute
+from repro.model.events import SystemEvent, event_attribute_getter
+from repro.service.cache import cacheable_filter
+from repro.storage.filters import (
+    AttrPredicate,
+    EventFilter,
+    PredicateAnd,
+    PredicateLeaf,
+    PredicateNot,
+    PredicateOr,
+    _equals,
+    filter_fingerprint,
+    like_to_regex,
+)
+
+# An attribute-value test specialized for one predicate; receives the
+# runtime value and returns whether the predicate holds.
+ValueTest = Callable[[object], bool]
+
+# A compiled predicate tree; receives the target object itself (an Entity
+# for subject/object trees, a SystemEvent for event trees) — attribute
+# resolution is hoisted to compile time, unlike PredicateNode.evaluate.
+PredicateFn = Callable[[object], bool]
+
+# Every canonical attribute any entity type exposes.  For these names,
+# ``getattr(entity, name)`` raising AttributeError is exactly equivalent to
+# ``Entity.attribute(name)`` raising it (each entity dataclass declares
+# precisely its type's Table-1 attributes); names outside this set raise
+# for every entity, i.e. the leaf is constant-false.
+_ENTITY_DATA_ATTRS = frozenset(
+    attr for attrs in ATTRIBUTES_BY_TYPE.values() for attr in attrs
+)
+
+# The compiled whole-filter check: ``test(event, entity_lookup) -> bool``.
+KernelFn = Callable[[SystemEvent, Callable[[int], object]], bool]
+
+_ORDERED_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _numeric_coercions(text: str) -> Dict[type, object]:
+    """Pre-coerce a string literal toward every numeric runtime type.
+
+    Mirrors ``filters._coerce`` (``type(actual)(expected)``) hoisted out of
+    the loop: a missing entry means the coercion raised ``ValueError`` at
+    compile time, exactly when it would have per event.
+    """
+    coerced: Dict[type, object] = {}
+    try:
+        coerced[int] = int(text)
+    except ValueError:
+        pass
+    try:
+        coerced[float] = float(text)
+    except ValueError:
+        pass
+    return coerced
+
+
+def compile_value_test(pred: AttrPredicate) -> ValueTest:
+    """Specialize one ``attr <op> value`` comparison into a closure.
+
+    The closure dispatches on the *exact* runtime type of the actual value
+    (str/int/float cover every attribute in the data model); anything else
+    falls back to the interpreted :meth:`AttrPredicate.matches`, keeping
+    equivalence even for exotic values.
+    """
+    op = pred.op
+    value = pred.value
+    interpreted = pred.matches  # exact fallback for unexpected types
+
+    if op in ("in", "not in"):
+        raw = tuple(value)  # type: ignore[arg-type]
+        normalized = frozenset(
+            v.lower() if isinstance(v, str) else v for v in raw
+        )
+        norm_types = frozenset(type(v) for v in normalized)
+        negate = op == "not in"
+
+        def test_membership(actual: object) -> bool:
+            key = actual.lower() if isinstance(actual, str) else actual
+            if key in normalized:
+                member = True
+            elif type(key) in norm_types:
+                member = False
+            else:
+                # cross-type literals ('4444' vs 4444): linear fallback
+                member = any(_equals(actual, v) for v in raw)
+            return member != negate
+
+        return test_membership
+
+    if pred.is_like:
+        match = like_to_regex(str(value)).match
+        negate = op == "!="
+
+        def test_like(actual: object) -> bool:
+            return bool(match(str(actual))) != negate
+
+        return test_like
+
+    if op in ("=", "!="):
+        negate = op == "!="
+        if isinstance(value, str):
+            lowered = value.lower()
+            numeric = _numeric_coercions(value)
+
+            def test_eq_str(actual: object) -> bool:
+                t = type(actual)
+                if t is str:
+                    return (actual.lower() == lowered) != negate
+                if t is int or t is float:
+                    expected = numeric.get(t)
+                    # uncoercible literal compares str vs number: never equal
+                    return (expected is not None and actual == expected) != negate
+                return interpreted(actual)
+
+            return test_eq_str
+        if type(value) in (int, float):
+            as_str = str(value).lower()
+
+            def test_eq_num(actual: object) -> bool:
+                t = type(actual)
+                if t is str:
+                    return (actual.lower() == as_str) != negate
+                if t is int or t is float:
+                    return (actual == value) != negate
+                return interpreted(actual)
+
+            return test_eq_num
+        return interpreted
+
+    compare = _ORDERED_OPS[op]
+    if isinstance(value, str):
+        numeric = _numeric_coercions(value)
+
+        def test_ordered_str(actual: object) -> bool:
+            t = type(actual)
+            if t is str:
+                return compare(actual, value)
+            if t is int or t is float:
+                expected = numeric.get(t)
+                if expected is None:
+                    return False  # interpreted path: TypeError -> False
+                return compare(actual, expected)
+            return interpreted(actual)
+
+        return test_ordered_str
+    if type(value) in (int, float):
+        as_str = str(value)
+
+        def test_ordered_num(actual: object) -> bool:
+            t = type(actual)
+            if t is str:
+                return compare(actual, as_str)  # raw string ordering
+            if t is int or t is float:
+                return compare(actual, value)
+            return interpreted(actual)
+
+        return test_ordered_num
+    return interpreted
+
+
+def _compile_leaf(pred: AttrPredicate, role: str) -> PredicateFn:
+    """One leaf with its attribute getter resolved at compile time.
+
+    The interpreted path pays alias normalization, a validity check and a
+    dict dispatch *per row per leaf* (``Entity.attribute`` /
+    ``SystemEvent.attribute``); here the getter binds once and an
+    attribute no target can have compiles to constant-false (the
+    interpreter's ``AttributeError -> False``).
+    """
+    test = compile_value_test(pred)
+    if role == "event":
+        getter = event_attribute_getter(pred.attr)
+        if getter is None:
+            return lambda event: False
+        return lambda event: test(getter(event))
+    canonical = normalize_attribute(None, pred.attr)
+    if canonical not in _ENTITY_DATA_ATTRS:
+        return lambda entity: False
+    attr_of = operator.attrgetter(canonical)
+
+    def run_leaf(entity: object) -> bool:
+        try:
+            actual = attr_of(entity)
+        except AttributeError:
+            # valid attribute of a *different* entity type (e.g. a file
+            # predicate evaluated against a network object)
+            return False
+        return test(actual)
+
+    return run_leaf
+
+
+def compile_predicate(node, role: str = "entity") -> PredicateFn:
+    """Compile a predicate tree into a closure over its target object.
+
+    ``role`` selects attribute resolution: ``"entity"`` trees receive an
+    :class:`~repro.model.entities.Entity`, ``"event"`` trees the
+    :class:`SystemEvent` itself.
+    """
+    if isinstance(node, PredicateLeaf):
+        return _compile_leaf(node.pred, role)
+    if isinstance(node, PredicateNot):
+        child = compile_predicate(node.child, role)
+        return lambda target: not child(target)
+    if isinstance(node, (PredicateAnd, PredicateOr)):
+        children = tuple(compile_predicate(c, role) for c in node.children)
+        if isinstance(node, PredicateAnd):
+            if len(children) == 2:
+                first, second = children
+                return lambda target: first(target) and second(target)
+            return lambda target: all(c(target) for c in children)
+        if len(children) == 2:
+            first, second = children
+            return lambda target: first(target) or second(target)
+        return lambda target: any(c(target) for c in children)
+    raise AssertionError(node)
+
+
+def constant_false(flt: EventFilter) -> bool:
+    """True when no event can ever satisfy ``flt``.
+
+    Catches the scheduler's empty narrowings (``subject_ids=frozenset()``
+    after a join produced no values) and empty window intersections, so a
+    whole scan short-circuits instead of walking candidates per partition.
+    """
+    if flt.window.is_empty():
+        return True
+    for ids in (flt.agent_ids, flt.operations, flt.subject_ids, flt.object_ids):
+        if ids is not None and not ids:
+            return True
+    return False
+
+
+def _never(event: SystemEvent, lookup) -> bool:
+    return False
+
+
+def _always(event: SystemEvent, lookup) -> bool:
+    return True
+
+
+class ScanKernel:
+    """One filter compiled for the scan hot path.
+
+    ``test(event, lookup)`` is the full filter check (equivalent to
+    resolving both entities and calling ``flt.matches``); ``test_predicates``
+    checks only the subject/object/event predicate trees, for callers that
+    already applied the structural constraints exactly (the cold tier's
+    columnar prefilter).
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "always_false",
+        "has_predicates",
+        "test",
+        "test_predicates",
+    )
+
+    def __init__(
+        self,
+        fingerprint: Optional[tuple],
+        always_false: bool,
+        has_predicates: bool,
+        test: KernelFn,
+        test_predicates: KernelFn,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.always_false = always_false
+        self.has_predicates = has_predicates
+        self.test = test
+        self.test_predicates = test_predicates
+
+
+def _generate(checks: List[Tuple[str, object]], name: str) -> KernelFn:
+    """exec one flat test function; constants bind as default args (locals)."""
+    if not checks:
+        return _always
+    params = ", ".join(f"{key}={key}" for key, _ in checks)
+    body = "\n    ".join(line for _, line in _CHECK_LINES(checks))
+    source = f"def {name}(event, lookup, {params}):\n    {body}\n    return True"
+    env = {key: value for key, value in checks}
+    exec(source, env)  # noqa: S102 - the source is template-generated here
+    return env[name]
+
+
+def _CHECK_LINES(checks: List[Tuple[str, object]]) -> Iterator[Tuple[str, str]]:
+    for key, _ in checks:
+        yield key, _CHECK_TEMPLATES[key]
+
+
+_CHECK_TEMPLATES = {
+    "_agent_ids": "if event.agent_id not in _agent_ids: return False",
+    "_window_start": "if event.start_time < _window_start: return False",
+    "_window_end": "if event.start_time >= _window_end: return False",
+    "_operations": "if event.operation not in _operations: return False",
+    "_object_type": "if event.object_type is not _object_type: return False",
+    "_subject_ids": "if event.subject_id not in _subject_ids: return False",
+    "_object_ids": "if event.object_id not in _object_ids: return False",
+    "_subject_pred": (
+        "if not _subject_pred(lookup(event.subject_id)): return False"
+    ),
+    "_object_pred": (
+        "if not _object_pred(lookup(event.object_id)): return False"
+    ),
+    "_event_pred": "if not _event_pred(event): return False",
+}
+
+
+def compile_filter(
+    flt: EventFilter, fingerprint: Optional[tuple] = None
+) -> ScanKernel:
+    """Compile ``flt`` into a :class:`ScanKernel` (no memoization here)."""
+    if constant_false(flt):
+        return ScanKernel(fingerprint, True, False, _never, _never)
+
+    checks: List[Tuple[str, object]] = []
+    if flt.agent_ids is not None:
+        checks.append(("_agent_ids", flt.agent_ids))
+    if flt.window.start is not None:
+        checks.append(("_window_start", flt.window.start))
+    if flt.window.end is not None:
+        checks.append(("_window_end", flt.window.end))
+    if flt.operations is not None:
+        checks.append(("_operations", flt.operations))
+    if flt.object_type is not None:
+        checks.append(("_object_type", flt.object_type))
+    if flt.subject_ids is not None:
+        checks.append(("_subject_ids", flt.subject_ids))
+    if flt.object_ids is not None:
+        checks.append(("_object_ids", flt.object_ids))
+
+    predicate_checks: List[Tuple[str, object]] = []
+    if flt.subject_pred is not None:
+        predicate_checks.append(
+            ("_subject_pred", compile_predicate(flt.subject_pred, "entity"))
+        )
+    if flt.object_pred is not None:
+        predicate_checks.append(
+            ("_object_pred", compile_predicate(flt.object_pred, "entity"))
+        )
+    if flt.event_pred is not None:
+        predicate_checks.append(
+            ("_event_pred", compile_predicate(flt.event_pred, "event"))
+        )
+
+    test = _generate(checks + predicate_checks, "kernel")
+    test_predicates = (
+        _generate(predicate_checks, "kernel_predicates")
+        if predicate_checks
+        else _always
+    )
+    return ScanKernel(
+        fingerprint, False, bool(predicate_checks), test, test_predicates
+    )
+
+
+class KernelCache:
+    """Thread-safe LRU of compiled kernels keyed by filter fingerprint.
+
+    Shares its key space with the partition-scan cache: two filters with
+    equal fingerprints select the same events, so one kernel serves both.
+    Scheduler-narrowed filters carrying giant join-derived id sets get
+    one-off fingerprints (and pay an O(n log n) sort to compute them), so
+    those compile uncached (``service.cache.cacheable_filter``, the same
+    guard every fingerprint-keyed cache shares) — compilation is a few
+    closures, far cheaper than fingerprinting thousands of ids per scan.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, ScanKernel]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def kernel_for(self, flt: EventFilter) -> ScanKernel:
+        if not cacheable_filter(flt):
+            return compile_filter(flt)
+        fingerprint = filter_fingerprint(flt)
+        with self._lock:
+            kernel = self._entries.get(fingerprint)
+            if kernel is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                return kernel
+        kernel = compile_filter(flt, fingerprint)
+        with self._lock:
+            self.misses += 1
+            self._entries[fingerprint] = kernel
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return kernel
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+_shared_cache = KernelCache()
+_enabled = True
+
+
+def kernel_for(flt: EventFilter) -> ScanKernel:
+    """The process-wide memoized kernel for ``flt``."""
+    return _shared_cache.kernel_for(flt)
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    return _shared_cache.stats()
+
+
+def kernels_enabled() -> bool:
+    """Whether scan sites should compile filters (True outside tests)."""
+    return _enabled
+
+
+@contextmanager
+def use_kernels(enabled: bool):
+    """Force-compile or force-interpret scans within the block.
+
+    The interpreted path is kept as the differential oracle; benchmarks and
+    equivalence tests flip this toggle.  Not safe to flip concurrently with
+    scans on other threads (tests and benches are single-threaded at the
+    point of use).
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = enabled
+    try:
+        yield
+    finally:
+        _enabled = previous

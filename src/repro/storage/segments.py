@@ -23,6 +23,7 @@ from repro.model.time import day_of
 from repro.service.pool import SharedExecutor, get_shared_executor
 from repro.storage.filters import EventFilter
 from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
+from repro.storage.kernels import kernel_for, kernels_enabled
 from repro.storage.table import EventTable
 
 DISTRIBUTION_POLICIES = ("arrival", "domain")
@@ -166,15 +167,19 @@ class SegmentedStore:
         committed = self._committed  # snapshot before touching any segment
         if use_entity_index:
             flt = narrow_with_index(flt, self.entity_index)
+        # One compiled kernel shared by every segment scan (see EventStore).
+        kernel = kernel_for(flt) if kernels_enabled() else None
+        if kernel is not None and kernel.always_false:
+            return []
         segments = self._relevant_segments(flt)
         if parallel and len(segments) > 1:
             if self._executor is None:
                 self._executor = get_shared_executor()
             chunks = self._executor.map_all(
-                lambda s: s.scan(flt, None), segments
+                lambda s: s.scan(flt, None, kernel), segments
             )
         else:
-            chunks = [segment.scan(flt, None) for segment in segments]
+            chunks = [segment.scan(flt, None, kernel) for segment in segments]
         merged: List[SystemEvent] = []
         for chunk in chunks:
             merged.extend(e for e in chunk if e.event_id <= committed)

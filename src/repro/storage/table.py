@@ -39,6 +39,7 @@ from repro.model.entities import Entity, EntityType
 from repro.model.events import Operation, SystemEvent
 from repro.storage.filters import EventFilter, top_level_equalities
 from repro.storage.index import EntityAttributeIndex, SortedTimeIndex
+from repro.storage.kernels import ScanKernel, kernel_for, kernels_enabled
 
 
 class EventTable:
@@ -171,17 +172,37 @@ class EventTable:
         self,
         flt: EventFilter,
         entity_index: Optional[EntityAttributeIndex] = None,
+        kernel: Optional[ScanKernel] = None,
     ) -> List[SystemEvent]:
-        """Return all events matching ``flt``, sorted by (start_time, event_id)."""
+        """Return all events matching ``flt``, sorted by (start_time, event_id).
+
+        Matching runs through a compiled scan kernel (one specialized
+        closure per filter, memoized on the filter fingerprint); stores
+        scanning many partitions compile once and pass ``kernel`` down.
+        The interpreted ``flt.matches`` path remains behind
+        :func:`repro.storage.kernels.use_kernels` as the oracle.
+        """
         matched: List[SystemEvent] = []
         lookup = self._entity_lookup
         visible = self._visible  # one snapshot: the whole scan sees one prefix
-        for position in self._candidate_positions(flt, entity_index, visible):
-            event = self._events[position]
-            subject = lookup(event.subject_id)
-            obj = lookup(event.object_id)
-            if flt.matches(event, subject, obj):
-                matched.append(event)
+        if kernel is None and kernels_enabled():
+            kernel = kernel_for(flt)
+        if kernel is not None:
+            if kernel.always_false:
+                return matched
+            test = kernel.test
+            events = self._events
+            for position in self._candidate_positions(flt, entity_index, visible):
+                event = events[position]
+                if test(event, lookup):
+                    matched.append(event)
+        else:
+            for position in self._candidate_positions(flt, entity_index, visible):
+                event = self._events[position]
+                subject = lookup(event.subject_id)
+                obj = lookup(event.object_id)
+                if flt.matches(event, subject, obj):
+                    matched.append(event)
         matched.sort(key=lambda e: (e.start_time, e.event_id))
         return matched
 

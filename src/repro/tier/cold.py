@@ -19,6 +19,19 @@ segment's zone map never pays the decompression.  Segments that do match
 decompress through a small LRU so iterative investigations over the same
 cold window stay cheap.
 
+Scans through segments that survive the zone maps are columnar: the
+structural constraints (window, agents, operations, object type, narrowed
+id sets) are evaluated against the decoded columns first, and
+:class:`~repro.model.events.SystemEvent` objects are materialized only
+when some row survives — a segment whose rows all fail the prefilter
+never pays object construction.  Checks a segment's zone map proves
+vacuous (e.g. a window covering the whole segment) are hoisted out
+entirely.  The remaining predicate trees run through the compiled scan
+kernel, and per-segment results are memoized in a scan cache keyed by
+``(segment file, filter fingerprint)`` — sound with no invalidation at
+all because segments are immutable, and the reason iterative mixed
+hot+cold investigations stop re-decompressing the cold tier per query.
+
 The manifest (``manifest.json``) is the tier's source of truth and is
 rewritten atomically (temp file + rename); segment files are written
 durably *before* the manifest references them, so a crash mid-migration
@@ -39,7 +52,9 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.entities import EntityType
 from repro.model.events import Operation, SystemEvent
-from repro.storage.filters import EventFilter
+from repro.service.cache import ScanCache, cacheable_filter
+from repro.storage.filters import EventFilter, filter_fingerprint
+from repro.storage.kernels import kernel_for, kernels_enabled
 from repro.storage.partition import PartitionKey
 
 MANIFEST_VERSION = 1
@@ -180,11 +195,15 @@ def _encode_segment(events: Sequence[SystemEvent]) -> bytes:
     return zlib.compress(json.dumps(columns).encode("utf-8"), 6)
 
 
-def _decode_segment(blob: bytes) -> Tuple[SystemEvent, ...]:
+def _decode_columns(blob: bytes) -> Dict[str, list]:
     try:
         columns = json.loads(zlib.decompress(blob).decode("utf-8"))
     except (zlib.error, ValueError) as exc:
         raise ColdTierError(f"corrupt cold segment: {exc}") from exc
+    return columns
+
+
+def _materialize(columns: Dict[str, list]) -> Tuple[SystemEvent, ...]:
     return tuple(
         SystemEvent(
             event_id=columns["eid"][i],
@@ -203,6 +222,42 @@ def _decode_segment(blob: bytes) -> Tuple[SystemEvent, ...]:
     )
 
 
+class _DecodedSegment:
+    """One decompressed segment: raw columns, then materialized events.
+
+    Columnar prefilters read :attr:`columns`; only scans whose prefilter
+    leaves survivors (and iteration/recovery probes) pay
+    :class:`SystemEvent` construction, once per LRU residency.  The
+    columns are released once the events exist — no path reads both, so a
+    cache-resident segment holds one representation, not two.
+    """
+
+    __slots__ = ("columns", "_events")
+
+    def __init__(self, columns: Dict[str, list]) -> None:
+        self.columns: Optional[Dict[str, list]] = columns
+        self._events: Optional[Tuple[SystemEvent, ...]] = None
+
+    @property
+    def materialized(self) -> bool:
+        return self._events is not None
+
+    def events(self) -> Tuple[SystemEvent, ...]:
+        events = self._events
+        if events is None:
+            # Benign race: concurrent materializations build equal tuples.
+            # Snapshot the columns first — a concurrent winner publishes
+            # its events *before* clearing them, so a None snapshot means
+            # the events are already there; a non-None snapshot stays
+            # alive through this local reference even if cleared under us.
+            columns = self.columns
+            if columns is None:
+                return self._events
+            events = self._events = _materialize(columns)
+            self.columns = None
+        return events
+
+
 class ColdTier:
     """The on-disk cold half of a :class:`~repro.tier.store.TieredStore`."""
 
@@ -211,6 +266,7 @@ class ColdTier:
         directory,
         entity_lookup: Callable[[int], object],
         cache_segments: int = 4,
+        scan_cache_entries: int = 128,
     ) -> None:
         if cache_segments < 1:
             raise ValueError("cache_segments must be >= 1")
@@ -220,8 +276,16 @@ class ColdTier:
         self._zones: List[ZoneMap] = []
         self._next_id = 0
         self._cache_segments = cache_segments
-        self._cache: "OrderedDict[str, Tuple[SystemEvent, ...]]" = OrderedDict()
+        self._cache: "OrderedDict[str, _DecodedSegment]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        # Per-segment scan results, keyed by (segment file, filter
+        # fingerprint).  Segments are immutable so entries never need
+        # invalidation; 0 disables.  This is the cold analogue of the hot
+        # partition-scan cache and what keeps iterative investigations
+        # over mixed hot+cold windows from re-scanning the cold tier.
+        self.scan_cache: Optional[ScanCache] = (
+            ScanCache(scan_cache_entries) if scan_cache_entries else None
+        )
         # Pruning observability (the benchmark's zone-map probe).
         self.segments_considered = 0
         self.segments_pruned = 0
@@ -295,37 +359,122 @@ class ColdTier:
 
     # -- reads --------------------------------------------------------------
 
-    def _segment_events(self, zone: ZoneMap) -> Tuple[SystemEvent, ...]:
+    def _decoded(self, zone: ZoneMap) -> _DecodedSegment:
         with self._cache_lock:
             cached = self._cache.get(zone.filename)
             if cached is not None:
                 self._cache.move_to_end(zone.filename)
                 return cached
         blob = (self.directory / zone.filename).read_bytes()
-        events = _decode_segment(blob)
+        segment = _DecodedSegment(_decode_columns(blob))
         with self._cache_lock:
-            self._cache[zone.filename] = events
+            self._cache[zone.filename] = segment
             self._cache.move_to_end(zone.filename)
             while len(self._cache) > self._cache_segments:
                 self._cache.popitem(last=False)
-        return events
+        return segment
+
+    def _segment_events(self, zone: ZoneMap) -> Tuple[SystemEvent, ...]:
+        return self._decoded(zone).events()
+
+    def _structural_indices(self, zone: ZoneMap, columns, flt: EventFilter):
+        """Row indices surviving the filter's structural constraints.
+
+        Evaluated against raw columns, before any :class:`SystemEvent`
+        exists.  Every check the zone map proves vacuous for this segment
+        (window covering its whole time range, agent/operation/object-type
+        universes inside the constraint) is hoisted out entirely; the
+        checks that remain are exact, so survivors only owe the predicate
+        trees.
+        """
+        survivors = range(zone.count)
+        if flt.agent_ids is not None and not zone.agents <= flt.agent_ids:
+            column, wanted = columns["a"], flt.agent_ids
+            survivors = [i for i in survivors if column[i] in wanted]
+        window = flt.window
+        if (window.start is not None and window.start > zone.min_time) or (
+            window.end is not None and window.end <= zone.max_time
+        ):
+            contains, column = window.contains, columns["t0"]
+            survivors = [i for i in survivors if contains(column[i])]
+        if flt.operations is not None:
+            wanted = {op.value for op in flt.operations}
+            if not zone.operations <= wanted:
+                column = columns["op"]
+                survivors = [i for i in survivors if column[i] in wanted]
+        if flt.object_type is not None:
+            wanted_type = flt.object_type.value
+            if zone.object_types != {wanted_type}:
+                column = columns["ot"]
+                survivors = [i for i in survivors if column[i] == wanted_type]
+        if flt.subject_ids is not None and not zone.subjects <= flt.subject_ids:
+            column, wanted = columns["subj"], flt.subject_ids
+            survivors = [i for i in survivors if column[i] in wanted]
+        if flt.object_ids is not None and not zone.objects <= flt.object_ids:
+            column, wanted = columns["obj"], flt.object_ids
+            survivors = [i for i in survivors if column[i] in wanted]
+        return survivors
+
+    def _scan_segment(self, zone: ZoneMap, flt: EventFilter, kernel):
+        """One segment's matches (sorted: segments are stored sorted)."""
+        segment = self._decoded(zone)
+        lookup = self._entity_lookup
+        # Snapshot the columns before testing materialized: a concurrent
+        # materialization clears them, but only after publishing events.
+        columns = segment.columns
+        if columns is None or segment.materialized:
+            # Events already built (an earlier scan or recovery probe paid
+            # the construction): the compiled kernel alone is cheapest.
+            test = kernel.test
+            return tuple(e for e in segment.events() if test(e, lookup))
+        survivors = self._structural_indices(zone, columns, flt)
+        if not isinstance(survivors, range) and not survivors:
+            return ()  # nothing structural survived: never materialize
+        events = segment.events()
+        if not kernel.has_predicates:
+            if isinstance(survivors, range):
+                return events
+            return tuple(events[i] for i in survivors)
+        test_predicates = kernel.test_predicates
+        return tuple(
+            events[i] for i in survivors if test_predicates(events[i], lookup)
+        )
 
     def scan(self, flt: EventFilter) -> List[SystemEvent]:
         """Matching cold events, zone-map pruned, sorted by (time, id)."""
         zones = list(self._zones)  # snapshot against concurrent publishes
         matched: List[SystemEvent] = []
         lookup = self._entity_lookup
+        kernel = kernel_for(flt) if kernels_enabled() else None
+        if kernel is not None and kernel.always_false:
+            return matched
+        cache = self.scan_cache
+        if kernel is None or not cacheable_filter(flt):
+            cache = None
+        fingerprint = filter_fingerprint(flt) if cache is not None else None
         for zone in zones:
             self.segments_considered += 1
             if not zone.may_match(flt):
                 self.segments_pruned += 1
                 continue
             self.segments_scanned += 1
-            for event in self._segment_events(zone):
-                if flt.matches(
-                    event, lookup(event.subject_id), lookup(event.object_id)
-                ):
-                    matched.append(event)
+            if kernel is None:
+                # Interpreted oracle path (use_kernels(False)).
+                for event in self._segment_events(zone):
+                    if flt.matches(
+                        event, lookup(event.subject_id), lookup(event.object_id)
+                    ):
+                        matched.append(event)
+            elif cache is not None:
+                matched.extend(
+                    cache.get_or_compute(
+                        zone.filename,
+                        fingerprint,
+                        lambda z=zone: self._scan_segment(z, flt, kernel),
+                    )
+                )
+            else:
+                matched.extend(self._scan_segment(zone, flt, kernel))
         matched.sort(key=lambda e: (e.start_time, e.event_id))
         return matched
 
@@ -422,7 +571,7 @@ class ColdTier:
         )
 
     def stats(self) -> dict:
-        return {
+        out = {
             "segments": len(self._zones),
             "events": self.event_count,
             "bytes": self.size_bytes(),
@@ -430,3 +579,6 @@ class ColdTier:
             "segments_pruned": self.segments_pruned,
             "segments_scanned": self.segments_scanned,
         }
+        if self.scan_cache is not None:
+            out["scan_cache"] = self.scan_cache.stats()
+        return out

@@ -82,6 +82,7 @@ def open_data_dir(
     retention_days: Optional[int] = None,
     wal_sync: bool = True,
     cold_cache_segments: int = 4,
+    cold_scan_cache_entries: int = 128,
 ) -> Tuple[TieredStore, WriteAheadLog, RecoveryReport]:
     """Open (or create) a durable data directory over a fresh hot backend.
 
@@ -93,7 +94,10 @@ def open_data_dir(
     data_dir.mkdir(parents=True, exist_ok=True)
     registry = ingestor.registry
     cold = ColdTier(
-        cold_path(data_dir), registry.get, cache_segments=cold_cache_segments
+        cold_path(data_dir),
+        registry.get,
+        cache_segments=cold_cache_segments,
+        scan_cache_entries=cold_scan_cache_entries,
     )
 
     snapshot_events = 0

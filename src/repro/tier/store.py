@@ -110,15 +110,39 @@ class TieredStore:
     def _merge(
         hot_events: List[SystemEvent], cold_events: List[SystemEvent]
     ) -> List[SystemEvent]:
+        """Merge two (start_time, event_id)-sorted tier runs, deduplicated.
+
+        Both tiers emit sorted runs (each store and the cold tier sort
+        their results), so a mixed hot+cold window needs one linear merge
+        — not a hot-id set plus a full re-sort of the concatenation.
+        During a migration hand-off the same event can be reachable in
+        both tiers; a duplicate pair shares its (start_time, event_id)
+        sort key, so the copies meet at the merge point and the cold one
+        drops (hot wins).
+        """
         if not cold_events:
             return hot_events
-        # During a migration hand-off the same event can be reachable in
-        # both tiers; hot wins, cold duplicates drop.
-        seen = {e.event_id for e in hot_events}
-        merged = hot_events + [
-            e for e in cold_events if e.event_id not in seen
-        ]
-        merged.sort(key=lambda e: (e.start_time, e.event_id))
+        if not hot_events:
+            return cold_events
+        merged: List[SystemEvent] = []
+        append = merged.append
+        i = j = 0
+        hot_len, cold_len = len(hot_events), len(cold_events)
+        while i < hot_len and j < cold_len:
+            hot = hot_events[i]
+            cold = cold_events[j]
+            hot_key = (hot.start_time, hot.event_id)
+            cold_key = (cold.start_time, cold.event_id)
+            if hot_key <= cold_key:
+                append(hot)
+                i += 1
+                if hot_key == cold_key:
+                    j += 1  # same event in both tiers: drop the cold copy
+            else:
+                append(cold)
+                j += 1
+        merged.extend(hot_events[i:])
+        merged.extend(cold_events[j:])
         return merged
 
     def scan(

@@ -1,0 +1,349 @@
+"""Compiled scan kernels: specialization, equivalence, memoization."""
+
+import pytest
+
+from repro.model.entities import EntityRegistry, EntityType
+from repro.model.events import Operation, SystemEvent
+from repro.model.time import TimeWindow
+from repro.storage.filters import (
+    AttrPredicate,
+    EventFilter,
+    PredicateAnd,
+    PredicateLeaf,
+    PredicateNot,
+    PredicateOr,
+)
+from repro.storage.kernels import (
+    KernelCache,
+    compile_filter,
+    compile_predicate,
+    compile_value_test,
+    constant_false,
+    kernel_cache_stats,
+    kernel_for,
+    kernels_enabled,
+    use_kernels,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    registry = EntityRegistry()
+    proc = registry.process(1, 4242, "sshd", user="root", cmd="/usr/sbin/sshd -D")
+    fobj = registry.file(1, "/etc/passwd", owner="root")
+    conn = registry.connection(1, "10.0.0.5", 51000, "166.213.1.129", 4444)
+    event = SystemEvent(
+        event_id=7,
+        agent_id=1,
+        seq=3,
+        start_time=1000.0,
+        end_time=1001.0,
+        operation=Operation.READ,
+        subject_id=proc.id,
+        object_id=fobj.id,
+        object_type=EntityType.FILE,
+        amount=512,
+    )
+    net_event = SystemEvent(
+        event_id=8,
+        agent_id=2,
+        seq=4,
+        start_time=2000.0,
+        end_time=2001.0,
+        operation=Operation.CONNECT,
+        subject_id=proc.id,
+        object_id=conn.id,
+        object_type=EntityType.NETWORK,
+    )
+    return registry, proc, fobj, conn, event, net_event
+
+
+def leaf(attr, op, value):
+    return PredicateLeaf(AttrPredicate(attr=attr, op=op, value=value))
+
+
+class TestValueTests:
+    """compile_value_test must agree with AttrPredicate.matches."""
+
+    CASES = [
+        # (op, predicate value, actual value)
+        ("=", "sshd", "SSHD"),
+        ("=", "sshd", "nginx"),
+        ("=", "4444", 4444),
+        ("=", "4444", 4444.0),
+        ("=", "4.5", 4),  # int('4.5') raises: never equal
+        ("=", 4444, "4444"),
+        ("=", 21.5, 21.5),
+        ("=", "x", 3),
+        ("!=", "sshd", "sshd"),
+        ("!=", 80, 81),
+        ("<", "100", 99),
+        ("<", 100, "099"),  # string ordering against str(100)
+        ("<=", "abc", "abd"),
+        (">", "nope", 5),  # uncoercible literal: TypeError -> False
+        (">=", 10, 10),
+        (">", "10.5", 11.0),
+        ("in", ("a", "B", 3), "b"),
+        ("in", ("a", "B", 3), 3),
+        ("in", ("4444", 80), 4444),  # cross-type fallback
+        ("not in", ("a", "b"), "C"),
+        ("not in", (1, 2), 2),
+        ("in", (1, 2), "zz"),
+    ]
+
+    @pytest.mark.parametrize("op,value,actual", CASES)
+    def test_matches_interpreter(self, op, value, actual):
+        pred = AttrPredicate(attr="x", op=op, value=value)
+        assert compile_value_test(pred)(actual) == pred.matches(actual)
+
+    def test_like_patterns(self):
+        pred = AttrPredicate(attr="name", op="=", value="%telnet%")
+        test = compile_value_test(pred)
+        assert test("/usr/bin/telnetd")
+        assert not test("/bin/sh")
+        negated = AttrPredicate(attr="name", op="!=", value="%telnet%")
+        assert not compile_value_test(negated)("/usr/bin/telnetd")
+
+    def test_exotic_types_fall_back_to_interpreter(self):
+        pred = AttrPredicate(attr="x", op="=", value="1")
+        test = compile_value_test(pred)
+        assert test(True) == pred.matches(True)  # bool is not int here
+        none_pred = AttrPredicate(attr="x", op="=", value=None)
+        assert compile_value_test(none_pred)(None) == none_pred.matches(None)
+        ordered = AttrPredicate(attr="x", op="<", value="5")
+        assert ordered.matches(None) == compile_value_test(ordered)(None)
+
+    def test_bool_predicate_value_uses_interpreter(self):
+        pred = AttrPredicate(attr="x", op="=", value=True)
+        assert compile_value_test(pred).__func__ is AttrPredicate.matches
+        ordered = AttrPredicate(attr="x", op=">", value=True)
+        assert compile_value_test(ordered).__func__ is AttrPredicate.matches
+
+
+class TestPredicateTrees:
+    def test_and_or_not(self, world):
+        _, proc, *_ = world
+        node = PredicateAnd(
+            (
+                leaf("exe_name", "=", "%ssh%"),
+                PredicateOr(
+                    (leaf("user", "=", "root"), leaf("pid", ">", 100000))
+                ),
+            )
+        )
+        compiled = compile_predicate(node, "entity")
+        assert compiled(proc) == node.evaluate(proc.attribute)
+        negated = PredicateNot(node)
+        assert compile_predicate(negated, "entity")(proc) == negated.evaluate(
+            proc.attribute
+        )
+
+    def test_wide_and_or(self, world):
+        _, proc, *_ = world
+        wide_and = PredicateAnd(
+            tuple(leaf("pid", ">", i) for i in (0, 1, 2))
+        )
+        wide_or = PredicateOr(
+            tuple(leaf("pid", "=", i) for i in (1, 2, 4242))
+        )
+        assert compile_predicate(wide_and, "entity")(proc)
+        assert compile_predicate(wide_or, "entity")(proc)
+
+    def test_unknown_attribute_is_false(self, world):
+        _, proc, *_ = world
+        node = leaf("no_such_attr", "=", 1)
+        assert compile_predicate(node, "entity")(proc) is False
+        assert node.evaluate(proc.attribute) is False
+
+    def test_attribute_aliases_resolve(self, world):
+        _, _, _, conn, *_ = world
+        node = leaf("dstport", "=", 4444)  # alias of dst_port
+        assert compile_predicate(node, "entity")(conn)
+        assert node.evaluate(conn.attribute)
+
+    def test_other_entity_types_attribute_is_false(self, world):
+        _, proc, *_ = world
+        node = leaf("dst_port", "=", 4444)  # valid attr, wrong entity type
+        assert compile_predicate(node, "entity")(proc) is False
+        assert node.evaluate(proc.attribute) is False
+
+    def test_event_trees_bind_getters(self, world):
+        _, _, _, _, event, _ = world
+        node = PredicateAnd(
+            (leaf("optype", "=", "read"), leaf("amount", ">=", 512))
+        )
+        assert compile_predicate(node, "event")(event)
+        assert node.evaluate(event.attribute)
+        unknown = leaf("no_such_event_attr", "=", 1)
+        assert compile_predicate(unknown, "event")(event) is False
+        assert unknown.evaluate(event.attribute) is False
+
+
+class TestCompileFilter:
+    def matches_both_ways(self, flt, event, registry):
+        kernel = compile_filter(flt)
+        subject = registry.get(event.subject_id)
+        obj = registry.get(event.object_id)
+        interpreted = flt.matches(event, subject, obj)
+        assert kernel.test(event, registry.get) == interpreted
+        return interpreted
+
+    def test_unconstrained_filter_matches_everything(self, world):
+        registry, _, _, _, event, net_event = world
+        flt = EventFilter()
+        assert self.matches_both_ways(flt, event, registry)
+        assert self.matches_both_ways(flt, net_event, registry)
+
+    def test_every_structural_constraint(self, world):
+        registry, proc, fobj, conn, event, net_event = world
+        cases = [
+            EventFilter(agent_ids=frozenset({1})),
+            EventFilter(agent_ids=frozenset({9})),
+            EventFilter(window=TimeWindow(start=999.0, end=1000.5)),
+            EventFilter(window=TimeWindow(start=1000.5)),
+            EventFilter(window=TimeWindow(end=1000.0)),
+            EventFilter(operations=frozenset({Operation.READ})),
+            EventFilter(operations=frozenset({Operation.WRITE})),
+            EventFilter(object_type=EntityType.FILE),
+            EventFilter(object_type=EntityType.NETWORK),
+            EventFilter(subject_ids=frozenset({proc.id})),
+            EventFilter(subject_ids=frozenset({proc.id + 99})),
+            EventFilter(object_ids=frozenset({fobj.id})),
+        ]
+        for flt in cases:
+            self.matches_both_ways(flt, event, registry)
+            self.matches_both_ways(flt, net_event, registry)
+
+    def test_entity_and_event_predicates(self, world):
+        registry, proc, fobj, conn, event, net_event = world
+        flt = EventFilter(
+            subject_pred=leaf("exe_name", "=", "%ssh%"),
+            object_pred=leaf("name", "=", "/etc/%"),
+            event_pred=leaf("amount", ">", 100),
+        )
+        assert self.matches_both_ways(flt, event, registry)
+        # object predicate invalid for the network entity: filter rejects
+        assert not self.matches_both_ways(flt, net_event, registry)
+
+    def test_entities_resolved_lazily(self, world):
+        registry, _, _, _, event, _ = world
+        flt = EventFilter(operations=frozenset({Operation.READ}))
+        kernel = compile_filter(flt)
+
+        def exploding_lookup(_entity_id):
+            raise AssertionError("no predicates: lookup must not be called")
+
+        assert kernel.test(event, exploding_lookup)
+
+    def test_test_predicates_checks_only_trees(self, world):
+        registry, _, _, _, event, _ = world
+        flt = EventFilter(
+            agent_ids=frozenset({999}),  # structurally false...
+            event_pred=leaf("amount", ">", 100),
+        )
+        kernel = compile_filter(flt)
+        assert not kernel.test(event, registry.get)
+        assert kernel.test_predicates(event, registry.get)  # ...preds hold
+        assert kernel.has_predicates
+
+    def test_no_predicates_test_predicates_is_true(self, world):
+        registry, _, _, _, event, _ = world
+        kernel = compile_filter(EventFilter(agent_ids=frozenset({1})))
+        assert not kernel.has_predicates
+        assert kernel.test_predicates(event, registry.get)
+
+
+class TestConstantFalse:
+    def test_empty_window(self):
+        flt = EventFilter(window=TimeWindow(start=5.0, end=5.0))
+        assert constant_false(flt)
+        assert compile_filter(flt).always_false
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"agent_ids": frozenset()},
+            {"operations": frozenset()},
+            {"subject_ids": frozenset()},
+            {"object_ids": frozenset()},
+        ],
+    )
+    def test_empty_sets(self, kwargs):
+        flt = EventFilter(**kwargs)
+        assert constant_false(flt)
+        kernel = compile_filter(flt)
+        assert kernel.always_false
+        assert not kernel.test(None, None)  # never inspects its arguments
+
+    def test_satisfiable_filter_is_not_constant_false(self):
+        assert not constant_false(EventFilter(agent_ids=frozenset({1})))
+        assert not compile_filter(EventFilter()).always_false
+
+
+class TestKernelCache:
+    def test_fingerprint_sharing(self):
+        cache = KernelCache(max_entries=8)
+        a = EventFilter(agent_ids=frozenset({1, 2}))
+        b = EventFilter(agent_ids=frozenset({2, 1}))
+        assert cache.kernel_for(a) is cache.kernel_for(b)
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_lru_bound(self):
+        cache = KernelCache(max_entries=2)
+        for agent in range(4):
+            cache.kernel_for(EventFilter(agent_ids=frozenset({agent})))
+        assert len(cache) == 2
+        assert cache.stats()["misses"] == 4
+
+    def test_giant_id_sets_compile_uncached(self):
+        from repro.service.cache import CACHEABLE_ID_SET_LIMIT
+
+        cache = KernelCache(max_entries=8)
+        ids = frozenset(range(CACHEABLE_ID_SET_LIMIT + 1))
+        flt = EventFilter(subject_ids=ids)
+        first = cache.kernel_for(flt)
+        second = cache.kernel_for(flt)
+        assert first is not second
+        assert len(cache) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelCache(max_entries=0)
+
+    def test_clear(self):
+        cache = KernelCache(max_entries=4)
+        cache.kernel_for(EventFilter(agent_ids=frozenset({1})))
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_shared_cache_helpers(self):
+        before = kernel_cache_stats()
+        kernel_for(EventFilter(agent_ids=frozenset({123456})))
+        after = kernel_cache_stats()
+        assert after["hits"] + after["misses"] >= before["hits"] + before["misses"]
+
+
+class TestToggle:
+    def test_use_kernels_restores(self):
+        assert kernels_enabled()
+        with use_kernels(False):
+            assert not kernels_enabled()
+            with use_kernels(True):
+                assert kernels_enabled()
+            assert not kernels_enabled()
+        assert kernels_enabled()
+
+    def test_toggle_switches_scan_paths(self, world):
+        registry, proc, fobj, _, event, _ = world
+        from repro.storage.table import EventTable
+
+        table = EventTable(registry.get)
+        table.append(event)
+        flt = EventFilter(subject_pred=leaf("exe_name", "=", "%ssh%"))
+        with use_kernels(False):
+            interpreted = table.scan(flt)
+        with use_kernels(True):
+            compiled = table.scan(flt)
+        assert interpreted == compiled == [event]

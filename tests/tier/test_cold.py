@@ -183,3 +183,131 @@ class TestSegmentCache:
         with pytest.raises(ValueError):
             ColdTier(tmp_path / "cold", feed.ingestor.registry.get,
                      cache_segments=0)
+
+
+def mixed_segment_tier(feed, tmp_path, **kw):
+    """One segment holding two agents, two operations and two object types
+    — nothing the zone map alone can prune for the filters below."""
+    tier = ColdTier(tmp_path / "cold", feed.ingestor.registry.get, **kw)
+    ingestor = feed.ingestor
+    proc, fobj = feed.entities(1)
+    conn = ingestor.connection(1, "10.0.0.5", 51000, "10.1.1.1", 4444)
+    events = [feed.emit(1, day_ts(0, 60.0 * i)) for i in range(4)]
+    events += [feed.emit(1, day_ts(0, 300.0 + 60.0 * i), "read") for i in range(2)]
+    events.append(ingestor.emit(1, day_ts(0, 600.0), "connect", proc, conn))
+    events += [feed.emit(2, day_ts(0, 7200.0 + 60.0 * i)) for i in range(3)]
+    tier.add_segment(PartitionKey(day=day_ordinal(0), agent_group=0), events)
+    return tier, events
+
+
+class TestColumnarScan:
+    """The kernel-era cold path: structural prefilter on raw columns."""
+
+    def interpreted(self, tier, flt):
+        from repro.storage.kernels import use_kernels
+
+        with use_kernels(False):
+            return tier.scan(flt)
+
+    @pytest.mark.parametrize(
+        "flt_kwargs",
+        [
+            {"agent_ids": frozenset({2})},
+            {"operations": frozenset({Operation.READ})},
+            {"object_type": EntityType.NETWORK},
+            {"window": TimeWindow(start=day_ts(0, 250.0), end=day_ts(0, 700.0))},
+        ],
+    )
+    def test_row_level_structural_filters(self, feed, tmp_path, flt_kwargs):
+        tier, _ = mixed_segment_tier(feed, tmp_path)
+        flt = EventFilter(**flt_kwargs)
+        got = tier.scan(flt)
+        assert got  # the segment holds at least one survivor per case
+        assert got == self.interpreted(tier, flt)
+        assert tier.segments_scanned >= 1  # zone map could not prune
+
+    def test_narrowed_id_sets_filter_rows(self, feed, tmp_path):
+        tier, events = mixed_segment_tier(feed, tmp_path)
+        proc, fobj = feed.entities(2)
+        flt = EventFilter(
+            subject_ids=frozenset({proc.id}), object_ids=frozenset({fobj.id})
+        )
+        got = tier.scan(flt)
+        assert got == self.interpreted(tier, flt)
+        assert {e.agent_id for e in got} == {2}
+
+    def test_prefilter_misses_never_materialize(self, feed, tmp_path):
+        tier, _ = mixed_segment_tier(feed, tmp_path)
+        # Agent 3 is inside no zone map: the scan is pruned without decode.
+        assert tier.scan(EventFilter(agent_ids=frozenset({3}))) == []
+        assert tier._cache == {}
+        # A window inside the segment's range but between events survives
+        # the zone map, decodes columns, then matches no row: the segment
+        # must stay un-materialized (no SystemEvent construction).
+        window = TimeWindow(start=day_ts(0, 601.0), end=day_ts(0, 650.0))
+        assert tier.scan(EventFilter(window=window)) == []
+        (segment,) = tier._cache.values()
+        assert not segment.materialized
+
+    def test_materialized_segments_use_event_kernel(self, feed, tmp_path):
+        tier, events = mixed_segment_tier(feed, tmp_path)
+        list(iter(tier))  # materialize via iteration (recovery-style access)
+        (segment,) = tier._cache.values()
+        assert segment.materialized
+        flt = EventFilter(operations=frozenset({Operation.CONNECT}))
+        got = tier.scan(flt)
+        assert [e.operation for e in got] == [Operation.CONNECT]
+        assert got == self.interpreted(tier, flt)
+
+    def test_entity_predicates_run_after_prefilter(self, feed, tmp_path):
+        tier, _ = mixed_segment_tier(feed, tmp_path)
+        from repro.storage.filters import AttrPredicate, PredicateLeaf
+
+        flt = EventFilter(
+            agent_ids=frozenset({1}),
+            object_pred=PredicateLeaf(
+                AttrPredicate(attr="name", op="=", value="%host1%")
+            ),
+        )
+        got = tier.scan(flt)
+        assert got == self.interpreted(tier, flt)
+        assert got and all(e.agent_id == 1 for e in got)
+
+
+class TestColdScanResultCache:
+    def test_repeat_scans_hit_the_cache(self, feed, tmp_path):
+        tier, _ = mixed_segment_tier(feed, tmp_path)
+        flt = EventFilter(agent_ids=frozenset({1}))
+        first = tier.scan(flt)
+        assert tier.scan_cache.stats()["misses"] == 1
+        assert tier.scan(flt) == first
+        assert tier.scan_cache.stats()["hits"] == 1
+
+    def test_giant_narrowed_id_sets_skip_the_cache(self, feed, tmp_path):
+        tier, _ = mixed_segment_tier(feed, tmp_path)
+        flt = EventFilter(subject_ids=frozenset(range(1000)))
+        tier.scan(flt)
+        assert tier.scan_cache.stats()["entries"] == 0
+
+    def test_cache_disabled(self, feed, tmp_path):
+        tier, _ = mixed_segment_tier(feed, tmp_path, scan_cache_entries=0)
+        assert tier.scan_cache is None
+        flt = EventFilter(agent_ids=frozenset({2}))
+        assert tier.scan(flt) == tier.scan(flt)
+
+    def test_interpreted_path_bypasses_the_cache(self, feed, tmp_path):
+        from repro.storage.kernels import use_kernels
+
+        tier, _ = mixed_segment_tier(feed, tmp_path)
+        with use_kernels(False):
+            tier.scan(EventFilter(agent_ids=frozenset({1})))
+        assert tier.scan_cache.stats()["misses"] == 0
+
+    def test_stats_include_scan_cache(self, feed, tmp_path):
+        tier, _ = mixed_segment_tier(feed, tmp_path)
+        tier.scan(EventFilter(agent_ids=frozenset({1})))
+        assert tier.stats()["scan_cache"]["misses"] == 1
+        tier_off, _ = mixed_segment_tier(
+            feed, tmp_path / "other", scan_cache_entries=0
+        )
+        assert "scan_cache" not in tier_off.stats()

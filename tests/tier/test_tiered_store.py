@@ -139,6 +139,36 @@ class TestCompaction:
             )
 
 
+class TestSortedRunMerge:
+    """_merge interleaves two sorted tier runs and drops hand-off dupes."""
+
+    def build(self, feed, agent, times):
+        return [feed.emit(agent, day_ts(0, t)) for t in times]
+
+    def test_interleave_and_dedup(self, tmp_path):
+        feed = EventFeed(Ingestor())
+        a, b, c, d = self.build(feed, 1, (10.0, 20.0, 30.0, 40.0))
+        hot = [a, c, d]
+        cold = [a, b, d]  # a and d reachable in both tiers mid-migration
+        merged = TieredStore._merge(hot, cold)
+        assert merged == [a, b, c, d]
+        key = lambda e: (e.start_time, e.event_id)  # noqa: E731
+        assert merged == sorted(merged, key=key)
+
+    def test_empty_runs_short_circuit(self, tmp_path):
+        feed = EventFeed(Ingestor())
+        run = self.build(feed, 1, (10.0, 20.0))
+        assert TieredStore._merge(run, []) is run
+        assert TieredStore._merge([], run) is run
+        assert TieredStore._merge([], []) == []
+
+    def test_equal_start_times_order_by_event_id(self, tmp_path):
+        feed = EventFeed(Ingestor())
+        x, y = self.build(feed, 1, (10.0, 10.0))
+        merged = TieredStore._merge([y], [x])
+        assert merged == [x, y]
+
+
 class TestStoreSurface:
     def test_len_iter_and_stats_span_tiers(self, tiered):
         store, _ = tiered
