@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import argparse
 import os
-import statistics
 import sys
 import time
 from typing import List

@@ -8,8 +8,6 @@ substrate those tables describe — end to end.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.model.entities import ATTRIBUTES_BY_TYPE, EntityType
 from repro.model.events import EVENT_ATTRIBUTES, OPERATIONS_BY_OBJECT
 from repro.storage.database import EventStore

@@ -14,7 +14,6 @@ Run: ``pytest benchmarks/bench_table3_fig5_apt_endtoend.py --benchmark-only``
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 
 import pytest

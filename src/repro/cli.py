@@ -7,6 +7,7 @@ Subcommands:
 * ``explain`` — show the execution plan for a query without running it;
 * ``corpus``  — list the paper's query corpus (``--run`` executes it,
   ``--jobs N`` concurrently, ``--live RATE`` with streaming ingest,
+  ``--watch QUERY`` with a standing query alerting on the live stream,
   ``--data-dir DIR`` durably through the tiered storage subsystem);
 * ``archive`` — compact a durable data dir to its retention horizon and
   checkpoint it (snapshot + WAL truncate);
@@ -26,6 +27,7 @@ from typing import List, Optional
 
 from repro.core.system import AIQLSystem
 from repro.lang.errors import AIQLError
+from repro.service.continuous import ContinuousError
 
 
 def _build_system(
@@ -135,6 +137,10 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     if args.live < 0:
         print("--live RATE must be >= 0", file=sys.stderr)
         return 2
+    if args.watch and not (args.run and args.live):
+        print("--watch requires --run --live RATE: standing queries alert "
+              "from live stream commits", file=sys.stderr)
+        return 2
     if args.run:
         system = _build_system(
             args.rate,
@@ -144,6 +150,33 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         )
         replay_handle = None
         session = None
+        watch = None
+        if args.watch:
+            try:
+                watch_text = by_id(args.watch).text
+                watch_name = args.watch
+            except KeyError:
+                watch_text, watch_name = args.watch, "watch"
+
+            def _print_alert(alert) -> None:
+                latency = (
+                    f" (+{alert.latency_s * 1000:.1f} ms)"
+                    if alert.latency_s is not None
+                    else ""
+                )
+                print(f"ALERT {alert.query}: events {list(alert.key)}"
+                      f"{latency}")
+
+            try:
+                watch = system.subscribe(
+                    watch_text, callback=_print_alert, name=watch_name
+                )
+            except (AIQLError, ContinuousError) as exc:
+                print(f"--watch: {exc}", file=sys.stderr)
+                return 2
+            print(f"standing query {watch.name!r} registered "
+                  f"({len(watch.kernels)} pattern(s), "
+                  f"window {watch.horizon_s:.0f}s)", file=sys.stderr)
         if args.live:
             from repro.workload.live import LiveReplay
 
@@ -180,6 +213,11 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 cache = getattr(system.store, "scan_cache", None)
                 if cache is not None:
                     print(f"scan cache under live ingest: {cache.stats()}")
+            if watch is not None:
+                print(f"standing query {watch.name!r}: "
+                      f"{watch.alerts_emitted} alert(s), "
+                      f"{watch.events_matched} window event(s) matched",
+                      file=sys.stderr)
             if system.durable:
                 print(f"tier stats: {system.stats().get('cold')}; "
                       f"wal: {system.stats().get('wal')}", file=sys.stderr)
@@ -308,6 +346,11 @@ def make_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--live", type=float, default=0, metavar="RATE",
                         help="with --run: stream live background events at "
                              "RATE events/sec while the corpus executes")
+    corpus.add_argument("--watch", metavar="QUERY",
+                        help="with --run --live: register QUERY (a corpus "
+                             "qid or raw AIQL text) as a standing query and "
+                             "print an alert for every tuple matched as "
+                             "batches commit")
     corpus.add_argument("--data-dir", metavar="DIR",
                         help="with --run: deploy durably (WAL + tiered "
                              "storage) into DIR, recovering it if populated")

@@ -78,6 +78,22 @@ class SystemConfig:
         LRU bound of the cold tier's per-segment scan-result cache
         (keyed by segment file + canonical filter; segments are immutable
         so entries never need invalidation).  ``0`` disables it.
+    continuous_window_s
+        default sliding-window horizon (seconds of data time) of standing
+        queries registered through :meth:`AIQLSystem.subscribe`: matched
+        events older than the stream high-water mark minus this horizon
+        are evicted from the query's windows and stop pairing into alerts.
+    continuous_max_window_s
+        upper bound on per-subscription horizons (``None`` = unbounded;
+        subscriptions may then keep every match with
+        ``window_s=float("inf")``).  Bounding it caps the standing-query
+        memory of a deployment regardless of what clients ask for.
+    continuous_max_subscriptions
+        maximum number of concurrently-registered standing queries.
+    continuous_alert_queue
+        depth of the engine-level alert queue; when full, the oldest
+        undrained alert is dropped (and counted) — callbacks still fire
+        for every alert.
     """
 
     backend: str = "partitioned"
@@ -96,6 +112,10 @@ class SystemConfig:
     wal_sync: bool = True
     cold_cache_segments: int = 4
     cold_scan_cache_entries: int = 128
+    continuous_window_s: float = 3600.0
+    continuous_max_window_s: Optional[float] = None
+    continuous_max_subscriptions: int = 64
+    continuous_alert_queue: int = 1024
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -127,3 +147,14 @@ class SystemConfig:
             raise ValueError("cold_cache_segments must be >= 1")
         if self.cold_scan_cache_entries < 0:
             raise ValueError("cold_scan_cache_entries must be >= 0")
+        if self.continuous_window_s <= 0:
+            raise ValueError("continuous_window_s must be > 0")
+        if (
+            self.continuous_max_window_s is not None
+            and self.continuous_max_window_s <= 0
+        ):
+            raise ValueError("continuous_max_window_s must be > 0 (or None)")
+        if self.continuous_max_subscriptions < 1:
+            raise ValueError("continuous_max_subscriptions must be >= 1")
+        if self.continuous_alert_queue < 1:
+            raise ValueError("continuous_alert_queue must be >= 1")

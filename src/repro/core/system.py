@@ -37,6 +37,7 @@ from repro.service import (
     StreamSession,
     get_shared_executor,
 )
+from repro.service.continuous import ContinuousQueryEngine, Subscription
 from repro.storage.database import EventStore
 from repro.storage.flat import FlatStore
 from repro.storage.ingest import Ingestor
@@ -113,6 +114,7 @@ class AIQLSystem:
             parallel=self.config.parallel,
         )
         self._service: Optional[QueryService] = None
+        self._continuous: Optional[ContinuousQueryEngine] = None
 
     @classmethod
     def over(
@@ -140,6 +142,7 @@ class AIQLSystem:
         ):
             store.scan_cache = ScanCache(self.config.scan_cache_entries)
         self._service = None
+        self._continuous = None
         self._multievent = MultieventExecutor(
             store,
             scheduling=self.config.scheduling,
@@ -296,12 +299,68 @@ class AIQLSystem:
         Events appended to the session become visible to queries at each
         batch commit (atomic per partition, monotone watermark); only the
         scan-cache entries of partitions a batch touches are invalidated,
-        so concurrent queries over other partitions stay cache-warm.
+        so concurrent queries over other partitions stay cache-warm.  Every
+        committed batch is also pushed through the continuous query engine,
+        so standing queries registered via :meth:`subscribe` alert from
+        this session's commits (even when registered later).
         """
-        return StreamSession(
+        session = StreamSession(
             self.ingestor,
             batch_size=batch_size or self.config.stream_batch_size,
         )
+        session.on_commit(self._push_continuous)
+        return session
+
+    # -- continuous standing queries -------------------------------------------
+
+    @property
+    def continuous(self) -> ContinuousQueryEngine:
+        """The standing-query engine over this system's live stream.
+
+        Created lazily on first access/subscription; fed by the commit
+        hooks of every :meth:`stream` session.
+        """
+        if self._continuous is None:
+            self._continuous = ContinuousQueryEngine(
+                self.ingestor.registry,
+                default_window_s=self.config.continuous_window_s,
+                max_window_s=self.config.continuous_max_window_s,
+                max_subscriptions=self.config.continuous_max_subscriptions,
+                alert_queue=self.config.continuous_alert_queue,
+            )
+        return self._continuous
+
+    def subscribe(
+        self,
+        text: str,
+        callback=None,
+        window_s: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> Subscription:
+        """Register ``text`` as a standing query over the live stream.
+
+        Each stream-batch commit is evaluated incrementally (compiled
+        kernels + delta joins over sliding windows) and every newly
+        matched tuple emits an :class:`~repro.service.continuous.Alert`
+        to ``callback`` and the engine's alert queue.
+        """
+        return self.continuous.subscribe(
+            text, callback=callback, window_s=window_s, name=name
+        )
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a standing query registered via :meth:`subscribe`."""
+        self.continuous.unsubscribe(sub)
+
+    def alerts(self) -> list:
+        """Drain and return the queued alerts (oldest first)."""
+        if self._continuous is None:
+            return []
+        return self._continuous.drain()
+
+    def _push_continuous(self, batch, started: float) -> None:
+        if self._continuous is not None:
+            self._continuous.push(batch, started)
 
     # -- introspection ---------------------------------------------------------
 
@@ -320,4 +379,6 @@ class AIQLSystem:
             stats["compactor"] = self.compactor.stats()
         if self.recovery is not None:
             stats["recovery"] = self.recovery.to_dict()
+        if self._continuous is not None:
+            stats["continuous"] = self._continuous.stats()
         return stats

@@ -20,7 +20,7 @@ An anomaly query is a multievent query with a global sliding window
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.engine.result import ResultSet
 from repro.engine.scheduler import make_scheduler

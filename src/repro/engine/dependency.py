@@ -18,7 +18,7 @@ dst_port), since the two hosts record the same flow independently.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.lang import ast
 from repro.lang.context import QueryContext, compile_multievent

@@ -7,7 +7,7 @@ distinct/count, sort, top) -> :class:`~repro.engine.result.ResultSet`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.engine.result import ResultSet, _sort_key
 from repro.engine.scheduler import make_scheduler

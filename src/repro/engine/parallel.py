@@ -18,7 +18,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.model.events import SystemEvent
-from repro.model.time import DAY, TimeWindow, day_of
+from repro.model.time import DAY, TimeWindow
 from repro.service.pool import SharedExecutor, get_shared_executor
 from repro.storage.filters import EventFilter
 

@@ -11,7 +11,7 @@ syntactic; context-aware shortcut resolution happens in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 # ---------------------------------------------------------------------------
 # constraints (<cstr>, <attr_cstr>)

@@ -20,7 +20,7 @@ oldest -> newest):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Protocol, Sequence
+from typing import Dict, List, Protocol, Sequence
 
 from repro.lang.ast import BinOp, ExprNode, FuncCall, Name, Num
 from repro.lang.errors import AIQLSemanticError

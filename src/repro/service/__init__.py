@@ -10,7 +10,10 @@ Three pieces, layered:
   AIQL queries concurrently and deduplicates overlapping work;
 * :mod:`repro.service.stream` — live streaming ingestion: batched atomic
   commits concurrent with query execution, with a monotone watermark and
-  partition-scoped cache invalidation.
+  partition-scoped cache invalidation;
+* :mod:`repro.service.continuous` — standing queries over the live
+  stream: per-pattern compiled kernels, sliding windows, delta joins and
+  alert callbacks driven by the stream's commit hooks.
 """
 
 from repro.service.cache import ScanCache
@@ -18,21 +21,36 @@ from repro.service.pool import SharedExecutor, get_shared_executor
 from repro.service.stream import StreamSession
 
 __all__ = [
+    "Alert",
+    "ContinuousError",
+    "ContinuousQueryEngine",
     "QueryService",
     "ScanCache",
     "ServiceStats",
     "SharedExecutor",
     "StreamSession",
+    "Subscription",
     "get_shared_executor",
 ]
 
+_LAZY = {
+    # QueryService and the continuous engine pull in the whole engine/lang
+    # stack; resolving them lazily lets the storage layer import pool/cache
+    # without creating an import cycle (storage -> service -> engine ->
+    # lang -> storage).
+    "QueryService": "repro.service.query_service",
+    "ServiceStats": "repro.service.query_service",
+    "Alert": "repro.service.continuous",
+    "ContinuousError": "repro.service.continuous",
+    "ContinuousQueryEngine": "repro.service.continuous",
+    "Subscription": "repro.service.continuous",
+}
+
 
 def __getattr__(name: str):
-    # QueryService pulls in the whole engine/lang stack; resolving it
-    # lazily lets the storage layer import pool/cache without creating an
-    # import cycle (storage -> service -> engine -> lang -> storage).
-    if name in ("QueryService", "ServiceStats"):
-        from repro.service import query_service
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(query_service, name)
+        return getattr(importlib.import_module(module_name), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -23,6 +23,10 @@ stop-the-world:
 * **Exactly-once validation** — events are validated at :meth:`append` time
   through :meth:`repro.storage.ingest.Ingestor.build_event`; the commit
   fan-out appends the already-validated batch to every store.
+* **Commit hooks** — consumers registered via :meth:`on_commit` observe
+  every published batch in order, on the committing thread; the continuous
+  query engine (:mod:`repro.service.continuous`) rides these to evaluate
+  standing queries at ingest.
 
 The session is duck-type compatible with the :class:`Ingestor` surface the
 workload generators use (``process``/``file``/``connection``/
@@ -40,11 +44,18 @@ from another thread) must not write concurrently.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+import time
+from typing import Callable, Dict, List, Tuple
 
 from repro.model.events import SystemEvent
 
 DEFAULT_BATCH_SIZE = 256
+
+# A commit hook receives the just-published batch and the committing
+# thread's ``time.perf_counter()`` captured at commit entry (so downstream
+# consumers — e.g. the continuous query engine — can report commit-to-alert
+# latency without re-reading the clock race-prone).
+CommitHook = Callable[[Tuple[SystemEvent, ...], float], None]
 
 
 class StreamSession:
@@ -55,11 +66,16 @@ class StreamSession:
             raise ValueError("batch_size must be >= 1")
         self.ingestor = ingestor
         self.batch_size = batch_size
-        self._lock = threading.Lock()
+        # Reentrant: commit hooks (and the alert callbacks they drive) run
+        # on the committing thread under this lock and may read session
+        # state — stats(), pending — or even stage follow-up events.
+        self._lock = threading.RLock()
         self._pending: List[SystemEvent] = []
         self._watermark = ingestor.events_ingested
+        self._commit_hooks: List[CommitHook] = []
         self.appended = 0
         self.batches_committed = 0
+        self.hook_errors = 0
 
     # -- entity observations (instant, not batched) -------------------------
 
@@ -137,13 +153,37 @@ class StreamSession:
     # call ``ingestor.emit``; pointed at a session they stream instead.
     emit = append
 
+    def on_commit(self, hook: CommitHook) -> None:
+        """Register a hook fired after each non-empty batch publishes.
+
+        Hooks run on the committing thread, inside the commit (so they
+        observe batches in publication order and never race a later
+        commit).  They receive ``(batch, started)`` where ``started`` is
+        the commit's entry ``perf_counter``.  A raising hook is contained
+        (counted on :attr:`hook_errors`) — ingestion never fails because a
+        consumer did.  The session lock is reentrant, so a hook may read
+        session state or stage follow-up events from the committing
+        thread; blocking on *another* thread that uses this session would
+        deadlock, as with any lock.
+        """
+        with self._lock:
+            self._commit_hooks.append(hook)
+
     def commit(self) -> int:
         """Atomically publish the staged batch; returns the new watermark."""
+        started = time.perf_counter()
         with self._lock:
             batch, self._pending = self._pending, []
             if batch:
                 self.ingestor.commit(batch)
                 self.batches_committed += 1
+                if self._commit_hooks:
+                    published = tuple(batch)
+                    for hook in self._commit_hooks:
+                        try:
+                            hook(published, started)
+                        except Exception:
+                            self.hook_errors += 1
             self._watermark = self.ingestor.events_ingested
             return self._watermark
 
@@ -162,4 +202,6 @@ class StreamSession:
                 "pending": len(self._pending),
                 "batches": self.batches_committed,
                 "batch_size": self.batch_size,
+                "commit_hooks": len(self._commit_hooks),
+                "hook_errors": self.hook_errors,
             }

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.model.entities import (
     Entity,

@@ -32,7 +32,7 @@ import os
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.model.entities import Entity, EntityRegistry
 from repro.model.events import SystemEvent

@@ -15,8 +15,8 @@ what gives the scheduler's process/network-before-file relationship sort
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.model.time import DAY
 from repro.storage.ingest import Ingestor
@@ -27,7 +27,6 @@ from repro.workload.topology import (
     HostRole,
     MAIL_SERVER,
     SIMULATION_DAYS,
-    WEB_SERVER,
 )
 
 _SHELLS = ("bash", "sh")

@@ -10,7 +10,7 @@ examples and benchmarks all start from here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.model.entities import EntityRegistry
 from repro.service.stream import StreamSession

@@ -76,6 +76,108 @@ class TestCorpus:
         assert "sbblv.exe" in out
 
 
+class TestWatch:
+    """corpus --watch: standing queries over the live replay stream."""
+
+    def test_watch_parser_wiring(self):
+        args = make_parser().parse_args(
+            ["corpus", "--run", "--live", "100", "--watch", "q"]
+        )
+        assert args.watch == "q"
+
+    def test_watch_requires_run_and_live(self, capsys):
+        for argv in (
+            ["corpus", "--watch", "q"],
+            ["corpus", "--run", "--watch", "q"],
+        ):
+            rc = main(argv)
+            assert rc == 2
+            assert "--watch requires" in capsys.readouterr().err
+
+    @staticmethod
+    def _synchronous_replay(monkeypatch, max_events=600):
+        """Make LiveReplay.start stream a fixed burst synchronously.
+
+        The real replay runs on a thread; a fast corpus leg could stop it
+        before anything commits, making alert assertions racy.
+        """
+        from repro.workload import live as live_mod
+
+        orig_stream = live_mod.LiveReplay.stream
+
+        def sync_start(self, _max_events=None):
+            stats = orig_stream(self, max_events=max_events)
+
+            class Handle:
+                def stop(self, timeout=30.0):
+                    return stats
+
+            return Handle()
+
+        monkeypatch.setattr(live_mod.LiveReplay, "start", sync_start)
+
+    def test_watch_alerts_on_live_stream(self, capsys, monkeypatch):
+        from repro.workload import corpus as corpus_mod
+
+        # One tiny corpus query keeps the --run leg fast; min_rows=0 so
+        # the exit code reflects only the machinery under test.
+        tiny = (
+            corpus_mod.CorpusQuery(
+                "t1",
+                "c1",
+                "multievent",
+                "agentid = 1\nproc p1 start proc p2\nreturn p1, p2",
+                min_rows=0,
+            ),
+        )
+        monkeypatch.setattr(corpus_mod, "ALL_QUERIES", tiny)
+        self._synchronous_replay(monkeypatch)
+        rc = main(
+            [
+                "corpus", "--run", "--rate", "10", "--live", "100000",
+                "--watch", "proc p1 write file f1 as evt1\nreturn p1, f1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "standing query 'watch' registered" in captured.err
+        assert "ALERT watch:" in captured.out
+        assert "alert(s)" in captured.err
+
+    def test_watch_rejects_bad_query_cleanly(self, capsys, monkeypatch):
+        from repro.workload import corpus as corpus_mod
+
+        monkeypatch.setattr(corpus_mod, "ALL_QUERIES", ())
+        rc = main(
+            ["corpus", "--run", "--rate", "10", "--live", "100",
+             "--watch", "proc p1 ("]
+        )
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "--watch:" in err
+
+    def test_watch_accepts_corpus_qid(self, capsys, monkeypatch):
+        from repro.workload import corpus as corpus_mod
+
+        tiny = (
+            corpus_mod.CorpusQuery(
+                "t1",
+                "c1",
+                "multievent",
+                "proc p1 write file f1 as evt1\nreturn p1, f1",
+                min_rows=0,
+            ),
+        )
+        monkeypatch.setattr(corpus_mod, "ALL_QUERIES", tiny)
+        rc = main(
+            ["corpus", "--run", "--rate", "10", "--live", "2000",
+             "--watch", "t1"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "standing query 't1' registered" in captured.err
+
+
 class TestDemoNonInteractive:
     def test_demo_query(self, capsys):
         rc = main(

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.engine.scheduler import (
-    FetchFilterScheduler,
     RelationshipScheduler,
     make_scheduler,
 )

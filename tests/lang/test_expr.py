@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang.ast import BinOp, FuncCall, Name, Num
+from repro.lang.ast import FuncCall, Name, Num
 from repro.lang.errors import AIQLSemanticError
 from repro.lang.expr import (
     MappingEnv,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.lang import ast
 from repro.lang.errors import AIQLSemanticError
 from repro.lang.inference import entity_occurrences, infer_multievent
 from repro.lang.parser import parse

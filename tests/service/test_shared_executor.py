@@ -9,7 +9,6 @@ from repro.storage.database import EventStore
 from repro.storage.filters import EventFilter
 from repro.storage.ingest import Ingestor
 from repro.storage.partition import PartitionScheme
-from repro.workload.topology import APT_DAY
 
 
 def _populated_store(executor=None):

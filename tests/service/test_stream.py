@@ -137,6 +137,8 @@ class TestStreamSession:
             "pending": 2,
             "batches": 0,
             "batch_size": 10,
+            "commit_hooks": 0,
+            "hook_errors": 0,
         }
         session.commit()
         stats = session.stats()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model.entities import EntityRegistry, EntityType
+from repro.model.entities import EntityType
 from repro.model.time import TimeWindow
 from repro.storage.filters import AttrPredicate, EventFilter, PredicateLeaf
 from repro.storage.index import EntityAttributeIndex

@@ -11,7 +11,7 @@ from repro.storage.filters import EventFilter
 from repro.storage.partition import PartitionKey
 from repro.tier.cold import ColdTier, ColdTierError, ZoneMap
 
-from tests.tier.conftest import BASE, day_ts
+from tests.tier.conftest import day_ts
 
 
 def day_ordinal(day: int) -> int:
