@@ -30,6 +30,15 @@ class SystemConfig:
         segment count and distribution policy of the segmented store
         (``domain`` = AIQL's semantics-aware placement, ``arrival`` =
         ingest-order placement).
+    columnar
+        evaluate compiled scan kernels in *columnar* (block-at-a-time)
+        mode: one batch-kernel call selects the survivors of a whole
+        typed column block instead of testing one materialized event per
+        call (default on).  The toggle is process-wide (it flips the
+        compiled-kernel dispatch in :mod:`repro.storage.kernels`, like
+        ``max_workers`` it affects every system in the process); disable
+        to fall back to the per-event compiled-closure path, e.g. when
+        diffing the two executions.
     scan_cache
         enable the partition-scan cache on the partitioned store
         (default on).  Scan results are memoized per
@@ -99,6 +108,7 @@ class SystemConfig:
     backend: str = "partitioned"
     scheduling: str = "relationship"
     parallel: bool = False
+    columnar: bool = True
     agents_per_group: int = 10
     segments: int = 5
     distribution: str = "domain"

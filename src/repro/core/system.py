@@ -41,11 +41,15 @@ from repro.service.continuous import ContinuousQueryEngine, Subscription
 from repro.storage.database import EventStore
 from repro.storage.flat import FlatStore
 from repro.storage.ingest import Ingestor
+from repro.storage.kernels import set_columnar
 from repro.storage.partition import PartitionScheme
 from repro.storage.segments import SegmentedStore
 
 
 def _build_store(config: SystemConfig, registry: EntityRegistry):
+    # Process-wide, like the shared executor: the last-constructed system
+    # decides whether compiled kernels run block-at-a-time.
+    set_columnar(config.columnar)
     executor = get_shared_executor(config.max_workers)
     if config.backend == "partitioned":
         return EventStore(

@@ -54,6 +54,31 @@ class DataQuery:
             self.filter, parallel=parallel, use_entity_index=use_entity_index
         )
 
+    def execute_scan(
+        self,
+        store,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ):
+        """Like :meth:`execute`, but keep the result columnar when possible.
+
+        Stores exposing ``scan_columns`` return a
+        :class:`~repro.storage.blocks.BlockScanResult` (survivor positions
+        over typed column blocks, no rows built); anything else falls back
+        to :meth:`execute` wrapped in a :class:`MaterializedScanResult`, so
+        schedulers see one surface either way.
+        """
+        scan_columns = getattr(store, "scan_columns", None)
+        if scan_columns is not None:
+            return scan_columns(
+                self.filter,
+                parallel=parallel,
+                use_entity_index=use_entity_index,
+            )
+        return MaterializedScanResult(
+            self.execute(store, parallel=parallel, use_entity_index=use_entity_index)
+        )
+
     # -- narrowing ----------------------------------------------------------
 
     def narrowed_by_values(
@@ -89,6 +114,38 @@ class DataQuery:
         return replace(self, filter=self.filter.narrowed(window=window))
 
 
+class MaterializedScanResult:
+    """Adapter giving a plain event list the scan-result surface.
+
+    The columnar scheduler path consumes ``events()``, ``ref_values`` and
+    ``time_bounds``; stores (or helpers) that only produce event lists wrap
+    them here so one code path serves both representations.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Sequence[SystemEvent]) -> None:
+        self._events = list(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def events(self) -> List[SystemEvent]:
+        return self._events
+
+    def ref_values(self, ref: FieldRef, entity_of) -> FrozenSet[object]:
+        return values_of(ref, self._events, entity_of)
+
+    def time_bounds(self) -> Optional[tuple]:
+        if not self._events:
+            return None
+        times = [e.start_time for e in self._events]
+        return (min(times), max(times))
+
+
 def values_of(
     ref: FieldRef, events: Sequence[SystemEvent], entity_of
 ) -> FrozenSet[object]:
@@ -100,16 +157,41 @@ def values_of(
     return frozenset(out)
 
 
+def _ref_values(source, ref: FieldRef, entity_of) -> FrozenSet[object]:
+    """Distinct ``ref`` values from a scan result or plain event list.
+
+    Scan results answer from their columns (``ref_values``); lists fall
+    back to per-event extraction.  Both normalize strings the same way.
+    """
+    ref_values = getattr(source, "ref_values", None)
+    if ref_values is not None:
+        return ref_values(ref, entity_of)
+    return values_of(ref, source, entity_of)
+
+
+def _time_span(source) -> Optional[tuple]:
+    """(min, max) start time from a scan result or plain event list."""
+    time_bounds = getattr(source, "time_bounds", None)
+    if time_bounds is not None:
+        return time_bounds()
+    if not source:
+        return None
+    times = [e.start_time for e in source]
+    return (min(times), max(times))
+
+
 def attr_rel_narrowing(
     rel: ResolvedAttrRel,
     executed_index: int,
-    executed_events: Sequence[SystemEvent],
+    executed_events,
     entity_of,
 ) -> Optional[tuple]:
     """Narrowing implied by an equality relationship with an executed side.
 
     Returns ``(pending_ref, values)`` to apply to the pending pattern's data
     query, or ``None`` when the relationship cannot narrow (non-equality).
+    ``executed_events`` may be a scan result (values read from columns) or
+    a plain event list.
     """
     if not rel.is_equality:
         return None
@@ -119,14 +201,14 @@ def attr_rel_narrowing(
         executed_ref, pending_ref = rel.right, rel.left
     else:
         return None
-    values = values_of(executed_ref, executed_events, entity_of)
+    values = _ref_values(executed_events, executed_ref, entity_of)
     return pending_ref, values
 
 
 def temp_rel_narrowing(
     rel: ResolvedTempRel,
     executed_index: int,
-    executed_events: Sequence[SystemEvent],
+    executed_events,
 ) -> Optional[TimeWindow]:
     """Time-window narrowing for the pending side of a temporal relationship.
 
@@ -134,11 +216,12 @@ def temp_rel_narrowing(
     pending``, any matching pending event starts after ``tmin`` (and within
     ``tmax + high`` when a bound is given).  Soundness: the window must
     admit every pending event that could pair with *some* executed event.
+    ``executed_events`` may be a scan result or a plain event list.
     """
-    if not executed_events:
+    span = _time_span(executed_events)
+    if span is None:
         return TimeWindow(start=0.0, end=0.0)  # empty — no pairs possible
-    tmin = min(e.start_time for e in executed_events)
-    tmax = max(e.start_time for e in executed_events)
+    tmin, tmax = span
     if rel.left == executed_index:
         pending_is_right = True
     elif rel.right == executed_index:

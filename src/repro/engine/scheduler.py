@@ -28,7 +28,7 @@ pattern's result size from index statistics and prioritize the smallest).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.data_query import (
     DataQuery,
@@ -75,13 +75,15 @@ class _SchedulerBase:
         return self.store.registry.get(entity_id)
 
     def _execute(self, query: DataQuery, constrained: bool = False):
-        events = query.execute(self.store, parallel=self.parallel)
+        """Run ``query``, returning a scan result (columnar when the store
+        supports it) — rows are materialized only where a join needs them."""
+        scan = query.execute_scan(self.store, parallel=self.parallel)
         self.stats.data_queries_executed += 1
         if constrained:
             self.stats.constrained_executions += 1
-        self.stats.events_fetched += len(events)
+        self.stats.events_fetched += len(scan)
         self.stats.order.append(query.index)
-        return events
+        return scan
 
     def _relationships(self, ctx: QueryContext) -> List[_Relationship]:
         rels: List[_Relationship] = [("attr", r) for r in ctx.attr_relationships]
@@ -185,7 +187,7 @@ class RelationshipScheduler(_SchedulerBase):
         rels_sorted = sorted(self._relationships(ctx), key=rel_key)
 
         executed: Set[int] = set()
-        events: Dict[int, list] = {}
+        events: Dict[int, object] = {}  # pattern -> scan result
         tuple_of: Dict[int, TupleSet] = {}  # the map M
 
         def replace_vals(old: TupleSet, new: TupleSet) -> None:
@@ -226,8 +228,8 @@ class RelationshipScheduler(_SchedulerBase):
                 )
                 events[second] = second_events
                 executed.add(second)
-                joined = TupleSet.from_events(first, first_events).join(
-                    TupleSet.from_events(second, second_events),
+                joined = TupleSet.from_scan(first, first_events).join(
+                    TupleSet.from_scan(second, second_events),
                     attr_rels,
                     temp_rels,
                     self._entity_of,
@@ -249,10 +251,10 @@ class RelationshipScheduler(_SchedulerBase):
                 base = (
                     done_set
                     if done_set is not None
-                    else TupleSet.from_events(done, events[done])
+                    else TupleSet.from_scan(done, events[done])
                 )
                 joined = base.join(
-                    TupleSet.from_events(pending, pending_events),
+                    TupleSet.from_scan(pending, pending_events),
                     attr_rels,
                     temp_rels,
                     self._entity_of,
@@ -278,7 +280,7 @@ class RelationshipScheduler(_SchedulerBase):
                 fetched = self._execute(queries[pattern.index])
                 events[pattern.index] = fetched
                 executed.add(pattern.index)
-                tuple_of[pattern.index] = TupleSet.from_events(
+                tuple_of[pattern.index] = TupleSet.from_scan(
                     pattern.index, fetched
                 )
 
@@ -303,10 +305,11 @@ class RelationshipScheduler(_SchedulerBase):
         ctx: QueryContext,
         query: DataQuery,
         executed_index: int,
-        executed_events: Sequence,
-    ) -> list:
+        executed_events,
+    ):
         """Narrow ``query`` using every relationship it shares with the
-        executed pattern, then run it."""
+        executed pattern, then run it.  ``executed_events`` may be a scan
+        result or a plain event list (both feed the narrowing helpers)."""
         narrowed = query
         for rel in ctx.attr_relationships:
             if {rel.left.pattern, rel.right.pattern} == {
@@ -339,7 +342,7 @@ class FetchFilterScheduler(_SchedulerBase):
         sets: Dict[int, TupleSet] = {}
         for pattern in ctx.patterns:
             fetched = self._execute(DataQuery.for_pattern(pattern))
-            sets[pattern.index] = TupleSet.from_events(pattern.index, fetched)
+            sets[pattern.index] = TupleSet.from_scan(pattern.index, fetched)
 
         merged: Optional[TupleSet] = None
         remaining = dict(sets)

@@ -13,13 +13,19 @@ Per-row work is kept loop-invariant: relationship checks compile once per
 extractors pre-resolved (no ``tuple.index`` per row), and joined rows are
 assembled through a precomputed output-column permutation instead of
 rebuilding a pattern->event dict per output row.
+
+Columnar inputs (ISSUE 6): a tuple set freshly fetched from a store can be
+built over a block scan result (:meth:`TupleSet.from_scan`) instead of an
+event list.  Its rows stay unmaterialized until something actually needs
+row objects, and a hash join whose build side is scan-backed extracts the
+join keys straight from the columns — only build rows that match a probe
+key are ever materialized.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.lang.context import FieldRef, ResolvedAttrRel, ResolvedTempRel
 from repro.model.events import SystemEvent
@@ -35,14 +41,17 @@ def _norm(value: object) -> object:
     return value.lower() if isinstance(value, str) else value
 
 
-@dataclass
 class TupleSet:
     """Rows of events aligned to ``patterns`` (sorted pattern indices)."""
 
-    patterns: Tuple[int, ...]
-    rows: List[Row]
+    __slots__ = ("patterns", "_rows", "_scan", "_column")
 
-    def __post_init__(self) -> None:
+    def __init__(self, patterns: Tuple[int, ...], rows: Sequence[Row]) -> None:
+        self.patterns = patterns
+        self._rows: Optional[List[Row]] = (
+            rows if isinstance(rows, list) else list(rows)
+        )
+        self._scan = None
         # Column positions resolved once per tuple set; every per-row
         # accessor below reads this instead of tuple.index per row.
         self._column: Dict[int, int] = {
@@ -53,8 +62,33 @@ class TupleSet:
     def from_events(cls, pattern: int, events: Sequence[SystemEvent]) -> "TupleSet":
         return cls(patterns=(pattern,), rows=[(e,) for e in events])
 
+    @classmethod
+    def from_scan(cls, pattern: int, scan) -> "TupleSet":
+        """A single-pattern tuple set over a scan result, rows still columnar.
+
+        ``scan`` is anything with ``events()``/``__len__`` (a
+        :class:`~repro.storage.blocks.BlockScanResult` or the materialized
+        adapter); rows are built only when something needs row objects, and
+        scan-backed hash-join build sides never build non-matching rows.
+        """
+        ts = cls.__new__(cls)
+        ts.patterns = (pattern,)
+        ts._rows = None
+        ts._scan = scan
+        ts._column = {pattern: 0}
+        return ts
+
+    @property
+    def rows(self) -> List[Row]:
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = [(e,) for e in self._scan.events()]
+        return rows
+
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is None:
+            return len(self._scan)
+        return len(self._rows)
 
     def column_of(self, pattern: int) -> int:
         try:
@@ -176,21 +210,48 @@ class TupleSet:
 
         if hash_rels:
             left_getters = []
-            right_getters = []
+            right_refs = []
             for rel in hash_rels:
                 left_ref, right_ref = rel.left, rel.right
                 if left_ref.pattern not in self.patterns:
                     left_ref, right_ref = right_ref, left_ref
                 left_getters.append(self._field_getter(left_ref, entity_of))
-                right_getters.append(other._field_getter(right_ref, entity_of))
-            buckets: Dict[object, List[Row]] = defaultdict(list)
-            for row in other.rows:
-                key = tuple(_norm(get(row)) for get in right_getters)
-                buckets[key].append(row)
-            for row in self.rows:
-                key = tuple(_norm(get(row)) for get in left_getters)
-                for match in buckets.get(key, ()):
-                    joined_rows.append(combine(row, match))
+                right_refs.append(right_ref)
+            handle_getters = (
+                [
+                    other._scan.field_getter(ref, entity_of)
+                    for ref in right_refs
+                ]
+                if other._rows is None
+                and hasattr(other._scan, "field_getter")
+                else []
+            )
+            if handle_getters and all(g is not None for g in handle_getters):
+                # Columnar build side: keys come straight off the block
+                # columns (entity attributes memoized per distinct id), and
+                # only build rows a probe key actually hits are ever
+                # materialized into SystemEvent objects.
+                handle_buckets: Dict[object, list] = defaultdict(list)
+                for handle in other._scan.handles():
+                    key = tuple(_norm(g(handle)) for g in handle_getters)
+                    handle_buckets[key].append(handle)
+                event_of = other._scan.event_of
+                for row in self.rows:
+                    key = tuple(_norm(get(row)) for get in left_getters)
+                    for handle in handle_buckets.get(key, ()):
+                        joined_rows.append(combine(row, (event_of(handle),)))
+            else:
+                right_getters = [
+                    other._field_getter(ref, entity_of) for ref in right_refs
+                ]
+                buckets: Dict[object, List[Row]] = defaultdict(list)
+                for other_row in other.rows:
+                    key = tuple(_norm(get(other_row)) for get in right_getters)
+                    buckets[key].append(other_row)
+                for row in self.rows:
+                    key = tuple(_norm(get(row)) for get in left_getters)
+                    for match in buckets.get(key, ()):
+                        joined_rows.append(combine(row, match))
         else:
             for left_row in self.rows:
                 for right_row in other.rows:

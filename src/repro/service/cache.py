@@ -19,9 +19,17 @@ canonicalized hashable form of an :class:`~repro.storage.filters.EventFilter`
 * **Write-race safety** — a result computed while its partition was
   invalidated is returned to callers (equivalent to a scan racing an
   ingest without the cache) but never inserted into the cache.
+* **Generation keying** — callers may tag a value with the *block
+  generation* of its source (see :mod:`repro.storage.blocks`); a hit whose
+  recorded generation differs from the caller's is a miss.  This is the
+  shared invalidation path for selection-vector values: hot partition
+  scans key on the partition's live block, cold segment scans on the
+  decoded block, so a rebuilt/re-decoded block can never serve another
+  block's positions.
 
-Cached values are tuples of frozen events resolved against frozen entities,
-so sharing them across threads is safe.
+Cached values are immutable from the cache's point of view (selection
+vectors over append-only blocks, or tuples of frozen events), so sharing
+them across threads is safe.
 """
 
 from __future__ import annotations
@@ -29,11 +37,11 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Callable, Dict, Hashable, Sequence, Tuple
-
-from repro.model.events import SystemEvent
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
 
 _Key = Tuple[Hashable, Hashable]  # (partition key, filter fingerprint)
+
+_V = TypeVar("_V")
 
 # Scheduler-narrowed sub-queries can carry join-derived id sets with
 # thousands of members; their fingerprints are one-off (query-result-
@@ -49,6 +57,26 @@ def cacheable_filter(flt, limit: int = CACHEABLE_ID_SET_LIMIT) -> bool:
     return ids <= limit
 
 
+def cache_fingerprint(
+    flt, limit: int = CACHEABLE_ID_SET_LIMIT
+) -> Optional[tuple]:
+    """The fingerprint-keyed caches' shared key policy, in one place.
+
+    Returns the canonical :func:`~repro.storage.filters.filter_fingerprint`
+    for cacheable filters and ``None`` for ones that should bypass every
+    fingerprint-keyed cache (giant scheduler-narrowed id sets: one-off
+    keys whose fingerprints cost an O(n log n) sort each).  The kernel
+    cache, the hot partition-scan cache and the cold per-segment cache all
+    key through here instead of duplicating the guard+fingerprint pair.
+    """
+    if not cacheable_filter(flt, limit):
+        return None
+    # Imported lazily: storage modules import this one at module load.
+    from repro.storage.filters import filter_fingerprint
+
+    return filter_fingerprint(flt)
+
+
 class ScanCache:
     """Thread-safe LRU cache of per-partition scan results."""
 
@@ -57,8 +85,11 @@ class ScanCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[_Key, Tuple[SystemEvent, ...]]" = OrderedDict()
-        self._inflight: Dict[_Key, "Future[Tuple[SystemEvent, ...]]"] = {}
+        # entry: (source block generation or None, value as computed)
+        self._entries: "OrderedDict[_Key, Tuple[Optional[int], object]]" = (
+            OrderedDict()
+        )
+        self._inflight: Dict[_Key, "Future[object]"] = {}
         self._generations: Dict[Hashable, int] = {}
         # Per-partition key index so ingest-time invalidation is
         # O(entries for that partition), not a walk of the whole cache.
@@ -77,21 +108,26 @@ class ScanCache:
         self,
         partition: Hashable,
         fingerprint: Hashable,
-        compute: Callable[[], Sequence[SystemEvent]],
-    ) -> Tuple[SystemEvent, ...]:
+        compute: Callable[[], _V],
+        generation: Optional[int] = None,
+    ) -> _V:
         """Cached scan result for ``(partition, fingerprint)``.
 
         On a miss, ``compute`` runs exactly once even under concurrent
-        callers (single-flight); its result is cached unless the partition
-        was invalidated while it ran.
+        callers (single-flight); its result is cached as returned unless
+        the partition was invalidated while it ran.  ``generation``, when
+        given, is the block generation of the value's source: a cached
+        entry recorded under a different generation is treated as a miss
+        (and replaced), so selections over a rebuilt block are never
+        served against its successor.
         """
         key = (partition, fingerprint)
         with self._lock:
             cached = self._entries.get(key)
-            if cached is not None:
+            if cached is not None and cached[0] == generation:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return cached
+                return cached[1]  # type: ignore[return-value]
             future = self._inflight.get(key)
             if future is not None:
                 owner = False
@@ -100,11 +136,11 @@ class ScanCache:
                 owner = True
                 future = Future()
                 self._inflight[key] = future
-                generation = self._generations.get(partition, 0)
+                invalidation_gen = self._generations.get(partition, 0)
         if not owner:
-            return future.result()
+            return future.result()  # type: ignore[return-value]
         try:
-            value = tuple(compute())
+            value = compute()
         except BaseException as exc:
             with self._lock:
                 if self._inflight.get(key) is future:
@@ -117,8 +153,8 @@ class ScanCache:
             if self._inflight.get(key) is future:
                 del self._inflight[key]
             self.misses += 1
-            if self._generations.get(partition, 0) == generation:
-                self._entries[key] = value
+            if self._generations.get(partition, 0) == invalidation_gen:
+                self._entries[key] = (generation, value)
                 self._entries.move_to_end(key)
                 self._keys_by_partition.setdefault(partition, set()).add(key)
                 while len(self._entries) > self.max_entries:

@@ -1,0 +1,547 @@
+"""Typed column blocks: the native representation of stored events.
+
+The hot tier used to keep a Python list of :class:`SystemEvent` objects and
+evaluate filters one closure call per row; only the cold tier stored
+columns.  A :class:`ColumnBlock` makes the columnar layout the physical
+format everywhere (ISSUE 6): each partition/segment/decoded cold segment
+holds append-only typed columns —
+
+* ``array('q')`` int64 columns for event/subject/object ids, seqs, amounts
+  and failure codes;
+* ``array('d')`` float64 columns for start/end times;
+* one-byte dictionary codes for operation and object type (both enums are
+  closed: 11 operations, 5 entity types share process-wide code tables);
+* a per-block agent dictionary (``agent_id -> code``), byte-wide until a
+  block sees a 257th distinct agent and then promoted to ``array('l')``.
+
+:class:`SystemEvent` becomes a *lazily materialized view*: ``event_at``
+rebuilds the frozen dataclass from the columns on first access and caches
+it per position, so scans that only narrow (scheduler constrained
+execution, cache probes) never construct row objects, while repeated
+materialization of the same survivors is paid once.
+
+Batch kernels (:mod:`repro.storage.kernels`) evaluate whole blocks against
+these columns and return *selections* — position index lists —
+(:class:`Selection`); a store-level scan is a :class:`BlockScanResult`, a
+set of per-block selections that can answer the engine's narrowing
+questions (distinct field values, time bounds, join keys) straight from
+the columns and materializes rows only for final results.
+
+Concurrency: blocks inherit the single-writer/many-readers contract of the
+tables that own them.  Appends write every column before the owner
+publishes the row (the table's visibility bump), ``bytearray``/``array``
+appends are atomic under the GIL, and the rare dictionary/universe updates
+publish immutable copies (copy-on-write) so readers never iterate a
+mutating container.
+"""
+
+from __future__ import annotations
+
+import itertools
+from array import array
+from bisect import bisect_left
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.model.entities import EntityType
+from repro.model.events import Operation, SystemEvent
+
+# Closed-enum dictionaries, shared process-wide: codes are the enums'
+# definition order, so every block and every cold segment agrees on them.
+OP_BY_CODE: Tuple[Operation, ...] = tuple(Operation)
+OP_CODE: Dict[Operation, int] = {op: i for i, op in enumerate(OP_BY_CODE)}
+OP_CODE_BY_VALUE: Dict[str, int] = {op.value: i for i, op in enumerate(OP_BY_CODE)}
+OP_VALUE_BY_CODE: Tuple[str, ...] = tuple(op.value for op in OP_BY_CODE)
+
+OTYPE_BY_CODE: Tuple[EntityType, ...] = tuple(EntityType)
+OTYPE_CODE: Dict[EntityType, int] = {t: i for i, t in enumerate(OTYPE_BY_CODE)}
+OTYPE_CODE_BY_VALUE: Dict[str, int] = {
+    t.value: i for i, t in enumerate(OTYPE_BY_CODE)
+}
+
+# Block generations: a process-wide monotone counter stamped at block
+# construction.  A rebuilt partition (cold migration, remove_events) gets a
+# fresh block and therefore a fresh generation, which is what the shared
+# scan-result cache keys its entries on — a selection cached against one
+# generation can never be served for a different physical block.
+_generations = itertools.count(1)
+
+Positions = Union[range, List[int]]
+
+AgentCodes = Union[bytearray, "array[int]"]
+
+
+class ColumnBlock:
+    """Append-only typed columns for one table/segment of events."""
+
+    __slots__ = (
+        "event_ids",
+        "agent_codes",
+        "seqs",
+        "t0",
+        "t1",
+        "op_codes",
+        "subject_ids",
+        "object_ids",
+        "otype_codes",
+        "amounts",
+        "failure_codes",
+        "agents",
+        "_agent_code",
+        "op_universe",
+        "otype_universe",
+        "time_sorted",
+        "min_time",
+        "max_time",
+        "max_event_id",
+        "generation",
+        "_rows",
+    )
+
+    def __init__(self) -> None:
+        self.event_ids: "array[int]" = array("q")
+        self.agent_codes: AgentCodes = bytearray()
+        self.seqs: "array[int]" = array("q")
+        self.t0: "array[float]" = array("d")
+        self.t1: "array[float]" = array("d")
+        self.op_codes = bytearray()
+        self.subject_ids: "array[int]" = array("q")
+        self.object_ids: "array[int]" = array("q")
+        self.otype_codes = bytearray()
+        self.amounts: "array[int]" = array("q")
+        self.failure_codes: "array[int]" = array("q")
+        # Per-block agent dictionary; both directions published
+        # copy-on-write so concurrent readers never see a mutating dict.
+        self.agents: Tuple[int, ...] = ()
+        self._agent_code: Dict[int, int] = {}
+        # Distinct op/otype codes this block has ever held (immutable
+        # snapshots): the hot-tier generalization of the cold zone maps'
+        # vacuity hoisting — a constraint the whole block satisfies (or a
+        # code the block lacks) skips its per-row pass entirely.
+        self.op_universe: FrozenSet[int] = frozenset()
+        self.otype_universe: FrozenSet[int] = frozenset()
+        self.time_sorted = True
+        self.min_time: Optional[float] = None
+        self.max_time: Optional[float] = None
+        self.max_event_id = 0
+        self.generation = next(_generations)
+        self._rows: List[Optional[SystemEvent]] = []
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, event: SystemEvent) -> int:
+        """Append one row; returns its position.  Single writer only."""
+        start = event.start_time
+        t0 = self.t0
+        if t0 and start < t0[-1]:
+            self.time_sorted = False
+        agent_code = self._agent_code.get(event.agent_id)
+        if agent_code is None:
+            agent_code = self._add_agent(event.agent_id)
+        op_code = OP_CODE[event.operation]
+        if op_code not in self.op_universe:
+            self.op_universe |= {op_code}
+        otype_code = OTYPE_CODE[event.object_type]
+        if otype_code not in self.otype_universe:
+            self.otype_universe |= {otype_code}
+        position = len(self.event_ids)
+        self.event_ids.append(event.event_id)
+        self.agent_codes.append(agent_code)
+        self.seqs.append(event.seq)
+        t0.append(start)
+        self.t1.append(event.end_time)
+        self.op_codes.append(op_code)
+        self.subject_ids.append(event.subject_id)
+        self.object_ids.append(event.object_id)
+        self.otype_codes.append(otype_code)
+        self.amounts.append(event.amount)
+        self.failure_codes.append(event.failure_code)
+        self._rows.append(None)
+        if self.min_time is None or start < self.min_time:
+            self.min_time = start
+        if self.max_time is None or start > self.max_time:
+            self.max_time = start
+        if event.event_id > self.max_event_id:
+            self.max_event_id = event.event_id
+        return position
+
+    def _add_agent(self, agent_id: int) -> int:
+        code = len(self.agents)
+        if code == 256 and isinstance(self.agent_codes, bytearray):
+            # 257th distinct agent: promote the byte column to a wide int
+            # column.  (list() first: array('l', bytearray) would reinterpret
+            # the raw bytes as machine words, not one code per row.)  The
+            # swap publishes a new object; readers hold either column, both
+            # agree on every published position.
+            self.agent_codes = array("l", list(self.agent_codes))
+        self.agents = self.agents + (agent_id,)
+        mapping = dict(self._agent_code)
+        mapping[agent_id] = code
+        self._agent_code = mapping
+        return code
+
+    @classmethod
+    def from_columns(cls, columns: Dict[str, Sequence]) -> "ColumnBlock":
+        """Build a block from decoded cold-segment columns (no row objects).
+
+        Keys follow the cold tier's storage schema
+        (:data:`repro.tier.cold._COLUMNS`): op/ot arrive as enum value
+        strings and are dictionary-encoded here, once per decode.
+        """
+        block = cls()
+        block.event_ids = array("q", columns["eid"])
+        block.seqs = array("q", columns["s"])
+        t0 = array("d", columns["t0"])
+        block.t0 = t0
+        block.t1 = array("d", columns["t1"])
+        block.op_codes = bytearray(
+            OP_CODE_BY_VALUE[v] for v in columns["op"]
+        )
+        block.subject_ids = array("q", columns["subj"])
+        block.object_ids = array("q", columns["obj"])
+        block.otype_codes = bytearray(
+            OTYPE_CODE_BY_VALUE[v] for v in columns["ot"]
+        )
+        block.amounts = array("q", columns["amt"])
+        block.failure_codes = array("q", columns["fc"])
+        agent_code: Dict[int, int] = {}
+        agents: List[int] = []
+        codes: List[int] = []
+        for agent_id in columns["a"]:
+            code = agent_code.get(agent_id)
+            if code is None:
+                code = agent_code[agent_id] = len(agents)
+                agents.append(agent_id)
+        # second pass only when the byte width fits; else a plain int column
+        for agent_id in columns["a"]:
+            codes.append(agent_code[agent_id])
+        block.agents = tuple(agents)
+        block._agent_code = agent_code
+        block.agent_codes = (
+            bytearray(codes) if len(agents) <= 256 else array("l", codes)
+        )
+        block.op_universe = frozenset(block.op_codes)
+        block.otype_universe = frozenset(block.otype_codes)
+        n = len(block.event_ids)
+        block._rows = [None] * n
+        block.time_sorted = all(t0[i] <= t0[i + 1] for i in range(n - 1))
+        if n:
+            block.min_time = min(t0)
+            block.max_time = max(t0)
+            block.max_event_id = max(block.event_ids)
+        return block
+
+    # -- materialization ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.event_ids)
+
+    @property
+    def rows_materialized(self) -> bool:
+        """True when any row view has been built (a laziness test probe)."""
+        return any(row is not None for row in self._rows)
+
+    def event_at(self, position: int) -> SystemEvent:
+        """The row view at ``position``, built from the columns on demand.
+
+        A benign race may rebuild the same position twice; both results are
+        equal frozen dataclasses, so whichever assignment wins is correct.
+        """
+        row = self._rows[position]
+        if row is None:
+            row = SystemEvent(
+                event_id=self.event_ids[position],
+                agent_id=self.agents[self.agent_codes[position]],
+                seq=self.seqs[position],
+                start_time=self.t0[position],
+                end_time=self.t1[position],
+                operation=OP_BY_CODE[self.op_codes[position]],
+                subject_id=self.subject_ids[position],
+                object_id=self.object_ids[position],
+                object_type=OTYPE_BY_CODE[self.otype_codes[position]],
+                amount=self.amounts[position],
+                failure_code=self.failure_codes[position],
+            )
+            self._rows[position] = row
+        return row
+
+    def events_at(self, positions: Iterable[int]) -> List[SystemEvent]:
+        event_at = self.event_at
+        return [event_at(p) for p in positions]
+
+    def events(self, stop: Optional[int] = None) -> List[SystemEvent]:
+        """Materialize positions ``[0, stop)`` (defaults to the whole block)."""
+        n = len(self.event_ids) if stop is None else stop
+        return self.events_at(range(n))
+
+    # -- columnar access helpers ------------------------------------------
+
+    def window_bounds(
+        self, start: Optional[float], end: Optional[float], stop: int
+    ) -> Tuple[int, int]:
+        """``[lo, hi)`` positions with ``start <= t0 < end`` among ``[0, stop)``.
+
+        Only meaningful while :attr:`time_sorted`; callers bound the bisect
+        by their visibility snapshot (``stop``) so a concurrent append that
+        breaks sortedness past the snapshot cannot skew the search.
+        """
+        t0 = self.t0
+        lo = 0 if start is None else bisect_left(t0, start, 0, stop)
+        hi = stop if end is None else bisect_left(t0, end, lo, stop)
+        return lo, hi
+
+    def agent_code_set(
+        self, agent_ids: FrozenSet[int]
+    ) -> Optional[FrozenSet[int]]:
+        """Dictionary codes matching ``agent_ids``; None when vacuous.
+
+        Vacuous means every agent this block has seen is in the filter set,
+        so the per-row pass cannot drop anything and is skipped (the hot
+        analogue of the cold zone maps' agent-superset hoisting).
+        """
+        mapping = self._agent_code
+        if all(agent in agent_ids for agent in mapping):
+            return None
+        return frozenset(
+            code for agent, code in mapping.items() if agent in agent_ids
+        )
+
+    def order_positions(self, positions: Positions) -> List[int]:
+        """Positions sorted by the result order, (start_time, event_id)."""
+        t0 = self.t0
+        event_ids = self.event_ids
+        return sorted(positions, key=lambda p: (t0[p], event_ids[p]))
+
+
+# Column-level event attribute getters, mirroring the alias table of
+# SystemEvent.attribute / model.events._EVENT_ATTRIBUTE_GETTERS: the same
+# names resolve to the same values, read from columns instead of a row.
+_BLOCK_ATTRIBUTE_GETTERS: Dict[str, Callable[[ColumnBlock, int], object]] = {
+    "id": lambda b, i: b.event_ids[i],
+    "event_id": lambda b, i: b.event_ids[i],
+    "agentid": lambda b, i: b.agents[b.agent_codes[i]],
+    "agent_id": lambda b, i: b.agents[b.agent_codes[i]],
+    "seq": lambda b, i: b.seqs[i],
+    "sequence": lambda b, i: b.seqs[i],
+    "starttime": lambda b, i: b.t0[i],
+    "start_time": lambda b, i: b.t0[i],
+    "endtime": lambda b, i: b.t1[i],
+    "end_time": lambda b, i: b.t1[i],
+    "optype": lambda b, i: OP_VALUE_BY_CODE[b.op_codes[i]],
+    "operation": lambda b, i: OP_VALUE_BY_CODE[b.op_codes[i]],
+    "amount": lambda b, i: b.amounts[i],
+    "access": lambda b, i: OP_VALUE_BY_CODE[b.op_codes[i]],
+    "failure_code": lambda b, i: b.failure_codes[i],
+    "failurecode": lambda b, i: b.failure_codes[i],
+    "subject_id": lambda b, i: b.subject_ids[i],
+    "object_id": lambda b, i: b.object_ids[i],
+}
+
+
+def block_attribute_getter(
+    name: str,
+) -> Optional[Callable[[ColumnBlock, int], object]]:
+    """Column getter behind ``SystemEvent.attribute(name)``, or ``None``."""
+    return _BLOCK_ATTRIBUTE_GETTERS.get(name.strip().lower())
+
+
+class Selection:
+    """Survivor positions of one block scan, in (start_time, event_id) order."""
+
+    __slots__ = ("block", "positions")
+
+    def __init__(self, block: ColumnBlock, positions: Sequence[int]) -> None:
+        self.block = block
+        self.positions = positions
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def events(self) -> List[SystemEvent]:
+        return self.block.events_at(self.positions)
+
+    def committed_only(self, watermark: int) -> "Selection":
+        """Drop rows above a store's committed-event watermark.
+
+        Cached selections must *not* bake the watermark in — it moves
+        between scans (a batch publishes per partition before the store
+        raises it) — so every scan applies its own snapshot here.
+        """
+        if self.block.max_event_id <= watermark:
+            return self
+        event_ids = self.block.event_ids
+        return Selection(
+            self.block, [p for p in self.positions if event_ids[p] <= watermark]
+        )
+
+
+_Handle = Tuple[float, int, ColumnBlock, int]  # (t0, event_id, block, pos)
+
+
+def _norm(value: object) -> object:
+    return value.lower() if isinstance(value, str) else value
+
+
+class BlockScanResult:
+    """A store scan as per-block selections; rows materialize on demand.
+
+    This is what schedulers and caches pass around instead of event lists:
+    ``ref_values``/``time_bounds`` answer constrained-execution narrowing
+    from the columns, ``field_getter``+``handles`` feed hash-join key
+    extraction, and :meth:`events` materializes the merged, (start_time,
+    event_id)-sorted row list exactly once, for final results.
+    """
+
+    __slots__ = ("parts", "dedup", "_handles", "_events")
+
+    def __init__(self, parts: Sequence[Selection], dedup: bool = False) -> None:
+        self.parts = list(parts)
+        # Tiered scans can reach one event in both tiers during a
+        # migration hand-off; their results dedup by event id on merge.
+        self.dedup = dedup
+        self._handles: Optional[List[_Handle]] = None
+        self._events: Optional[List[SystemEvent]] = None
+
+    def handles(self) -> List[_Handle]:
+        """Merged (t0, event_id, block, position) keys, globally sorted.
+
+        Each part is already sorted by (start_time, event_id), so timsort
+        sees presorted runs; duplicates (equal (t0, id) keys from two
+        tiers) collapse to their first copy when :attr:`dedup` is set.
+        """
+        handles = self._handles
+        if handles is None:
+            handles = []
+            for part in self.parts:
+                t0 = part.block.t0
+                event_ids = part.block.event_ids
+                block = part.block
+                handles.extend(
+                    (t0[p], event_ids[p], block, p) for p in part.positions
+                )
+            if len(self.parts) > 1:
+                handles.sort(key=lambda h: (h[0], h[1]))
+            if self.dedup and handles:
+                deduped = [handles[0]]
+                last = handles[0]
+                for h in handles[1:]:
+                    if h[0] != last[0] or h[1] != last[1]:
+                        deduped.append(h)
+                        last = h
+                handles = deduped
+            self._handles = handles
+        return handles
+
+    def __len__(self) -> int:
+        return len(self.handles())
+
+    def __iter__(self) -> Iterator[SystemEvent]:
+        return iter(self.events())
+
+    def events(self) -> List[SystemEvent]:
+        events = self._events
+        if events is None:
+            events = [block.event_at(p) for _, _, block, p in self.handles()]
+            self._events = events
+        return events
+
+    # -- columnar narrowing ------------------------------------------------
+
+    def time_bounds(self) -> Optional[Tuple[float, float]]:
+        """(min, max) start time of the survivors, from the columns."""
+        tmin: Optional[float] = None
+        tmax: Optional[float] = None
+        for part in self.parts:
+            positions = part.positions
+            if not len(positions):
+                continue
+            t0 = part.block.t0
+            first = t0[positions[0]]  # parts are (t0, id)-sorted
+            last = t0[positions[-1]]
+            if tmin is None or first < tmin:
+                tmin = first
+            if tmax is None or last > tmax:
+                tmax = last
+        if tmin is None or tmax is None:
+            return None
+        return tmin, tmax
+
+    def ref_values(self, ref, entity_of) -> FrozenSet[object]:
+        """Distinct normalized values of ``ref`` across the survivors.
+
+        Matches :func:`repro.engine.data_query.values_of` on the
+        materialized rows: entity attributes resolve once per distinct
+        entity id (not once per row), event attributes read their column.
+        """
+        role = ref.role
+        attr = ref.attr
+        out: set = set()
+        if role in ("subject", "object"):
+            ids: set = set()
+            for part in self.parts:
+                col = (
+                    part.block.subject_ids
+                    if role == "subject"
+                    else part.block.object_ids
+                )
+                ids.update(col[p] for p in part.positions)
+            for entity_id in ids:
+                out.add(_norm(getattr(entity_of(entity_id), attr)))
+            return frozenset(out)
+        getter = block_attribute_getter(attr)
+        if getter is None:
+            if any(len(part.positions) for part in self.parts):
+                # same failure the row path raises on its first event
+                raise AttributeError(f"event has no attribute {attr!r}")
+            return frozenset()
+        for part in self.parts:
+            block = part.block
+            out.update(_norm(getter(block, p)) for p in part.positions)
+        return frozenset(out)
+
+    def field_getter(
+        self, ref, entity_of
+    ) -> Optional[Callable[[_Handle], object]]:
+        """Per-handle join-key extractor for ``ref``, or None if unsupported.
+
+        Entity attributes memoize per distinct entity id; event attributes
+        read columns.  ``None`` (an alias ``SystemEvent.attribute`` would
+        reject) tells the caller to fall back to the row-based path, which
+        raises exactly as materialized rows would.
+        """
+        attr = ref.attr
+        if ref.role == "event":
+            getter = block_attribute_getter(attr)
+            if getter is None:
+                return None
+            return lambda h: getter(h[2], h[3])
+        subject = ref.role == "subject"
+        memo: Dict[int, object] = {}
+
+        def entity_value(h: _Handle) -> object:
+            block = h[2]
+            entity_id = (
+                block.subject_ids[h[3]] if subject else block.object_ids[h[3]]
+            )
+            try:
+                return memo[entity_id]
+            except KeyError:
+                value = getattr(entity_of(entity_id), attr)
+                memo[entity_id] = value
+                return value
+
+        return entity_value
+
+    @staticmethod
+    def event_of(handle: _Handle) -> SystemEvent:
+        return handle[2].event_at(handle[3])

@@ -16,6 +16,7 @@ from repro.model.entities import Entity, EntityRegistry, EntityType
 from repro.model.events import SystemEvent
 from repro.service.cache import CACHEABLE_ID_SET_LIMIT, ScanCache, cacheable_filter
 from repro.service.pool import SharedExecutor, get_shared_executor
+from repro.storage.blocks import BlockScanResult, Selection
 from repro.storage.filters import (
     EventFilter,
     filter_fingerprint,
@@ -221,23 +222,29 @@ class EventStore:
     def _cacheable(cls, flt: EventFilter) -> bool:
         return cacheable_filter(flt, cls.CACHEABLE_ID_SET_LIMIT)
 
-    def scan(
+    def scan_columns(
         self,
         flt: EventFilter,
         parallel: bool = False,
         use_entity_index: bool = True,
-    ) -> List[SystemEvent]:
-        """All events matching ``flt``, sorted by (start_time, event_id).
+    ) -> BlockScanResult:
+        """Survivors of ``flt`` as per-partition selections over the blocks.
+
+        The block-native scan: nothing is materialized here — callers read
+        join keys, narrowing values and time bounds straight off the
+        columns and only final results become rows (:meth:`scan` is this
+        plus materialization).
 
         ``use_entity_index=False`` disables the attribute hash indexes and
         models engines whose B-tree indexes cannot serve leading-wildcard
         LIKE predicates (stock PostgreSQL/Greenplum seq-scan in that case);
         partition pruning and the time index still apply.
 
-        Per-partition results are served from :attr:`scan_cache` when one
-        is attached; entries are keyed by the *narrowed* filter, so a
-        registered entity that changes index narrowing simply produces a
-        fresh cache key rather than a stale hit.
+        Per-partition selections are served from :attr:`scan_cache` when
+        one is attached; entries are keyed by the *narrowed* filter plus
+        the partition block's generation (a rebuilt partition gets a fresh
+        block, so its old selections can never be replayed), and the
+        committed-watermark cut is applied per scan, never cached.
         """
         # Cacheability is judged on the incoming filter: id sets already
         # present were injected by the scheduler from join results (one-off
@@ -253,42 +260,56 @@ class EventStore:
         # window, empty narrowed id set) skips pruning and scanning alike.
         kernel = kernel_for(flt) if kernels_enabled() else None
         if kernel is not None and kernel.always_false:
-            return []
+            return BlockScanResult(())
         keys = self._pruned_keys(flt)
         if not keys:
-            return []
+            return BlockScanResult(())
         # .get: a partition may be migrated cold (popped) between pruning
         # and the per-partition scan; its events are then served by the
         # cold tier, so an empty result here is correct, not a lost read.
         if cacheable:
             fingerprint = filter_fingerprint(flt)
 
-            def scan_one(key: PartitionKey):
+            def scan_one(key: PartitionKey) -> Optional[Selection]:
                 table = self._partitions.get(key)
                 if table is None:
-                    return ()
+                    return None
                 return cache.get_or_compute(
-                    key, fingerprint, lambda: table.scan(flt, None, kernel)
+                    key,
+                    fingerprint,
+                    lambda: table.scan_select(flt, None, kernel),
+                    generation=table.block.generation,
                 )
 
         else:
 
-            def scan_one(key: PartitionKey):
+            def scan_one(key: PartitionKey) -> Optional[Selection]:
                 table = self._partitions.get(key)
-                return () if table is None else table.scan(flt, None, kernel)
+                return None if table is None else table.scan_select(flt, None, kernel)
 
         if parallel and len(keys) > 1:
-            chunks = self.executor.map_all(scan_one, keys)
+            selections = self.executor.map_all(scan_one, keys)
         else:
-            chunks = [scan_one(key) for key in keys]
-        merged: List[SystemEvent] = []
-        for chunk in chunks:
-            # Rows published by a still-committing batch (or cached by a
-            # later scan) sit above our committed snapshot; dropping them
-            # keeps multi-partition commits atomic to this scan.
-            merged.extend(e for e in chunk if e.event_id <= committed)
-        merged.sort(key=lambda e: (e.start_time, e.event_id))
-        return merged
+            selections = [scan_one(key) for key in keys]
+        # Rows published by a still-committing batch (or cached by a later
+        # scan) sit above our committed snapshot; dropping them per scan
+        # keeps multi-partition commits atomic to this scan.
+        return BlockScanResult(
+            [s.committed_only(committed) for s in selections if s is not None]
+        )
+
+    def scan(
+        self,
+        flt: EventFilter,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ) -> List[SystemEvent]:
+        """All events matching ``flt``, sorted by (start_time, event_id).
+
+        Materializing wrapper over :meth:`scan_columns` (same semantics,
+        row objects built for every survivor).
+        """
+        return self.scan_columns(flt, parallel, use_entity_index).events()
 
     def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
         """Index- and pruning-free scan; the soundness oracle for tests."""

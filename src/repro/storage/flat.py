@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.model.entities import Entity, EntityRegistry
 from repro.model.events import SystemEvent
+from repro.storage.blocks import BlockScanResult
 from repro.storage.filters import EventFilter
 from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
 from repro.storage.table import EventTable
@@ -66,12 +67,13 @@ class FlatStore:
         """(min, max) event start time over the hot heap."""
         return (self._table.min_time, self._table.max_time)
 
-    def scan(
+    def scan_columns(
         self,
         flt: EventFilter,
         parallel: bool = False,
         use_entity_index: bool = True,
-    ) -> List[SystemEvent]:
+    ) -> BlockScanResult:
+        """Survivors as a single-heap selection (see ``EventStore.scan_columns``)."""
         # ``parallel`` accepted for interface compatibility; a flat heap has
         # no partitions to parallelize over.  The table compiles the filter
         # into a scan kernel itself (one heap, one compilation).
@@ -79,7 +81,15 @@ class FlatStore:
 
         if use_entity_index:
             flt = narrow_with_index(flt, self.entity_index)
-        return self._table.scan(flt, None)
+        return BlockScanResult([self._table.scan_select(flt, None)])
+
+    def scan(
+        self,
+        flt: EventFilter,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ) -> List[SystemEvent]:
+        return self.scan_columns(flt, parallel, use_entity_index).events()
 
     def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
         return self._table.full_scan(flt)

@@ -39,11 +39,27 @@ import operator
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.model.entities import ATTRIBUTES_BY_TYPE, normalize_attribute
 from repro.model.events import SystemEvent, event_attribute_getter
-from repro.service.cache import cacheable_filter
+from repro.service.cache import cache_fingerprint
+from repro.storage.blocks import (
+    OP_CODE,
+    OTYPE_CODE,
+    ColumnBlock,
+    Positions,
+    block_attribute_getter,
+)
 from repro.storage.filters import (
     AttrPredicate,
     EventFilter,
@@ -52,7 +68,6 @@ from repro.storage.filters import (
     PredicateNot,
     PredicateOr,
     _equals,
-    filter_fingerprint,
     like_to_regex,
 )
 
@@ -289,14 +304,251 @@ def _always(event: SystemEvent, lookup) -> bool:
     return True
 
 
+# The batch compilation target: evaluate a whole column block per call and
+# return the surviving positions (a subset of ``candidates``).
+SelectFn = Callable[[ColumnBlock, Positions, Callable[[int], object]], Positions]
+
+
+def _never_select(block: ColumnBlock, candidates: Positions, lookup) -> List[int]:
+    return []
+
+
+def _pass_select(block: ColumnBlock, candidates: Positions, lookup) -> Positions:
+    return candidates
+
+
+def _byte_positions(column: bytearray, code: int, lo: int, hi: int) -> List[int]:
+    """Positions of ``code`` in ``column[lo:hi]`` via C-speed ``find`` hops.
+
+    The single-code membership pass over a contiguous candidate range is
+    the workhorse of hot scans (one operation, one object type); skipping
+    from match to match costs Python per *hit*, not per row.
+    """
+    out: List[int] = []
+    append = out.append
+    find = column.find
+    i = find(code, lo, hi)
+    while i >= 0:
+        append(i)
+        i = find(code, i + 1, hi)
+    return out
+
+
+def _entity_pass(
+    candidates: Positions,
+    ids: Sequence[int],
+    pred: PredicateFn,
+    lookup: Callable[[int], object],
+    id_memo: Dict[int, bool],
+    entity_memo: Dict[object, bool],
+) -> List[int]:
+    """Filter by an entity predicate, evaluated once per distinct entity.
+
+    Equivalent to the per-event path (the predicate is a pure function of
+    the registry's frozen entities), but survivors sharing a subject/object
+    pay one dict probe instead of one evaluation per row.  Two memo levels,
+    both kernel-lifetime: ``id_memo`` is valid for one registry (the
+    caller resets it when the lookup's owner changes — registries intern
+    ids and never rebind them, so id -> verdict is stable), and
+    ``entity_memo`` — keyed by the entity *object* (frozen dataclasses
+    hash by value, so equal entities from different registries share an
+    answer) — survives registry switches.  Ids never resolve through
+    ``lookup`` unless a surviving row references them, so an unregistered
+    entity raises :class:`KeyError` exactly when the row path would.
+    """
+    out: List[int] = []
+    append = out.append
+    get = id_memo.get
+    entity_get = entity_memo.get
+    for i in candidates:
+        entity_id = ids[i]
+        ok = get(entity_id)
+        if ok is None:
+            entity = lookup(entity_id)
+            ok = entity_get(entity)
+            if ok is None:
+                ok = entity_memo[entity] = pred(entity)
+            id_memo[entity_id] = ok
+        if ok:
+            append(i)
+    return out
+
+
+def _compile_block_event_predicate(
+    node,
+) -> Callable[[ColumnBlock, int], bool]:
+    """An event predicate tree compiled against columns instead of rows."""
+    if isinstance(node, PredicateLeaf):
+        pred = node.pred
+        getter = block_attribute_getter(pred.attr)
+        if getter is None:
+            return lambda block, i: False
+        test = compile_value_test(pred)
+        return lambda block, i: test(getter(block, i))
+    if isinstance(node, PredicateNot):
+        child = _compile_block_event_predicate(node.child)
+        return lambda block, i: not child(block, i)
+    if isinstance(node, (PredicateAnd, PredicateOr)):
+        children = tuple(
+            _compile_block_event_predicate(c) for c in node.children
+        )
+        if isinstance(node, PredicateAnd):
+            return lambda block, i: all(c(block, i) for c in children)
+        return lambda block, i: any(c(block, i) for c in children)
+    raise AssertionError(node)
+
+
+def _compile_select(
+    flt: EventFilter,
+    subject_pred: Optional[PredicateFn],
+    object_pred: Optional[PredicateFn],
+) -> SelectFn:
+    """Compile the whole-block evaluation order for ``flt``.
+
+    Structural passes run cheapest-first over the columns (bisected window,
+    dictionary-coded agents/ops/object types, id-set membership), each
+    shrinking the selection before the next; predicate trees — the only
+    passes that touch entities or strings — see only the surviving tail.
+    Per-block vacuity (code universes, agent dictionary coverage) hoists
+    whole passes, generalizing the cold tier's zone-map shortcuts to every
+    block.  Results are exactly the per-event kernel's survivors.
+    """
+    window_start = flt.window.start
+    window_end = flt.window.end
+    agent_ids = flt.agent_ids
+    op_codes: Optional[FrozenSet[int]] = (
+        frozenset(OP_CODE[op] for op in flt.operations)
+        if flt.operations is not None
+        else None
+    )
+    single_op = next(iter(op_codes)) if op_codes and len(op_codes) == 1 else None
+    otype_code = (
+        OTYPE_CODE[flt.object_type] if flt.object_type is not None else None
+    )
+    otype_set = frozenset((otype_code,)) if otype_code is not None else None
+    subject_ids = flt.subject_ids
+    object_ids = flt.object_ids
+    event_pred = (
+        _compile_block_event_predicate(flt.event_pred)
+        if flt.event_pred is not None
+        else None
+    )
+    # Kernel-lifetime predicate memos (kernels are LRU-cached per filter
+    # fingerprint, so these amortize entity evaluation across scans too).
+    # The id-keyed level is valid for exactly one registry: a single slot
+    # holds an (owner, subject-memo, object-memo) triple keyed by the
+    # lookup's owner (every partition of a store shares one registry, so
+    # iterative scans stay warm; switching stores resets).  The triple is
+    # read and swapped whole, so parallel scans against different stores
+    # can never write one registry's verdicts into another's memo — a
+    # racing swap only loses warm entries.
+    subject_memo: Dict[object, bool] = {}
+    object_memo: Dict[object, bool] = {}
+    memo_slot: List[Tuple[object, Dict[int, bool], Dict[int, bool]]] = [
+        (None, {}, {})
+    ]
+
+    def select(
+        block: ColumnBlock, candidates: Positions, lookup
+    ) -> Positions:
+        if window_start is not None or window_end is not None:
+            if type(candidates) is range and block.time_sorted:
+                lo, hi = block.window_bounds(
+                    window_start, window_end, candidates.stop
+                )
+                candidates = range(max(lo, candidates.start), hi)
+            else:
+                t0 = block.t0
+                if window_start is None:
+                    candidates = [
+                        i for i in candidates if t0[i] < window_end
+                    ]
+                elif window_end is None:
+                    candidates = [
+                        i for i in candidates if t0[i] >= window_start
+                    ]
+                else:
+                    candidates = [
+                        i
+                        for i in candidates
+                        if window_start <= t0[i] < window_end
+                    ]
+        if agent_ids is not None:
+            wanted = block.agent_code_set(agent_ids)
+            if wanted is not None:
+                if not wanted:
+                    return []
+                codes = block.agent_codes
+                if len(wanted) == 1:
+                    (code,) = wanted
+                    if type(candidates) is range and isinstance(
+                        codes, bytearray
+                    ):
+                        candidates = _byte_positions(
+                            codes, code, candidates.start, candidates.stop
+                        )
+                    else:
+                        candidates = [i for i in candidates if codes[i] == code]
+                else:
+                    candidates = [i for i in candidates if codes[i] in wanted]
+        if op_codes is not None and not block.op_universe <= op_codes:
+            ops = block.op_codes
+            if single_op is not None:
+                if type(candidates) is range:
+                    candidates = _byte_positions(
+                        ops, single_op, candidates.start, candidates.stop
+                    )
+                else:
+                    candidates = [i for i in candidates if ops[i] == single_op]
+            else:
+                candidates = [i for i in candidates if ops[i] in op_codes]
+        if otype_set is not None and not block.otype_universe <= otype_set:
+            otypes = block.otype_codes
+            if type(candidates) is range:
+                candidates = _byte_positions(
+                    otypes, otype_code, candidates.start, candidates.stop
+                )
+            else:
+                candidates = [i for i in candidates if otypes[i] == otype_code]
+        if subject_ids is not None:
+            col = block.subject_ids
+            candidates = [i for i in candidates if col[i] in subject_ids]
+        if object_ids is not None:
+            col = block.object_ids
+            candidates = [i for i in candidates if col[i] in object_ids]
+        if subject_pred is not None or object_pred is not None:
+            owner = getattr(lookup, "__self__", lookup)
+            state = memo_slot[0]
+            if state[0] is not owner:
+                state = (owner, {}, {})
+                memo_slot[0] = state
+            if subject_pred is not None:
+                candidates = _entity_pass(
+                    candidates, block.subject_ids, subject_pred, lookup,
+                    state[1], subject_memo,
+                )
+            if object_pred is not None:
+                candidates = _entity_pass(
+                    candidates, block.object_ids, object_pred, lookup,
+                    state[2], object_memo,
+                )
+        if event_pred is not None:
+            candidates = [i for i in candidates if event_pred(block, i)]
+        return candidates
+
+    return select
+
+
 class ScanKernel:
     """One filter compiled for the scan hot path.
 
     ``test(event, lookup)`` is the full filter check (equivalent to
     resolving both entities and calling ``flt.matches``); ``test_predicates``
     checks only the subject/object/event predicate trees, for callers that
-    already applied the structural constraints exactly (the cold tier's
-    columnar prefilter).
+    already applied the structural constraints exactly.  ``select(block,
+    candidates, lookup)`` is the batch target: it evaluates a whole
+    :class:`~repro.storage.blocks.ColumnBlock` and returns the surviving
+    positions, equal to filtering ``candidates`` with ``test`` row by row.
     """
 
     __slots__ = (
@@ -305,6 +557,7 @@ class ScanKernel:
         "has_predicates",
         "test",
         "test_predicates",
+        "select",
     )
 
     def __init__(
@@ -314,12 +567,14 @@ class ScanKernel:
         has_predicates: bool,
         test: KernelFn,
         test_predicates: KernelFn,
+        select: SelectFn,
     ) -> None:
         self.fingerprint = fingerprint
         self.always_false = always_false
         self.has_predicates = has_predicates
         self.test = test
         self.test_predicates = test_predicates
+        self.select = select
 
 
 def _generate(checks: List[Tuple[str, object]], name: str) -> KernelFn:
@@ -362,7 +617,7 @@ def compile_filter(
 ) -> ScanKernel:
     """Compile ``flt`` into a :class:`ScanKernel` (no memoization here)."""
     if constant_false(flt):
-        return ScanKernel(fingerprint, True, False, _never, _never)
+        return ScanKernel(fingerprint, True, False, _never, _never, _never_select)
 
     checks: List[Tuple[str, object]] = []
     if flt.agent_ids is not None:
@@ -381,14 +636,14 @@ def compile_filter(
         checks.append(("_object_ids", flt.object_ids))
 
     predicate_checks: List[Tuple[str, object]] = []
+    subject_pred: Optional[PredicateFn] = None
+    object_pred: Optional[PredicateFn] = None
     if flt.subject_pred is not None:
-        predicate_checks.append(
-            ("_subject_pred", compile_predicate(flt.subject_pred, "entity"))
-        )
+        subject_pred = compile_predicate(flt.subject_pred, "entity")
+        predicate_checks.append(("_subject_pred", subject_pred))
     if flt.object_pred is not None:
-        predicate_checks.append(
-            ("_object_pred", compile_predicate(flt.object_pred, "entity"))
-        )
+        object_pred = compile_predicate(flt.object_pred, "entity")
+        predicate_checks.append(("_object_pred", object_pred))
     if flt.event_pred is not None:
         predicate_checks.append(
             ("_event_pred", compile_predicate(flt.event_pred, "event"))
@@ -400,8 +655,13 @@ def compile_filter(
         if predicate_checks
         else _always
     )
+    select = (
+        _compile_select(flt, subject_pred, object_pred)
+        if checks or predicate_checks
+        else _pass_select
+    )
     return ScanKernel(
-        fingerprint, False, bool(predicate_checks), test, test_predicates
+        fingerprint, False, bool(predicate_checks), test, test_predicates, select
     )
 
 
@@ -431,9 +691,9 @@ class KernelCache:
             return len(self._entries)
 
     def kernel_for(self, flt: EventFilter) -> ScanKernel:
-        if not cacheable_filter(flt):
+        fingerprint = cache_fingerprint(flt)
+        if fingerprint is None:
             return compile_filter(flt)
-        fingerprint = filter_fingerprint(flt)
         with self._lock:
             kernel = self._entries.get(fingerprint)
             if kernel is not None:
@@ -464,6 +724,7 @@ class KernelCache:
 
 _shared_cache = KernelCache()
 _enabled = True
+_columnar = True
 
 
 def kernel_for(flt: EventFilter) -> ScanKernel:
@@ -496,3 +757,37 @@ def use_kernels(enabled: bool):
         yield
     finally:
         _enabled = previous
+
+
+def columnar_enabled() -> bool:
+    """Whether scans evaluate whole blocks via ``ScanKernel.select``.
+
+    Off, scans with kernels enabled walk candidates through the per-event
+    compiled closure (the pre-columnar behaviour); with kernels *also* off
+    they fall back to the interpreted oracle.  Only consulted when kernels
+    are enabled — the interpreted path is always row-at-a-time.
+    """
+    return _columnar
+
+
+def set_columnar(enabled: bool) -> None:
+    """Process-wide columnar toggle (see ``SystemConfig.columnar``)."""
+    global _columnar
+    _columnar = bool(enabled)
+
+
+@contextmanager
+def use_columnar(enabled: bool):
+    """Force block-at-a-time or per-event compiled scans within the block.
+
+    The benchmark's ``columnar`` cell and the differential suites flip
+    this; like :func:`use_kernels` it is not safe to flip concurrently
+    with scans on other threads.
+    """
+    global _columnar
+    previous = _columnar
+    _columnar = enabled
+    try:
+        yield
+    finally:
+        _columnar = previous

@@ -21,6 +21,7 @@ from repro.model.entities import Entity, EntityRegistry
 from repro.model.events import SystemEvent
 from repro.model.time import day_of
 from repro.service.pool import SharedExecutor, get_shared_executor
+from repro.storage.blocks import BlockScanResult
 from repro.storage.filters import EventFilter
 from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
 from repro.storage.kernels import kernel_for, kernels_enabled
@@ -156,12 +157,13 @@ class SegmentedStore:
         }
         return [self._segments[i] for i in sorted(wanted)]
 
-    def scan(
+    def scan_columns(
         self,
         flt: EventFilter,
         parallel: bool = True,
         use_entity_index: bool = True,
-    ) -> List[SystemEvent]:
+    ) -> BlockScanResult:
+        """Survivors as per-segment selections (see ``EventStore.scan_columns``)."""
         from repro.storage.database import narrow_with_index
 
         committed = self._committed  # snapshot before touching any segment
@@ -170,21 +172,29 @@ class SegmentedStore:
         # One compiled kernel shared by every segment scan (see EventStore).
         kernel = kernel_for(flt) if kernels_enabled() else None
         if kernel is not None and kernel.always_false:
-            return []
+            return BlockScanResult(())
         segments = self._relevant_segments(flt)
         if parallel and len(segments) > 1:
             if self._executor is None:
                 self._executor = get_shared_executor()
-            chunks = self._executor.map_all(
-                lambda s: s.scan(flt, None, kernel), segments
+            selections = self._executor.map_all(
+                lambda s: s.scan_select(flt, None, kernel), segments
             )
         else:
-            chunks = [segment.scan(flt, None, kernel) for segment in segments]
-        merged: List[SystemEvent] = []
-        for chunk in chunks:
-            merged.extend(e for e in chunk if e.event_id <= committed)
-        merged.sort(key=lambda e: (e.start_time, e.event_id))
-        return merged
+            selections = [
+                segment.scan_select(flt, None, kernel) for segment in segments
+            ]
+        return BlockScanResult(
+            [s.committed_only(committed) for s in selections]
+        )
+
+    def scan(
+        self,
+        flt: EventFilter,
+        parallel: bool = True,
+        use_entity_index: bool = True,
+    ) -> List[SystemEvent]:
+        return self.scan_columns(flt, parallel, use_entity_index).events()
 
     def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
         committed = self._committed

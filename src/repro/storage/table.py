@@ -2,15 +2,22 @@
 
 One :class:`EventTable` backs one partition of the AIQL-optimized store, the
 single monolithic heap of the flat (PostgreSQL-like) store, and one segment
-of the MPP store.  It keeps events in arrival order, with
+of the MPP store.  Rows live in a typed :class:`~repro.storage.blocks.
+ColumnBlock` (ISSUE 6) — ``array``-backed id/time/seq columns plus
+dictionary-encoded agent/op/object-type codes — in arrival order, with
 
-* a sorted start-time index for temporal range scans,
+* a sorted start-time index for temporal range scans on out-of-order data
+  (time-ordered blocks answer window probes by bisecting the raw time
+  column directly),
 * subject-id and object-id postings lists (the relational analogue of the
   foreign-key indexes on the events table),
 * per-operation postings lists.
 
-The table itself is semantics-agnostic; domain optimizations (partition
-pruning, spatial/temporal parallelism) live above it.
+:class:`SystemEvent` objects are a lazily materialized view over the block:
+scans narrow on columns and only survivors (or explicit row accesses)
+construct events.  The table itself is semantics-agnostic; domain
+optimizations (partition pruning, spatial/temporal parallelism) live above
+it.
 
 Visibility model (single writer, many readers): rows and index postings are
 staged first and *published* by a single monotone ``_visible`` bump, so a
@@ -37,17 +44,23 @@ from typing import (
 
 from repro.model.entities import Entity, EntityType
 from repro.model.events import Operation, SystemEvent
+from repro.storage.blocks import ColumnBlock, Positions, Selection
 from repro.storage.filters import EventFilter, top_level_equalities
 from repro.storage.index import EntityAttributeIndex, SortedTimeIndex
-from repro.storage.kernels import ScanKernel, kernel_for, kernels_enabled
+from repro.storage.kernels import (
+    ScanKernel,
+    columnar_enabled,
+    kernel_for,
+    kernels_enabled,
+)
 
 
 class EventTable:
-    """In-memory event heap with secondary indexes."""
+    """Columnar in-memory event heap with secondary indexes."""
 
     def __init__(self, entity_lookup: Callable[[int], Entity]) -> None:
         self._entity_lookup = entity_lookup
-        self._events: List[SystemEvent] = []
+        self._block = ColumnBlock()
         self._time_index = SortedTimeIndex()
         self._by_subject: Dict[int, List[int]] = defaultdict(list)
         self._by_object: Dict[int, List[int]] = defaultdict(list)
@@ -56,55 +69,64 @@ class EventTable:
         # index entries first, then publishes them with one assignment (an
         # atomic int store under the GIL), so a batch is all-or-nothing.
         self._visible = 0
-        self.min_time: Optional[float] = None
-        self.max_time: Optional[float] = None
+
+    @property
+    def block(self) -> ColumnBlock:
+        """The typed column block backing this table (stable identity)."""
+        return self._block
+
+    @property
+    def min_time(self) -> Optional[float]:
+        return self._block.min_time
+
+    @property
+    def max_time(self) -> Optional[float]:
+        return self._block.max_time
 
     def _stage(self, event: SystemEvent) -> None:
-        position = len(self._events)
-        self._events.append(event)
+        position = self._block.append(event)
         self._time_index.add(event.start_time, position)
         self._by_subject[event.subject_id].append(position)
         self._by_object[event.object_id].append(position)
         self._by_operation[event.operation].append(position)
-        if self.min_time is None or event.start_time < self.min_time:
-            self.min_time = event.start_time
-        if self.max_time is None or event.start_time > self.max_time:
-            self.max_time = event.start_time
 
     def append(self, event: SystemEvent) -> None:
         self._stage(event)
-        self._visible = len(self._events)
+        self._visible = len(self._block)
 
     def append_batch(self, events: Sequence[SystemEvent]) -> None:
         """Stage ``events`` and publish them atomically (one visibility bump)."""
         for event in events:
             self._stage(event)
-        self._visible = len(self._events)
+        self._visible = len(self._block)
 
     def __len__(self) -> int:
         return self._visible
 
     def __iter__(self) -> Iterator[SystemEvent]:
-        return iter(self._events[: self._visible])
+        return iter(self._block.events(self._visible))
 
     def events_at(self, positions: Iterable[int]) -> List[SystemEvent]:
-        return [self._events[p] for p in positions]
+        return self._block.events_at(positions)
 
     def _candidate_positions(
         self,
         flt: EventFilter,
         entity_index: Optional[EntityAttributeIndex],
         visible: Optional[int] = None,
-    ) -> Iterable[int]:
+    ) -> Positions:
         """Pick the cheapest access path for a filter.
 
         Preference order: explicit id sets from the scheduler, entity
-        attribute indexes, the time index, then a full scan.  Positions at
-        or beyond ``visible`` (defaults to the current publication point)
-        are staged-but-uncommitted batch rows and are never returned.
+        attribute indexes, the sorted time column (bisected directly while
+        the block is time-ordered, else the time index), then a full scan.
+        Positions at or beyond ``visible`` (defaults to the current
+        publication point) are staged-but-uncommitted batch rows and are
+        never returned.
         """
         if visible is None:
             visible = self._visible
+        block = self._block
         position_sets: List[Set[int]] = []
 
         def positions_for_ids(
@@ -146,14 +168,28 @@ class EventTable:
                 # positions here (O(|candidates|), cheaper than walking
                 # the time index) keeps the scan from resolving entities
                 # and evaluating predicates for stale positions.
-                contains = flt.window.contains
-                events = self._events
-                candidates = {
-                    p for p in candidates if contains(events[p].start_time)
-                }
+                window = flt.window
+                if block.time_sorted:
+                    # Bisect the sorted time column once: the in-window
+                    # region is a contiguous position range, so membership
+                    # is two integer compares per candidate — no per-
+                    # candidate timestamp reads at all.
+                    lo, hi = block.window_bounds(
+                        window.start, window.end, visible
+                    )
+                    candidates = {p for p in candidates if lo <= p < hi}
+                else:
+                    contains = window.contains
+                    t0 = block.t0
+                    candidates = {p for p in candidates if contains(t0[p])}
             return sorted(candidates)
 
         if flt.window.start is not None or flt.window.end is not None:
+            if block.time_sorted:
+                lo, hi = block.window_bounds(
+                    flt.window.start, flt.window.end, visible
+                )
+                return range(lo, hi)
             positions = self._time_index.range(flt.window.start, flt.window.end)
             return [p for p in positions if p < visible]
 
@@ -161,12 +197,57 @@ class EventTable:
 
     def _window_cuts(self, window) -> bool:
         """True when ``window`` excludes part of this table's time range."""
-        if self.min_time is None:
+        min_time = self._block.min_time
+        if min_time is None:
             return False
-        if window.start is not None and window.start > self.min_time:
+        if window.start is not None and window.start > min_time:
             return True
         # Window ends are exclusive: an end beyond max_time excludes nothing.
-        return window.end is not None and window.end <= self.max_time
+        return window.end is not None and window.end <= self._block.max_time
+
+    def scan_select(
+        self,
+        flt: EventFilter,
+        entity_index: Optional[EntityAttributeIndex] = None,
+        kernel: Optional[ScanKernel] = None,
+    ) -> Selection:
+        """Survivor positions for ``flt``, in (start_time, event_id) order.
+
+        The block-native scan: candidates narrow through the batch kernel
+        (``ScanKernel.select``) without materializing a single row.  The
+        per-event compiled closure remains behind ``use_columnar(False)``
+        and the interpreted ``flt.matches`` path behind ``use_kernels
+        (False)`` — both as differential oracles.
+        """
+        lookup = self._entity_lookup
+        visible = self._visible  # one snapshot: the whole scan sees one prefix
+        block = self._block
+        if kernel is None and kernels_enabled():
+            kernel = kernel_for(flt)
+        if kernel is not None and kernel.always_false:
+            return Selection(block, [])
+        candidates = self._candidate_positions(flt, entity_index, visible)
+        matched: Positions
+        if kernel is not None:
+            if columnar_enabled():
+                matched = kernel.select(block, candidates, lookup)
+            else:
+                test = kernel.test
+                event_at = block.event_at
+                matched = [
+                    p for p in candidates if test(event_at(p), lookup)
+                ]
+        else:
+            matches = flt.matches
+            event_at = block.event_at
+            matched = []
+            for position in candidates:
+                event = event_at(position)
+                subject = lookup(event.subject_id)
+                obj = lookup(event.object_id)
+                if matches(event, subject, obj):
+                    matched.append(position)
+        return Selection(block, block.order_positions(matched))
 
     def scan(
         self,
@@ -177,41 +258,18 @@ class EventTable:
         """Return all events matching ``flt``, sorted by (start_time, event_id).
 
         Matching runs through a compiled scan kernel (one specialized
-        closure per filter, memoized on the filter fingerprint); stores
-        scanning many partitions compile once and pass ``kernel`` down.
-        The interpreted ``flt.matches`` path remains behind
-        :func:`repro.storage.kernels.use_kernels` as the oracle.
+        batch/closure pair per filter, memoized on the filter fingerprint);
+        stores scanning many partitions compile once and pass ``kernel``
+        down.  This is :meth:`scan_select` plus row materialization.
         """
-        matched: List[SystemEvent] = []
-        lookup = self._entity_lookup
-        visible = self._visible  # one snapshot: the whole scan sees one prefix
-        if kernel is None and kernels_enabled():
-            kernel = kernel_for(flt)
-        if kernel is not None:
-            if kernel.always_false:
-                return matched
-            test = kernel.test
-            events = self._events
-            for position in self._candidate_positions(flt, entity_index, visible):
-                event = events[position]
-                if test(event, lookup):
-                    matched.append(event)
-        else:
-            for position in self._candidate_positions(flt, entity_index, visible):
-                event = self._events[position]
-                subject = lookup(event.subject_id)
-                obj = lookup(event.object_id)
-                if flt.matches(event, subject, obj):
-                    matched.append(event)
-        matched.sort(key=lambda e: (e.start_time, e.event_id))
-        return matched
+        return self.scan_select(flt, entity_index, kernel).events()
 
     def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
         """Index-free scan; the oracle for partition-pruning soundness tests."""
         lookup = self._entity_lookup
         matched = [
             event
-            for event in self._events[: self._visible]
+            for event in self._block.events(self._visible)
             if flt.matches(event, lookup(event.subject_id), lookup(event.object_id))
         ]
         matched.sort(key=lambda e: (e.start_time, e.event_id))

@@ -19,18 +19,18 @@ segment's zone map never pays the decompression.  Segments that do match
 decompress through a small LRU so iterative investigations over the same
 cold window stay cheap.
 
-Scans through segments that survive the zone maps are columnar: the
-structural constraints (window, agents, operations, object type, narrowed
-id sets) are evaluated against the decoded columns first, and
-:class:`~repro.model.events.SystemEvent` objects are materialized only
-when some row survives — a segment whose rows all fail the prefilter
-never pays object construction.  Checks a segment's zone map proves
-vacuous (e.g. a window covering the whole segment) are hoisted out
-entirely.  The remaining predicate trees run through the compiled scan
-kernel, and per-segment results are memoized in a scan cache keyed by
-``(segment file, filter fingerprint)`` — sound with no invalidation at
-all because segments are immutable, and the reason iterative mixed
-hot+cold investigations stop re-decompressing the cold tier per query.
+Segments that survive the zone maps decode into the same typed
+:class:`~repro.storage.blocks.ColumnBlock` representation the hot tier
+stores natively, and scans run the batch kernel straight on those columns
+— set membership against dictionary codes, bisected windows, predicates
+only on the surviving tail.  :class:`~repro.model.events.SystemEvent`
+objects are lazily materialized row views; a segment none of whose rows
+survive never pays object construction.  Per-segment survivor selections
+are memoized in a scan cache keyed by ``(segment file, filter
+fingerprint)`` plus the decoded block's generation (the same shared
+invalidation policy as the hot partition-scan cache), which is the reason
+iterative mixed hot+cold investigations stop re-scanning the cold tier
+per query.
 
 The manifest (``manifest.json``) is the tier's source of truth and is
 rewritten atomically (temp file + rename); segment files are written
@@ -50,11 +50,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.model.entities import EntityType
-from repro.model.events import Operation, SystemEvent
-from repro.service.cache import ScanCache, cacheable_filter
-from repro.storage.filters import EventFilter, filter_fingerprint
-from repro.storage.kernels import kernel_for, kernels_enabled
+from repro.model.events import SystemEvent
+from repro.service.cache import ScanCache, cache_fingerprint
+from repro.storage.blocks import BlockScanResult, ColumnBlock, Selection
+from repro.storage.filters import EventFilter
+from repro.storage.kernels import (
+    ScanKernel,
+    columnar_enabled,
+    kernel_for,
+    kernels_enabled,
+)
 from repro.storage.partition import PartitionKey
 
 MANIFEST_VERSION = 1
@@ -203,61 +208,6 @@ def _decode_columns(blob: bytes) -> Dict[str, list]:
     return columns
 
 
-def _materialize(columns: Dict[str, list]) -> Tuple[SystemEvent, ...]:
-    return tuple(
-        SystemEvent(
-            event_id=columns["eid"][i],
-            agent_id=columns["a"][i],
-            seq=columns["s"][i],
-            start_time=columns["t0"][i],
-            end_time=columns["t1"][i],
-            operation=Operation(columns["op"][i]),
-            subject_id=columns["subj"][i],
-            object_id=columns["obj"][i],
-            object_type=EntityType(columns["ot"][i]),
-            amount=columns["amt"][i],
-            failure_code=columns["fc"][i],
-        )
-        for i in range(len(columns["eid"]))
-    )
-
-
-class _DecodedSegment:
-    """One decompressed segment: raw columns, then materialized events.
-
-    Columnar prefilters read :attr:`columns`; only scans whose prefilter
-    leaves survivors (and iteration/recovery probes) pay
-    :class:`SystemEvent` construction, once per LRU residency.  The
-    columns are released once the events exist — no path reads both, so a
-    cache-resident segment holds one representation, not two.
-    """
-
-    __slots__ = ("columns", "_events")
-
-    def __init__(self, columns: Dict[str, list]) -> None:
-        self.columns: Optional[Dict[str, list]] = columns
-        self._events: Optional[Tuple[SystemEvent, ...]] = None
-
-    @property
-    def materialized(self) -> bool:
-        return self._events is not None
-
-    def events(self) -> Tuple[SystemEvent, ...]:
-        events = self._events
-        if events is None:
-            # Benign race: concurrent materializations build equal tuples.
-            # Snapshot the columns first — a concurrent winner publishes
-            # its events *before* clearing them, so a None snapshot means
-            # the events are already there; a non-None snapshot stays
-            # alive through this local reference even if cleared under us.
-            columns = self.columns
-            if columns is None:
-                return self._events
-            events = self._events = _materialize(columns)
-            self.columns = None
-        return events
-
-
 class ColdTier:
     """The on-disk cold half of a :class:`~repro.tier.store.TieredStore`."""
 
@@ -276,8 +226,15 @@ class ColdTier:
         self._zones: List[ZoneMap] = []
         self._next_id = 0
         self._cache_segments = cache_segments
-        self._cache: "OrderedDict[str, _DecodedSegment]" = OrderedDict()
+        self._cache: "OrderedDict[str, ColumnBlock]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        # Stable block generation per segment file: filenames are never
+        # reused and their contents are immutable, so a re-decode after an
+        # LRU eviction restamps the fresh block with the generation of the
+        # first decode.  Cached selections then survive evictions (the
+        # shared generation check still guards them — it just compares
+        # content identity, not object identity).
+        self._generation_by_file: Dict[str, int] = {}
         # Per-segment scan results, keyed by (segment file, filter
         # fingerprint).  Segments are immutable so entries never need
         # invalidation; 0 disables.  This is the cold analogue of the hot
@@ -359,99 +316,71 @@ class ColdTier:
 
     # -- reads --------------------------------------------------------------
 
-    def _decoded(self, zone: ZoneMap) -> _DecodedSegment:
+    def _decoded(self, zone: ZoneMap) -> ColumnBlock:
         with self._cache_lock:
             cached = self._cache.get(zone.filename)
             if cached is not None:
                 self._cache.move_to_end(zone.filename)
                 return cached
         blob = (self.directory / zone.filename).read_bytes()
-        segment = _DecodedSegment(_decode_columns(blob))
+        block = ColumnBlock.from_columns(_decode_columns(blob))
+        block.generation = self._generation_by_file.setdefault(
+            zone.filename, block.generation
+        )
         with self._cache_lock:
-            self._cache[zone.filename] = segment
+            self._cache[zone.filename] = block
             self._cache.move_to_end(zone.filename)
             while len(self._cache) > self._cache_segments:
                 self._cache.popitem(last=False)
-        return segment
+        return block
 
-    def _segment_events(self, zone: ZoneMap) -> Tuple[SystemEvent, ...]:
+    def _segment_events(self, zone: ZoneMap) -> List[SystemEvent]:
         return self._decoded(zone).events()
 
-    def _structural_indices(self, zone: ZoneMap, columns, flt: EventFilter):
-        """Row indices surviving the filter's structural constraints.
+    def _scan_segment(
+        self, block: ColumnBlock, flt: EventFilter, kernel: ScanKernel
+    ) -> Selection:
+        """One decoded segment's survivors (sorted: segments are stored sorted).
 
-        Evaluated against raw columns, before any :class:`SystemEvent`
-        exists.  Every check the zone map proves vacuous for this segment
-        (window covering its whole time range, agent/operation/object-type
-        universes inside the constraint) is hoisted out entirely; the
-        checks that remain are exact, so survivors only owe the predicate
-        trees.
+        The batch kernel runs straight on the decoded columns; the block's
+        op/otype universes and agent dictionary give it the same vacuity
+        hoisting the zone maps provided the old structural prefilter, and
+        no :class:`SystemEvent` is built unless the per-event oracle path
+        is active (``use_columnar(False)``).
         """
-        survivors = range(zone.count)
-        if flt.agent_ids is not None and not zone.agents <= flt.agent_ids:
-            column, wanted = columns["a"], flt.agent_ids
-            survivors = [i for i in survivors if column[i] in wanted]
-        window = flt.window
-        if (window.start is not None and window.start > zone.min_time) or (
-            window.end is not None and window.end <= zone.max_time
-        ):
-            contains, column = window.contains, columns["t0"]
-            survivors = [i for i in survivors if contains(column[i])]
-        if flt.operations is not None:
-            wanted = {op.value for op in flt.operations}
-            if not zone.operations <= wanted:
-                column = columns["op"]
-                survivors = [i for i in survivors if column[i] in wanted]
-        if flt.object_type is not None:
-            wanted_type = flt.object_type.value
-            if zone.object_types != {wanted_type}:
-                column = columns["ot"]
-                survivors = [i for i in survivors if column[i] == wanted_type]
-        if flt.subject_ids is not None and not zone.subjects <= flt.subject_ids:
-            column, wanted = columns["subj"], flt.subject_ids
-            survivors = [i for i in survivors if column[i] in wanted]
-        if flt.object_ids is not None and not zone.objects <= flt.object_ids:
-            column, wanted = columns["obj"], flt.object_ids
-            survivors = [i for i in survivors if column[i] in wanted]
-        return survivors
-
-    def _scan_segment(self, zone: ZoneMap, flt: EventFilter, kernel):
-        """One segment's matches (sorted: segments are stored sorted)."""
-        segment = self._decoded(zone)
         lookup = self._entity_lookup
-        # Snapshot the columns before testing materialized: a concurrent
-        # materialization clears them, but only after publishing events.
-        columns = segment.columns
-        if columns is None or segment.materialized:
-            # Events already built (an earlier scan or recovery probe paid
-            # the construction): the compiled kernel alone is cheapest.
+        candidates = range(len(block))
+        if columnar_enabled():
+            positions = kernel.select(block, candidates, lookup)
+        else:
             test = kernel.test
-            return tuple(e for e in segment.events() if test(e, lookup))
-        survivors = self._structural_indices(zone, columns, flt)
-        if not isinstance(survivors, range) and not survivors:
-            return ()  # nothing structural survived: never materialize
-        events = segment.events()
-        if not kernel.has_predicates:
-            if isinstance(survivors, range):
-                return events
-            return tuple(events[i] for i in survivors)
-        test_predicates = kernel.test_predicates
-        return tuple(
-            events[i] for i in survivors if test_predicates(events[i], lookup)
-        )
+            event_at = block.event_at
+            positions = [i for i in candidates if test(event_at(i), lookup)]
+        return Selection(block, positions)
 
-    def scan(self, flt: EventFilter) -> List[SystemEvent]:
-        """Matching cold events, zone-map pruned, sorted by (time, id)."""
+    def scan_selections(self, flt: EventFilter) -> List[Selection]:
+        """Per-segment survivor selections, zone-map pruned.
+
+        Cached selections key on ``(segment file, filter fingerprint)``
+        through the shared :class:`~repro.service.cache.ScanCache` policy
+        plus the segment's stable block generation (segments are immutable,
+        so every decode of a file restamps the same generation).  A cache
+        hit therefore needs no decode at all — the cached selection pins
+        its own block — and a generation mismatch can only mean the entry
+        belongs to a different block, never a stale view of this one.
+        """
         zones = list(self._zones)  # snapshot against concurrent publishes
-        matched: List[SystemEvent] = []
         lookup = self._entity_lookup
+        selections: List[Selection] = []
         kernel = kernel_for(flt) if kernels_enabled() else None
         if kernel is not None and kernel.always_false:
-            return matched
+            return selections
         cache = self.scan_cache
-        if kernel is None or not cacheable_filter(flt):
-            cache = None
-        fingerprint = filter_fingerprint(flt) if cache is not None else None
+        fingerprint = (
+            cache_fingerprint(flt)
+            if cache is not None and kernel is not None
+            else None
+        )
         for zone in zones:
             self.segments_considered += 1
             if not zone.may_match(flt):
@@ -460,23 +389,38 @@ class ColdTier:
             self.segments_scanned += 1
             if kernel is None:
                 # Interpreted oracle path (use_kernels(False)).
-                for event in self._segment_events(zone):
-                    if flt.matches(
+                block = self._decoded(zone)
+                matches = flt.matches
+                positions = []
+                for i, event in enumerate(block.events()):
+                    if matches(
                         event, lookup(event.subject_id), lookup(event.object_id)
                     ):
-                        matched.append(event)
-            elif cache is not None:
-                matched.extend(
+                        positions.append(i)
+                selections.append(Selection(block, positions))
+            elif fingerprint is not None and cache is not None:
+                generation = self._generation_by_file.get(zone.filename)
+                if generation is None:
+                    # First touch in this process: decode so the cache
+                    # entry records the segment's stable generation.
+                    generation = self._decoded(zone).generation
+                selections.append(
                     cache.get_or_compute(
                         zone.filename,
                         fingerprint,
-                        lambda z=zone: self._scan_segment(z, flt, kernel),
+                        lambda z=zone: self._scan_segment(
+                            self._decoded(z), flt, kernel
+                        ),
+                        generation=generation,
                     )
                 )
             else:
-                matched.extend(self._scan_segment(zone, flt, kernel))
-        matched.sort(key=lambda e: (e.start_time, e.event_id))
-        return matched
+                selections.append(self._scan_segment(self._decoded(zone), flt, kernel))
+        return selections
+
+    def scan(self, flt: EventFilter) -> List[SystemEvent]:
+        """Matching cold events, zone-map pruned, sorted by (time, id)."""
+        return BlockScanResult(self.scan_selections(flt)).events()
 
     def estimated_events(self, flt: EventFilter) -> int:
         """Upper bound on matching cold events, from zone maps alone."""
@@ -513,9 +457,8 @@ class ColdTier:
                     continue
                 ids = id_sets.get(zone.filename)
                 if ids is None:
-                    ids = frozenset(
-                        e.event_id for e in self._segment_events(zone)
-                    )
+                    # The raw id column suffices: no row views are built.
+                    ids = frozenset(self._decoded(zone).event_ids)
                     id_sets[zone.filename] = ids
                 if event.event_id in ids:
                     return True

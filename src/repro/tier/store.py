@@ -31,6 +31,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.events import SystemEvent
 from repro.model.time import TimeWindow, day_of, day_start
+from repro.storage.blocks import BlockScanResult
 from repro.storage.filters import EventFilter
 from repro.storage.partition import PartitionKey, PartitionScheme
 from repro.tier.cold import ColdTier
@@ -145,16 +146,35 @@ class TieredStore:
         merged.extend(cold_events[j:])
         return merged
 
+    def scan_columns(
+        self,
+        flt: EventFilter,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ) -> BlockScanResult:
+        """Survivors across both tiers as block selections, deduplicated.
+
+        Hot parts come first, so when a migration hand-off leaves an event
+        reachable in both tiers, the merged handle list keeps the hot copy
+        (the stable sort preserves part order for equal keys).
+        """
+        hot = self.hot.scan_columns(
+            flt, parallel=parallel, use_entity_index=use_entity_index
+        )
+        cold_parts = self.cold.scan_selections(flt)
+        if not cold_parts:
+            return hot
+        return BlockScanResult(list(hot.parts) + cold_parts, dedup=True)
+
     def scan(
         self,
         flt: EventFilter,
         parallel: bool = False,
         use_entity_index: bool = True,
     ) -> List[SystemEvent]:
-        hot_events = self.hot.scan(
+        return self.scan_columns(
             flt, parallel=parallel, use_entity_index=use_entity_index
-        )
-        return self._merge(hot_events, self.cold.scan(flt))
+        ).events()
 
     def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
         return self._merge(self.hot.full_scan(flt), self.cold.scan(flt))

@@ -347,3 +347,208 @@ class TestToggle:
         with use_kernels(True):
             compiled = table.scan(flt)
         assert interpreted == compiled == [event]
+
+
+# ---------------------------------------------------------------------------
+# batch (columnar) selection
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.storage.blocks import ColumnBlock  # noqa: E402
+from repro.storage.kernels import columnar_enabled, use_columnar  # noqa: E402
+
+
+def _block_of(events):
+    block = ColumnBlock()
+    for event in events:
+        block.append(event)
+    return block
+
+
+class TestSelect:
+    """kernel.select(block, candidates) == [i for i if kernel.test(row_i)]."""
+
+    def _events(self, world):
+        registry, proc, fobj, conn, event, net_event = world
+        return [event, net_event]
+
+    def assert_equivalent(self, flt, events, lookup):
+        kernel = compile_filter(flt)
+        block = _block_of(events)
+        expected = [
+            i for i, ev in enumerate(events) if kernel.test(ev, lookup)
+        ]
+        assert list(kernel.select(block, range(len(events)), lookup)) == expected
+
+    def test_unconstrained_select_passes_candidates_through(self, world):
+        registry = world[0]
+        kernel = compile_filter(EventFilter())
+        block = _block_of(self._events(world))
+        candidates = range(2)
+        assert kernel.select(block, candidates, registry.get) is candidates
+
+    def test_constant_false_selects_nothing(self, world):
+        registry = world[0]
+        flt = EventFilter(subject_ids=frozenset())
+        kernel = compile_filter(flt)
+        block = _block_of(self._events(world))
+        assert kernel.select(block, range(2), registry.get) == []
+
+    def test_window_bisects_sorted_blocks(self, world):
+        registry = world[0]
+        flt = EventFilter(window=TimeWindow(start=1500.0, end=2500.0))
+        self.assert_equivalent(flt, self._events(world), registry.get)
+
+    def test_structural_and_predicate_passes(self, world):
+        registry, proc, fobj, conn, event, net_event = world
+        events = [event, net_event]
+        cases = [
+            EventFilter(agent_ids=frozenset({2})),
+            EventFilter(operations=frozenset({Operation.READ})),
+            EventFilter(object_type=EntityType.NETWORK),
+            EventFilter(subject_ids=frozenset({proc.id})),
+            EventFilter(object_ids=frozenset({conn.id})),
+            EventFilter(subject_pred=leaf("user", "=", "root")),
+            EventFilter(object_pred=leaf("dst_port", "=", 4444)),
+            EventFilter(event_pred=leaf("amount", ">", 100)),
+        ]
+        for flt in cases:
+            self.assert_equivalent(flt, events, registry.get)
+
+    def test_vacuous_passes_are_hoisted(self, world):
+        registry, proc, fobj, conn, event, net_event = world
+        # every row is READ/FILE: the op/otype passes must not narrow
+        events = [event]
+        flt = EventFilter(
+            operations=frozenset({Operation.READ}),
+            object_type=EntityType.FILE,
+        )
+        kernel = compile_filter(flt)
+        block = _block_of(events)
+        candidates = range(1)
+        assert kernel.select(block, candidates, registry.get) is candidates
+
+    def test_entity_memo_consistent_across_blocks(self, world):
+        registry, proc, fobj, conn, event, net_event = world
+        flt = EventFilter(subject_pred=leaf("exe_name", "=", "sshd"))
+        kernel = compile_filter(flt)
+        for _ in range(2):  # second round hits the kernel-lifetime memo
+            for events in ([event], [event, net_event]):
+                block = _block_of(events)
+                got = kernel.select(block, range(len(events)), registry.get)
+                assert list(got) == list(range(len(events)))
+
+    def test_columnar_toggle(self):
+        assert columnar_enabled()
+        with use_columnar(False):
+            assert not columnar_enabled()
+            with use_columnar(True):
+                assert columnar_enabled()
+            assert not columnar_enabled()
+        assert columnar_enabled()
+
+
+# -- property equivalence ----------------------------------------------------
+
+_prop_registry = EntityRegistry()
+_PROP_ENTITIES = [
+    _prop_registry.process(1, 100, "sshd", user="root", cmd="/usr/sbin/sshd -D"),
+    _prop_registry.process(2, 200, "nginx", user="www", cmd="nginx -g daemon"),
+    _prop_registry.file(1, "/etc/passwd", owner="root"),
+    _prop_registry.file(2, "/var/log/auth.log", owner="syslog"),
+    _prop_registry.connection(1, "10.0.0.5", 51000, "166.213.1.129", 4444),
+]
+_PROP_PROCESSES = _PROP_ENTITIES[:2]
+
+_prop_attrs = st.sampled_from(
+    ("exe_name", "user", "cmd", "name", "owner", "dst_port", "amount", "id")
+)
+_prop_scalars = st.one_of(
+    st.integers(min_value=-5, max_value=5000),
+    st.sampled_from(["sshd", "root", "%ssh%", "%a%", ""]),
+)
+_prop_preds = st.one_of(
+    st.builds(
+        AttrPredicate,
+        attr=_prop_attrs,
+        op=st.sampled_from(("=", "!=", "<", ">")),
+        value=_prop_scalars,
+    ),
+    st.builds(
+        AttrPredicate,
+        attr=_prop_attrs,
+        op=st.sampled_from(("in", "not in")),
+        value=st.lists(_prop_scalars, max_size=3).map(tuple),
+    ),
+)
+
+_prop_trees = st.recursive(
+    st.builds(PredicateLeaf, _prop_preds),
+    lambda children: st.one_of(
+        st.builds(PredicateNot, children),
+        st.builds(lambda a, b: PredicateAnd((a, b)), children, children),
+        st.builds(lambda a, b: PredicateOr((a, b)), children, children),
+    ),
+    max_leaves=4,
+)
+
+_prop_filters = st.builds(
+    EventFilter,
+    agent_ids=st.none() | st.frozensets(st.integers(1, 3), max_size=2),
+    window=st.just(TimeWindow())
+    | st.builds(
+        lambda start, length: TimeWindow(start=start, end=start + length),
+        start=st.floats(min_value=0.0, max_value=3000.0, allow_nan=False),
+        length=st.floats(min_value=0.0, max_value=3000.0, allow_nan=False),
+    ),
+    operations=st.none()
+    | st.frozensets(st.sampled_from(list(Operation)), max_size=3),
+    object_type=st.none() | st.sampled_from(list(EntityType)),
+    subject_pred=st.none() | _prop_trees,
+    object_pred=st.none() | _prop_trees,
+    event_pred=st.none() | _prop_trees,
+    subject_ids=st.none()
+    | st.frozensets(st.integers(min_value=0, max_value=8), max_size=4),
+    object_ids=st.none()
+    | st.frozensets(st.integers(min_value=0, max_value=8), max_size=4),
+)
+
+_prop_events = st.builds(
+    lambda eid, agent, start, op, subject, obj, amount: SystemEvent(
+        event_id=eid,
+        agent_id=agent,
+        seq=eid,
+        start_time=start,
+        end_time=start + 1.0,
+        operation=op,
+        subject_id=subject.id,
+        object_id=obj.id,
+        object_type=obj.entity_type,
+        amount=amount,
+    ),
+    eid=st.integers(min_value=1, max_value=100),
+    agent=st.integers(min_value=1, max_value=3),
+    start=st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    op=st.sampled_from(list(Operation)),
+    subject=st.sampled_from(_PROP_PROCESSES),
+    obj=st.sampled_from(_PROP_ENTITIES),
+    amount=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestSelectProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(flt=_prop_filters, events=st.lists(_prop_events, max_size=12))
+    def test_select_equals_per_event_kernel(self, flt, events):
+        # sorted + unsorted blocks exercise both window pass shapes
+        for ordering in (events, sorted(events, key=lambda e: e.start_time)):
+            block = _block_of(ordering)
+            kernel = compile_filter(flt)
+            lookup = _prop_registry.get
+            expected = [
+                i for i, ev in enumerate(ordering) if kernel.test(ev, lookup)
+            ]
+            got = kernel.select(block, range(len(ordering)), lookup)
+            assert list(got) == expected

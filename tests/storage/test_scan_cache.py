@@ -91,9 +91,9 @@ class TestScanCacheCore:
         cache = ScanCache(max_entries=4)
         calls = []
         value = cache.get_or_compute("p1", "f1", lambda: calls.append(1) or [1, 2])
-        assert value == (1, 2)
+        assert value == [1, 2]
         again = cache.get_or_compute("p1", "f1", lambda: calls.append(1) or [9])
-        assert again == (1, 2)
+        assert again == [1, 2]
         assert len(calls) == 1
         assert cache.hits == 1 and cache.misses == 1
 
@@ -105,7 +105,7 @@ class TestScanCacheCore:
         cache.get_or_compute("p1", "c", lambda: [3])  # evicts b
         assert len(cache) == 2
         assert cache.evictions == 1
-        assert cache.get_or_compute("p1", "a", lambda: [9]) == (1,)  # still hot
+        assert cache.get_or_compute("p1", "a", lambda: [9]) == [1]  # still hot
         cache.get_or_compute("p1", "b", lambda: [8])
         assert cache.misses == 4  # b was recomputed
 
@@ -114,8 +114,8 @@ class TestScanCacheCore:
         cache.get_or_compute("p1", "a", lambda: [1])
         cache.get_or_compute("p2", "a", lambda: [2])
         assert cache.invalidate("p1") == 1
-        assert cache.get_or_compute("p2", "a", lambda: [9]) == (2,)  # hit
-        assert cache.get_or_compute("p1", "a", lambda: [7]) == (7,)  # recomputed
+        assert cache.get_or_compute("p2", "a", lambda: [9]) == [2]  # hit
+        assert cache.get_or_compute("p1", "a", lambda: [7]) == [7]  # recomputed
 
     def test_invalidation_during_compute_prevents_stale_insert(self):
         cache = ScanCache(max_entries=8)
@@ -125,9 +125,9 @@ class TestScanCacheCore:
             cache.invalidate("p1")
             return [1]
 
-        assert cache.get_or_compute("p1", "a", compute) == (1,)
+        assert cache.get_or_compute("p1", "a", compute) == [1]
         # The raced result must not have been cached.
-        assert cache.get_or_compute("p1", "a", lambda: [2]) == (2,)
+        assert cache.get_or_compute("p1", "a", lambda: [2]) == [2]
 
     def test_miss_after_invalidate_does_not_join_stale_inflight(self):
         """Read-your-writes: a scan submitted after an ingest must compute
@@ -153,18 +153,18 @@ class TestScanCacheCore:
         assert started.wait(5)
         cache.invalidate("p1")  # the ingest lands
         fresh = cache.get_or_compute("p1", "a", lambda: [2])
-        assert fresh == (2,)  # computed fresh, did not join the stale owner
+        assert fresh == [2]  # computed fresh, did not join the stale owner
         release.set()
         worker.join()
-        assert results["old"] == (1,)  # detached owner still resolved
+        assert results["old"] == [1]  # detached owner still resolved
         # The fresh (post-ingest) value is the one that stayed cached.
-        assert cache.get_or_compute("p1", "a", lambda: [9]) == (2,)
+        assert cache.get_or_compute("p1", "a", lambda: [9]) == [2]
 
     def test_compute_error_not_cached(self):
         cache = ScanCache(max_entries=8)
         with pytest.raises(ZeroDivisionError):
             cache.get_or_compute("p1", "a", lambda: 1 / 0 and [])
-        assert cache.get_or_compute("p1", "a", lambda: [5]) == (5,)
+        assert cache.get_or_compute("p1", "a", lambda: [5]) == [5]
 
     def test_invalid_bound_rejected(self):
         with pytest.raises(ValueError):
@@ -306,3 +306,38 @@ class TestPartitionScopedInvalidationProperties:
                     assert cache.hits == hits_before + 1
                 if clock[agent] > 0:  # partition exists => entry now cached
                     warm.add(agent)
+
+
+class TestGenerationKeying:
+    """Block-generation keyed entries: the unified invalidation path."""
+
+    def test_hit_requires_generation_match(self):
+        cache = ScanCache(max_entries=8)
+        first = cache.get_or_compute("p", "f", lambda: [1, 2], generation=7)
+        again = cache.get_or_compute("p", "f", lambda: [9], generation=7)
+        assert again is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_generation_mismatch_recomputes_and_replaces(self):
+        cache = ScanCache(max_entries=8)
+        cache.get_or_compute("p", "f", lambda: [1], generation=7)
+        rebuilt = cache.get_or_compute("p", "f", lambda: [2], generation=8)
+        assert rebuilt == [2]
+        assert cache.misses == 2
+        # the old generation's entry is gone, not shadowed
+        assert cache.get_or_compute("p", "f", lambda: [3], generation=8) == [2]
+        assert cache.get_or_compute("p", "f", lambda: [4], generation=7) == [4]
+
+    def test_untagged_entries_keep_working(self):
+        cache = ScanCache(max_entries=8)
+        value = cache.get_or_compute("p", "f", lambda: ("rows",))
+        assert cache.get_or_compute("p", "f", lambda: ()) is value
+        # a generation-tagged caller never accepts an untagged entry
+        assert cache.get_or_compute("p", "f", lambda: [5], generation=1) == [5]
+
+    def test_generations_isolated_per_key(self):
+        cache = ScanCache(max_entries=8)
+        cache.get_or_compute("p", "f1", lambda: "a", generation=1)
+        cache.get_or_compute("p", "f2", lambda: "b", generation=2)
+        assert cache.get_or_compute("p", "f1", lambda: "x", generation=1) == "a"
+        assert cache.get_or_compute("p", "f2", lambda: "y", generation=2) == "b"

@@ -149,8 +149,8 @@ class TestSegmentCache:
         tier = make_tier(feed, tmp_path, days=(0, 1, 2), per_day=5)
         stored = tier.scan(EventFilter())
         calls = []
-        original = tier._segment_events
-        tier._segment_events = lambda zone: (
+        original = tier._decoded
+        tier._decoded = lambda zone: (
             calls.append(zone.filename), original(zone)
         )[1]
         probe = tier.event_id_probe()
@@ -242,18 +242,18 @@ class TestColumnarScan:
         assert tier.scan(EventFilter(agent_ids=frozenset({3}))) == []
         assert tier._cache == {}
         # A window inside the segment's range but between events survives
-        # the zone map, decodes columns, then matches no row: the segment
+        # the zone map, decodes columns, then matches no row: the block
         # must stay un-materialized (no SystemEvent construction).
         window = TimeWindow(start=day_ts(0, 601.0), end=day_ts(0, 650.0))
         assert tier.scan(EventFilter(window=window)) == []
-        (segment,) = tier._cache.values()
-        assert not segment.materialized
+        (block,) = tier._cache.values()
+        assert not block.rows_materialized
 
-    def test_materialized_segments_use_event_kernel(self, feed, tmp_path):
+    def test_materialized_segments_still_scan_correctly(self, feed, tmp_path):
         tier, events = mixed_segment_tier(feed, tmp_path)
         list(iter(tier))  # materialize via iteration (recovery-style access)
-        (segment,) = tier._cache.values()
-        assert segment.materialized
+        (block,) = tier._cache.values()
+        assert block.rows_materialized
         flt = EventFilter(operations=frozenset({Operation.CONNECT}))
         got = tier.scan(flt)
         assert [e.operation for e in got] == [Operation.CONNECT]
