@@ -8,7 +8,8 @@ Subcommands:
 * ``corpus``  — list the paper's query corpus (``--run`` executes it,
   ``--jobs N`` concurrently, ``--live RATE`` with streaming ingest,
   ``--watch QUERY`` with a standing query alerting on the live stream,
-  ``--data-dir DIR`` durably through the tiered storage subsystem);
+  ``--data-dir DIR`` durably through the tiered storage subsystem,
+  ``--shards N`` sharded across worker processes);
 * ``archive`` — compact a durable data dir to its retention horizon and
   checkpoint it (snapshot + WAL truncate);
 * ``recover`` — crash-recover a durable data dir and report what it held;
@@ -35,11 +36,12 @@ def _build_system(
     cache: bool = True,
     data_dir: Optional[str] = None,
     retention: Optional[int] = None,
+    shards: int = 0,
 ) -> AIQLSystem:
     from repro.core.config import SystemConfig
     from repro.workload.loader import build_enterprise
 
-    if data_dir is None:
+    if data_dir is None and not shards:
         print(f"deploying the simulated enterprise (rate={rate})...",
               file=sys.stderr)
         enterprise = build_enterprise(events_per_host_day=rate)
@@ -51,28 +53,35 @@ def _build_system(
         print(f"{enterprise.total_events} events ready", file=sys.stderr)
         return system
 
-    # Durable deployment: open (or recover) the data dir, and stream the
-    # workload through the WAL-backed commit path only when it is empty —
-    # re-running over a populated dir reuses the recovered state.
+    # Durable and/or sharded deployment: construct the system first (for
+    # a data dir, opening it *is* recovery; shard workers each replay
+    # their own slice), then stream the workload through the system's own
+    # commit path only when it came up empty — re-running over a
+    # populated dir reuses the recovered state.
     system = AIQLSystem(
         SystemConfig(
-            scan_cache=cache, data_dir=data_dir, retention_days=retention
+            scan_cache=cache,
+            data_dir=data_dir,
+            retention_days=retention,
+            shards=shards,
         )
     )
+    if shards:
+        print(f"sharded across {shards} worker process(es)", file=sys.stderr)
     recovered = system.recovery.total_events if system.recovery else 0
     if recovered:
         print(f"recovered {recovered} events from {data_dir} "
               f"({system.recovery.to_dict()})", file=sys.stderr)
     else:
-        print(f"deploying durably into {data_dir} (rate={rate})...",
-              file=sys.stderr)
+        where = data_dir if data_dir is not None else f"{shards} shard(s)"
+        print(f"deploying into {where} (rate={rate})...", file=sys.stderr)
         build_enterprise(
             stores=(),
             ingestor=system.ingestor,
             events_per_host_day=rate,
             stream_batch_size=system.config.stream_batch_size,
         )
-        print(f"{system.ingestor.events_ingested} events durable",
+        print(f"{system.ingestor.events_ingested} events committed",
               file=sys.stderr)
     return system
 
@@ -141,12 +150,16 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         print("--watch requires --run --live RATE: standing queries alert "
               "from live stream commits", file=sys.stderr)
         return 2
+    if args.shards < 0:
+        print("--shards N must be >= 0", file=sys.stderr)
+        return 2
     if args.run:
         system = _build_system(
             args.rate,
             cache=not args.no_cache,
             data_dir=args.data_dir,
             retention=args.retention,
+            shards=args.shards,
         )
         replay_handle = None
         session = None
@@ -218,9 +231,13 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                       f"{watch.alerts_emitted} alert(s), "
                       f"{watch.events_matched} window event(s) matched",
                       file=sys.stderr)
-            if system.durable:
-                print(f"tier stats: {system.stats().get('cold')}; "
-                      f"wal: {system.stats().get('wal')}", file=sys.stderr)
+            stats = system.stats()
+            if "shard_events" in stats:
+                print(f"shard stats: {stats['shard_events']} event(s) "
+                      f"across {stats['shards']} shard(s)", file=sys.stderr)
+            elif system.durable:
+                print(f"tier stats: {stats.get('cold')}; "
+                      f"wal: {stats.get('wal')}", file=sys.stderr)
             system.close()
         return rc
     for query in ALL_QUERIES:
@@ -358,6 +375,11 @@ def make_parser() -> argparse.ArgumentParser:
                         help="with --data-dir: hot-tier retention horizon "
                              "(background compactor migrates older days to "
                              "compressed cold segments)")
+    corpus.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="with --run: shard the store across N worker "
+                             "processes (scatter/gather scans; combine "
+                             "with --data-dir for per-shard WALs and cold "
+                             "tiers)")
     corpus.set_defaults(func=cmd_corpus)
 
     archive = sub.add_parser(

@@ -60,6 +60,16 @@ class SystemConfig:
         ``None`` uses the stdlib heuristic (cpu count + 4, capped at 32).
         Only effective for the config that first touches the shared pool;
         later systems in the same process reuse it.
+    shards
+        ``0`` (default) keeps the store in-process.  ``N >= 1`` deploys
+        it sharded across N ``spawn``-started worker processes
+        (:mod:`repro.shard`), partitioned by (day, agent-group): each
+        worker owns its own hot backend (of ``backend``), scan cache and
+        — when ``data_dir`` is set — its own WAL, snapshot and cold
+        segments under ``<data_dir>/shard-<i>``.  Scans scatter/gather
+        serialized column-block slices; CPU-bound scans scale past the
+        GIL with the shard count.  ``backend``, ``scan_cache``,
+        ``columnar``, ``retention_days`` etc. configure each worker.
     data_dir
         root of the durable tiered-storage state (``repro.tier``):
         snapshot, write-ahead log and cold segment files.  ``None`` (the
@@ -116,6 +126,7 @@ class SystemConfig:
     scan_cache_entries: int = 512
     stream_batch_size: int = 256
     max_workers: Optional[int] = None
+    shards: int = 0
     data_dir: Optional[str] = None
     retention_days: Optional[int] = None
     compact_interval_s: float = 30.0
@@ -143,6 +154,8 @@ class SystemConfig:
             raise ValueError("stream_batch_size must be >= 1")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1 (or None)")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0 (0 = in-process store)")
         if self.retention_days is not None:
             if self.retention_days < 1:
                 raise ValueError("retention_days must be >= 1 (or None)")

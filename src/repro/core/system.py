@@ -36,6 +36,7 @@ from repro.service import (
     ScanCache,
     StreamSession,
     get_shared_executor,
+    shutdown_shared_executor,
 )
 from repro.service.continuous import ContinuousQueryEngine, Subscription
 from repro.storage.database import EventStore
@@ -80,32 +81,44 @@ class AIQLSystem:
     ) -> None:
         self.config = config or SystemConfig()
         self.ingestor = ingestor or Ingestor()
-        self.store = _build_store(self.config, self.ingestor.registry)
         self._wal = None
         self.compactor = None
         self.recovery = None
-        if self.config.data_dir is not None:
-            # Durable tiered deployment: opening the data dir *is* crash
-            # recovery (an empty directory recovers to an empty system).
-            # The hot backend built above becomes the hot tier; every
-            # commit hits the WAL before it publishes.
-            from repro.tier import Compactor, open_data_dir
+        if self.config.shards:
+            # Sharded deployment (repro.shard): worker processes own the
+            # hot tiers and — when data_dir is set — their own WALs, cold
+            # segments and compactors, so none of the in-process tier
+            # wiring below applies; construction merges per-shard
+            # recovery into the ingestor's counters and registry.
+            from repro.shard import ShardedStore
 
-            self.store, self._wal, self.recovery = open_data_dir(
-                self.config.data_dir,
-                self.store,
-                self.ingestor,
-                retention_days=self.config.retention_days,
-                wal_sync=self.config.wal_sync,
-                cold_cache_segments=self.config.cold_cache_segments,
-                cold_scan_cache_entries=self.config.cold_scan_cache_entries,
-            )
-            if self.config.retention_days is not None:
-                self.compactor = Compactor(
+            set_columnar(self.config.columnar)
+            self.store = ShardedStore(self.ingestor, self.config)
+            self.recovery = self.store.recovery
+        else:
+            self.store = _build_store(self.config, self.ingestor.registry)
+            if self.config.data_dir is not None:
+                # Durable tiered deployment: opening the data dir *is*
+                # crash recovery (an empty directory recovers to an empty
+                # system).  The hot backend built above becomes the hot
+                # tier; every commit hits the WAL before it publishes.
+                from repro.tier import Compactor, open_data_dir
+
+                self.store, self._wal, self.recovery = open_data_dir(
+                    self.config.data_dir,
                     self.store,
+                    self.ingestor,
                     retention_days=self.config.retention_days,
-                    interval_s=self.config.compact_interval_s,
-                ).start()
+                    wal_sync=self.config.wal_sync,
+                    cold_cache_segments=self.config.cold_cache_segments,
+                    cold_scan_cache_entries=self.config.cold_scan_cache_entries,
+                )
+                if self.config.retention_days is not None:
+                    self.compactor = Compactor(
+                        self.store,
+                        retention_days=self.config.retention_days,
+                        interval_s=self.config.compact_interval_s,
+                    ).start()
         self.ingestor.attach(self.store)
         self._multievent = MultieventExecutor(
             self.store,
@@ -182,12 +195,20 @@ class AIQLSystem:
 
     @property
     def durable(self) -> bool:
-        return self._wal is not None
+        # In-process deployments hold the WAL here; sharded ones delegate
+        # (each worker owns its shard's WAL).
+        return self._wal is not None or bool(
+            getattr(self.store, "durable", False)
+        )
 
     def checkpoint(self) -> int:
         """Snapshot registry + hot tier, truncate the WAL; returns events
-        written.  Requires a durable (``data_dir``) deployment."""
+        written.  Requires a durable (``data_dir``) deployment.  Sharded
+        deployments checkpoint every shard (each snapshots its own hot
+        slice and truncates its own WAL)."""
         self._require_durable()
+        if self._wal is None:
+            return self.store.checkpoint()
         from repro.tier import checkpoint
 
         return checkpoint(self.config.data_dir, self.store, self._wal)
@@ -202,16 +223,24 @@ class AIQLSystem:
         )
 
     def close(self) -> None:
-        """Stop the background compactor and close the WAL (idempotent).
+        """Release everything this deployment holds (idempotent).
 
-        A durable system should be closed (or used as a context manager)
-        so the final WAL record is flushed and the compactor thread does
-        not outlive the deployment; RAM-only systems need no cleanup.
+        Stops the background compactor, closes the WAL, shuts down shard
+        worker processes (sharded deployments), and shuts the process-wide
+        shared executor's threads down — leaked pool threads otherwise
+        survive into forked children, where a lock held by a thread that
+        no longer exists deadlocks.  The shared executor lazily rebuilds
+        its pool if anything in the process uses it again, so closing one
+        system never breaks another.
         """
         if self.compactor is not None:
             self.compactor.stop()
         if self._wal is not None:
             self._wal.close()
+        store_close = getattr(self.store, "close", None)
+        if store_close is not None:
+            store_close()
+        shutdown_shared_executor()
 
     def __enter__(self) -> "AIQLSystem":
         return self

@@ -59,6 +59,13 @@ _DATETIME_FORMATS = (
 
 _DURATION_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([a-zA-Z]+)\s*$")
 
+# ISO 8601 timezone designator at the end of a literal: ``Z`` (UTC) or an
+# explicit ``+HH:MM`` / ``-HHMM`` offset.  The sign requirement keeps date
+# literals like ``2017-01-01`` (whose tail is digits and hyphens preceded
+# by a digit) from matching: an offset must follow a time component, and
+# only there does a bare ``+``/``-`` appear.
+_TZ_SUFFIX_RE = re.compile(r"(?:[Zz]|(?P<sign>[+-])(?P<hh>\d{2}):?(?P<mm>\d{2}))$")
+
 
 class TimeParseError(ValueError):
     """Raised when a datetime or duration literal cannot be parsed."""
@@ -69,15 +76,29 @@ def parse_datetime(text: str) -> float:
 
     Accepts US formats (``01/01/2017``, ``01/01/2017 10:30:00``) and
     ISO 8601 at any granularity (``2017-01-01``, ``2017-01-01T10:30``,
-    ``2017-01-01T10:30:00``, ``2017-01-01T10:30:00.500``).
+    ``2017-01-01T10:30:00``, ``2017-01-01T10:30:00.500``), with an
+    optional timezone designator (``...T10:30:00Z``, ``...+00:00``,
+    ``...-08:00``); offset forms are normalized to UTC.
     """
     cleaned = text.strip().strip('"').strip("'")
+    offset_seconds = 0.0
+    tz = _TZ_SUFFIX_RE.search(cleaned)
+    # A designator is only valid after a time component (``2017-01-01Z``
+    # is not ISO 8601); the ``:`` test keeps date-only literals intact.
+    if tz is not None and ":" not in cleaned[: tz.start()]:
+        tz = None
+    if tz is not None:
+        if tz.group("sign"):
+            magnitude = int(tz.group("hh")) * HOUR + int(tz.group("mm")) * MINUTE
+            offset_seconds = magnitude if tz.group("sign") == "+" else -magnitude
+        cleaned = cleaned[: tz.start()]
     for fmt in _DATETIME_FORMATS:
         try:
             parsed = _dt.datetime.strptime(cleaned, fmt)
         except ValueError:
             continue
-        return parsed.replace(tzinfo=_dt.timezone.utc).timestamp()
+        # A wall-clock at +HH:MM is that many seconds *ahead of* UTC.
+        return parsed.replace(tzinfo=_dt.timezone.utc).timestamp() - offset_seconds
     raise TimeParseError(f"unrecognized datetime literal: {text!r}")
 
 

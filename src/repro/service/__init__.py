@@ -17,7 +17,11 @@ Three pieces, layered:
 """
 
 from repro.service.cache import ScanCache
-from repro.service.pool import SharedExecutor, get_shared_executor
+from repro.service.pool import (
+    SharedExecutor,
+    get_shared_executor,
+    shutdown_shared_executor,
+)
 from repro.service.stream import StreamSession
 
 __all__ = [
@@ -31,6 +35,7 @@ __all__ = [
     "StreamSession",
     "Subscription",
     "get_shared_executor",
+    "shutdown_shared_executor",
 ]
 
 _LAZY = {

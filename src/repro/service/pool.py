@@ -110,3 +110,20 @@ def get_shared_executor(max_workers: Optional[int] = None) -> SharedExecutor:
         if _default is None:
             _default = SharedExecutor(max_workers=max_workers)
         return _default
+
+
+def shutdown_shared_executor(wait: bool = True) -> None:
+    """Shut down the process-wide executor's threads, if any exist.
+
+    Idempotent and safe to call at any time: the instance survives (its
+    configured size included) and lazily rebuilds its pool on next use, so
+    this only releases the threads — ``AIQLSystem.close()`` calls it so a
+    closed deployment leaves no pool threads behind (threads surviving
+    into forked workers can deadlock; shard workers also use ``spawn`` for
+    the same reason).  Never waits when called from one of the pool's own
+    workers — joining your own thread would deadlock.
+    """
+    with _default_lock:
+        executor = _default
+    if executor is not None:
+        executor.shutdown(wait=wait and not executor.in_worker())

@@ -1,0 +1,30 @@
+"""Sharded multi-process deployment (ISSUE 7).
+
+The store partitioned by ``(day, agent-group)`` across N worker
+processes — each with its own hot tier, WAL and cold segments — behind
+a coordinator that routes ingest, scatter/gathers scans as serialized
+column-block slices, and merges per-shard recovery.  Enabled through
+``SystemConfig(shards=N)``.
+"""
+
+from repro.shard.coordinator import ShardedStore, ShardError
+from repro.shard.worker import ShardSpec, shard_worker_main
+from repro.shard.wire import (
+    WireError,
+    decode_events,
+    decode_result,
+    encode_events,
+    encode_result,
+)
+
+__all__ = [
+    "ShardError",
+    "ShardSpec",
+    "ShardedStore",
+    "WireError",
+    "decode_events",
+    "decode_result",
+    "encode_events",
+    "encode_result",
+    "shard_worker_main",
+]

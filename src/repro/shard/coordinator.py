@@ -1,0 +1,379 @@
+"""Sharded deployment coordinator: scatter/gather over worker processes.
+
+:class:`ShardedStore` partitions the store horizontally by the same
+``(day, agent-group)`` key the partitioned backend and the cold tier
+already use, across N ``spawn``-started worker processes
+(:mod:`repro.shard.worker`).  It exposes the common store surface
+(``register_entity`` / ``add_batch`` / ``scan_columns`` / ``scan`` /
+``estimated_events`` / ``stats`` / ...), so everything above it —
+:class:`~repro.engine.executor.MultieventExecutor`, the scheduler's
+constrained re-query narrowing, the query service, streaming sessions —
+runs unchanged.  In particular **join narrowing pushes down for free**:
+the scheduler re-queries constrained patterns through
+``store.scan_columns(narrowed_filter)``, and the narrowed filter (id
+sets, IN predicates, tightened windows) ships to every shard, where the
+local compiled kernel applies it before anything crosses a pipe.
+
+Consistency (torn-read prevention): the coordinator raises its global
+committed watermark only after *every* shard involved in a batch has
+acknowledged it, and every scatter scan carries the watermark observed
+at issue time; workers cap their results at that id.  A scan racing a
+multi-shard commit therefore sees the whole batch or none of it — the
+cross-process generalization of the partitioned store's in-process
+commit watermark.
+
+Durability: with ``data_dir`` set each worker owns ``shard-<i>/`` (its
+own WAL, snapshot and cold segments) and replays it on startup; the
+coordinator merges the per-shard hellos — entity records union to the
+longest global observation-order prefix (every entity is broadcast to
+every shard, so each shard's durable entity set is a prefix), event-id
+and per-agent seq counters take the max, counts sum — and fast-forwards
+the shared ingestor so the stream continues exactly where the newest
+durable commit left it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.model.entities import Entity
+from repro.model.events import SystemEvent
+from repro.shard.wire import decode_events, decode_result, encode_events
+from repro.shard.worker import ShardSpec, shard_worker_main
+from repro.storage.blocks import BlockScanResult
+from repro.storage.filters import EventFilter
+from repro.storage.ingest import Ingestor
+from repro.storage.partition import PartitionKey, PartitionScheme
+from repro.storage.persist import entity_record, rebuild_entity
+from repro.tier.recovery import RecoveryReport
+from repro.tier.store import CompactionReport
+
+
+class ShardError(RuntimeError):
+    """A worker failed executing a command (carries its traceback)."""
+
+
+class ShardedStore:
+    """Store facade over N shard worker processes.
+
+    Thread safety: one lock serializes whole scatter/gather rounds (a
+    pipe is a byte stream — interleaved requests would mismatch
+    replies), so concurrent query-service scans and a streaming writer
+    coexist; parallelism comes from the workers computing concurrently
+    *within* a round, which is the point of sharding.
+    """
+
+    def __init__(self, ingestor: Ingestor, config) -> None:
+        if config.shards < 1:
+            raise ValueError("ShardedStore needs config.shards >= 1")
+        self.ingestor = ingestor
+        self.registry = ingestor.registry
+        self.scheme = PartitionScheme(agents_per_group=config.agents_per_group)
+        self.shards = config.shards
+        self.durable = config.data_dir is not None
+        self.recovery: Optional[RecoveryReport] = None
+        self._lock = threading.RLock()
+        self._pending_entities: List[dict] = []
+        self._event_count = 0
+        self._committed = 0
+        self._closed = False
+        self._conns = []
+        self._procs = []
+        ctx = multiprocessing.get_context("spawn")
+        for index in range(self.shards):
+            spec = ShardSpec(
+                index=index,
+                backend=config.backend,
+                agents_per_group=config.agents_per_group,
+                segments=config.segments,
+                distribution=config.distribution,
+                columnar=config.columnar,
+                scan_cache=config.scan_cache,
+                scan_cache_entries=config.scan_cache_entries,
+                data_dir=(
+                    f"{config.data_dir}/shard-{index:02d}"
+                    if config.data_dir is not None
+                    else None
+                ),
+                retention_days=config.retention_days,
+                compact_interval_s=config.compact_interval_s,
+                wal_sync=config.wal_sync,
+                cold_cache_segments=config.cold_cache_segments,
+                cold_scan_cache_entries=config.cold_scan_cache_entries,
+            )
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, spec),
+                daemon=True,
+                name=f"aiql-shard-{index}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._merge_hellos([self._recv(i) for i in range(self.shards)])
+
+    # -- startup / recovery merge -----------------------------------------
+
+    def _merge_hellos(self, hellos: Sequence[dict]) -> None:
+        records: Dict[int, dict] = {}
+        for hello in hellos:
+            for record in hello["entities"]:
+                records.setdefault(record["id"], record)
+        for entity_id in sorted(records):
+            # Union of per-shard prefixes of the global observation order
+            # = the longest prefix: ids re-intern contiguously, and the
+            # id check inside rebuild_entity enforces it.
+            self.ingestor.observe(rebuild_entity(self.registry, records[entity_id]))
+        self._event_count = sum(h["events"] for h in hellos)
+        next_event_id = max(h["next_event_id"] for h in hellos)
+        if self._event_count or next_event_id > 1:
+            seqs: Dict[int, int] = {}
+            for hello in hellos:
+                for agent_id, seq in hello["seqs"].items():
+                    if seq > seqs.get(agent_id, 0):
+                        seqs[agent_id] = seq
+            self.ingestor.resume(
+                next_event_id=next_event_id,
+                seqs=seqs,
+                events_ingested=self._event_count,
+            )
+            self._committed = next_event_id - 1
+        reports = [h["report"] for h in hellos if h["report"] is not None]
+        if reports:
+            self.recovery = RecoveryReport(
+                snapshot_events=sum(r.snapshot_events for r in reports),
+                wal_events_replayed=sum(r.wal_events_replayed for r in reports),
+                cold_events=sum(r.cold_events for r in reports),
+                duplicates_reconciled=sum(
+                    r.duplicates_reconciled for r in reports
+                ),
+                next_event_id=next_event_id,
+            )
+
+    # -- RPC plumbing ------------------------------------------------------
+
+    def _send(self, shard: int, message: tuple) -> None:
+        self._conns[shard].send(message)
+
+    def _recv(self, shard: int):
+        status, payload = self._conns[shard].recv()
+        if status != "ok":
+            raise ShardError(f"shard {shard} failed:\n{payload}")
+        return payload
+
+    def _gather(self, targets: Sequence[int]) -> List[object]:
+        """Collect one reply per target — ALL of them, even on failure.
+
+        A pipe is a strict request/response stream: raising on the first
+        bad reply would leave the other shards' replies queued and
+        desynchronize every later command.  So failures are collected
+        while every pipe drains, then raised together.
+        """
+        payloads: List[object] = []
+        failures: List[str] = []
+        for shard in targets:
+            try:
+                status, payload = self._conns[shard].recv()
+            except (EOFError, OSError):
+                failures.append(f"shard {shard} died mid-command")
+                payloads.append(None)
+                continue
+            if status != "ok":
+                failures.append(f"shard {shard} failed:\n{payload}")
+                payloads.append(None)
+            else:
+                payloads.append(payload)
+        if failures:
+            raise ShardError("\n".join(failures))
+        return payloads
+
+    def _scatter(self, message: tuple, shards: Optional[Sequence[int]] = None):
+        """Send one command to (all) shards, gather replies in order."""
+        targets = list(range(self.shards)) if shards is None else list(shards)
+        with self._lock:
+            self._flush_entities_locked()
+            for shard in targets:
+                self._send(shard, message)
+            return self._gather(targets)
+
+    def _flush_entities_locked(self) -> None:
+        if self._pending_entities:
+            records, self._pending_entities = self._pending_entities, []
+            for shard in range(self.shards):
+                self._send(shard, ("entities", records))
+            self._gather(range(self.shards))
+
+    def shard_of(self, key: PartitionKey) -> int:
+        """Stable partition-key routing (no process-seeded hashing)."""
+        return (key.day * 31 + key.agent_group) % self.shards
+
+    # -- ingest ------------------------------------------------------------
+
+    def register_entity(self, entity: Entity) -> None:
+        """Queue an entity broadcast; flushed before the next command.
+
+        Every shard receives every entity (the registry is tiny next to
+        the event stream), which keeps worker registries id-identical to
+        the coordinator's and makes each shard's durable entity set a
+        prefix of the global observation order — what recovery's merge
+        relies on.
+        """
+        with self._lock:
+            self._pending_entities.append(entity_record(entity))
+
+    def add_event(self, event: SystemEvent) -> None:
+        self.add_batch((event,))
+
+    def add_batch(self, events: Sequence[SystemEvent]) -> Tuple[PartitionKey, ...]:
+        """Route a committed batch to its shards; atomic to scatter scans.
+
+        The global watermark is raised only after every involved shard
+        acknowledged (and therefore published) its slice, so a scatter
+        scan issued concurrently carries a watermark below this batch and
+        filters it out on every shard — never a torn read.
+        """
+        if not events:
+            return ()
+        by_shard: Dict[int, List[SystemEvent]] = {}
+        touched: Dict[PartitionKey, None] = {}
+        for event in events:
+            key = self.scheme.key_for(event.agent_id, event.start_time)
+            touched[key] = None
+            by_shard.setdefault(self.shard_of(key), []).append(event)
+        with self._lock:
+            self._flush_entities_locked()
+            for shard, chunk in by_shard.items():
+                self._send(shard, ("batch", encode_events(chunk)))
+            self._gather(list(by_shard))
+            self._event_count += len(events)
+            top = max(e.event_id for e in events)
+            if top > self._committed:
+                self._committed = top
+        return tuple(touched)
+
+    # -- queries -----------------------------------------------------------
+
+    def scan_columns(
+        self,
+        flt: EventFilter,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ) -> BlockScanResult:
+        """Scatter the filter, gather per-shard column slices.
+
+        Every shard prunes/scans locally (compiled kernels, partition
+        pruning, scan cache, cold tier) and replies with its survivors as
+        one serialized block slice in (start_time, event_id) order,
+        capped at this scan's committed watermark; parts from different
+        shards are disjoint by construction, so no cross-shard dedup is
+        needed.
+        """
+        with self._lock:
+            self._flush_entities_locked()
+            watermark = self._committed
+            message = ("scan", flt, watermark, parallel, use_entity_index)
+            for shard in range(self.shards):
+                self._send(shard, message)
+            payloads = self._gather(range(self.shards))
+        parts = [decode_result(p) for p in payloads]
+        return BlockScanResult([s for s in parts if s is not None])
+
+    def scan(
+        self,
+        flt: EventFilter,
+        parallel: bool = False,
+        use_entity_index: bool = True,
+    ) -> List[SystemEvent]:
+        return self.scan_columns(flt, parallel, use_entity_index).events()
+
+    def full_scan(self, flt: EventFilter) -> List[SystemEvent]:
+        """Pruning- and index-free scatter scan (the soundness oracle)."""
+        merged: List[SystemEvent] = []
+        for payload in self._scatter(("full_scan", flt)):
+            merged.extend(decode_events(payload))
+        merged.sort(key=lambda e: (e.start_time, e.event_id))
+        return merged
+
+    def estimated_events(self, flt: EventFilter) -> int:
+        return sum(self._scatter(("estimate", flt)))
+
+    def time_range(self) -> Tuple[Optional[float], Optional[float]]:
+        ranges = self._scatter(("time_range",))
+        mins = [lo for lo, _ in ranges if lo is not None]
+        maxs = [hi for _, hi in ranges if hi is not None]
+        return (min(mins) if mins else None, max(maxs) if maxs else None)
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self, retention_days: Optional[int] = None) -> CompactionReport:
+        """One synchronous compaction pass on every shard; merged report."""
+        reports = self._scatter(("compact", retention_days))
+        merged = CompactionReport()
+        partitions: List[PartitionKey] = []
+        for report in reports:
+            merged.events_migrated += report.events_migrated
+            merged.segments_written += report.segments_written
+            merged.cold_bytes += report.cold_bytes
+            partitions.extend(report.partitions)
+            if report.cutoff_day is not None:
+                merged.cutoff_day = (
+                    report.cutoff_day
+                    if merged.cutoff_day is None
+                    else max(merged.cutoff_day, report.cutoff_day)
+                )
+        merged.partitions = tuple(partitions)
+        return merged
+
+    def checkpoint(self) -> int:
+        """Snapshot + WAL-truncate every shard; returns hot events written."""
+        return sum(self._scatter(("checkpoint",)))
+
+    def close(self) -> None:
+        """Stop and join every worker (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for shard in range(self.shards):
+                try:
+                    self._send(shard, ("stop",))
+                    self._recv(shard)
+                except (OSError, EOFError, BrokenPipeError, ShardError):
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ShardedStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._event_count
+
+    def __iter__(self) -> Iterator[SystemEvent]:
+        """All committed events, in (start_time, event_id) order."""
+        return iter(self.scan_columns(EventFilter()).events())
+
+    def stats(self) -> Dict[str, object]:
+        per_shard = self._scatter(("stats",))
+        return {
+            "events": self._event_count,
+            "entities": len(self.registry),
+            "shards": self.shards,
+            "partitions": sum(s.get("partitions", 0) for s in per_shard),
+            "shard_events": [s.get("events", 0) for s in per_shard],
+            "per_shard": per_shard,
+        }

@@ -1,0 +1,253 @@
+"""Wire format for shard <-> coordinator traffic (ISSUE 7).
+
+Two payload kinds cross the worker pipes, both plain picklable dicts of
+``bytes``/tuples (no live objects, no code):
+
+* **event batches** (coordinator -> shard ingest, shard -> coordinator
+  ``full_scan`` replies): one compact tuple per event, with operation and
+  object type as their *value strings* — enum identity never crosses a
+  process boundary;
+* **scan results** (shard -> coordinator): the survivor rows of a
+  scatter scan as one serialized :class:`~repro.storage.blocks.ColumnBlock`
+  slice in (start_time, event_id) order, columns packed with
+  ``array.tobytes()`` at the blocks' native widths (``'q'``/``'d'``/one
+  byte per dictionary code).
+
+Dictionary soundness: op/otype codes are process-local (the enums'
+definition order *today*) and agent codes are block-local, so the header
+carries the **explicit code tables** of the sending process — the op and
+otype value-string tables and the block's agent-id table.  The receiver
+remaps code bytes through a 256-entry ``bytes.translate`` table built
+from the header against its own process-local dictionaries, so two
+processes can never desynchronize silently: an unknown value string
+raises instead of aliasing to a wrong code.  The agent table needs no
+remap at all — it *becomes* the decoded block's per-block dictionary.
+
+The >256-distinct-agent case uses the same promoted representation as
+live blocks: a 64-bit ``array('q')`` code column (one stable width on
+every platform — the ISSUE 7 ``array('l')`` fix) flagged by ``"wide"``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.entities import EntityType
+from repro.model.events import Operation, SystemEvent
+from repro.storage.blocks import (
+    OP_CODE_BY_VALUE,
+    OP_VALUE_BY_CODE,
+    OTYPE_BY_CODE,
+    OTYPE_CODE_BY_VALUE,
+    BlockScanResult,
+    ColumnBlock,
+    Selection,
+)
+
+OTYPE_VALUE_BY_CODE: Tuple[str, ...] = tuple(t.value for t in OTYPE_BY_CODE)
+
+_OP_BY_VALUE: Dict[str, Operation] = {op.value: op for op in Operation}
+_OTYPE_BY_VALUE: Dict[str, EntityType] = {t.value: t for t in EntityType}
+
+
+class WireError(ValueError):
+    """Raised when a payload's dictionary tables cannot be reconciled."""
+
+
+# -- event batches ----------------------------------------------------------
+
+
+def encode_events(events: Sequence[SystemEvent]) -> List[tuple]:
+    """Pack events as primitive tuples (ops/otypes by value string)."""
+    return [
+        (
+            e.event_id,
+            e.agent_id,
+            e.seq,
+            e.start_time,
+            e.end_time,
+            e.operation.value,
+            e.subject_id,
+            e.object_id,
+            e.object_type.value,
+            e.amount,
+            e.failure_code,
+        )
+        for e in events
+    ]
+
+
+def decode_events(payload: Sequence[tuple]) -> Tuple[SystemEvent, ...]:
+    """Rebuild :func:`encode_events` tuples into events, in order."""
+    try:
+        return tuple(
+            SystemEvent(
+                event_id=eid,
+                agent_id=agent,
+                seq=seq,
+                start_time=t0,
+                end_time=t1,
+                operation=_OP_BY_VALUE[op],
+                subject_id=subj,
+                object_id=obj,
+                object_type=_OTYPE_BY_VALUE[ot],
+                amount=amt,
+                failure_code=fc,
+            )
+            for eid, agent, seq, t0, t1, op, subj, obj, ot, amt, fc in payload
+        )
+    except KeyError as exc:
+        raise WireError(f"unknown enum value in event batch: {exc}") from exc
+
+
+# -- scan results -----------------------------------------------------------
+
+
+def encode_result(result: BlockScanResult, watermark: Optional[int] = None) -> dict:
+    """Serialize a scan's survivors as one wire block, sorted and capped.
+
+    Rows ride in the result's merged (start_time, event_id) handle order —
+    already deduplicated across tiers — and rows above ``watermark`` (the
+    coordinator's committed snapshot at scatter time) are dropped here, so
+    a batch another shard has not acknowledged yet can never leak into a
+    gathered result half-committed.
+    """
+    if watermark is not None:
+        handles = [h for h in result.handles() if h[1] <= watermark]
+    else:
+        handles = list(result.handles())
+    # A single-part result rides in its block's physical order, which a
+    # flat heap does not sort by time — the decoded block claims
+    # time_sorted, so establish the order here (timsort: cheap on the
+    # already-sorted multi-part case).
+    handles.sort(key=lambda h: (h[0], h[1]))
+    n = len(handles)
+    event_ids = array("q")
+    seqs = array("q")
+    t0 = array("d")
+    t1 = array("d")
+    op_codes = bytearray()
+    subject_ids = array("q")
+    object_ids = array("q")
+    otype_codes = bytearray()
+    amounts = array("q")
+    failure_codes = array("q")
+    agent_code: Dict[int, int] = {}
+    agents: List[int] = []
+    agent_codes: List[int] = []
+    for _, eid, block, p in handles:
+        event_ids.append(eid)
+        seqs.append(block.seqs[p])
+        t0.append(block.t0[p])
+        t1.append(block.t1[p])
+        op_codes.append(block.op_codes[p])
+        subject_ids.append(block.subject_ids[p])
+        object_ids.append(block.object_ids[p])
+        otype_codes.append(block.otype_codes[p])
+        amounts.append(block.amounts[p])
+        failure_codes.append(block.failure_codes[p])
+        agent = block.agents[block.agent_codes[p]]
+        code = agent_code.get(agent)
+        if code is None:
+            code = agent_code[agent] = len(agents)
+            agents.append(agent)
+        agent_codes.append(code)
+    wide = len(agents) > 256
+    return {
+        "n": n,
+        "eid": event_ids.tobytes(),
+        "seq": seqs.tobytes(),
+        "t0": t0.tobytes(),
+        "t1": t1.tobytes(),
+        "op": bytes(op_codes),
+        "subj": subject_ids.tobytes(),
+        "obj": object_ids.tobytes(),
+        "ot": bytes(otype_codes),
+        "amt": amounts.tobytes(),
+        "fc": failure_codes.tobytes(),
+        "agent": array("q", agent_codes).tobytes() if wide else bytes(agent_codes),
+        "wide": wide,
+        # Explicit dictionary tables: the sending process's code -> value
+        # maps, so the receiver never assumes the two processes agree.
+        "ops": tuple(OP_VALUE_BY_CODE),
+        "ots": tuple(OTYPE_VALUE_BY_CODE),
+        "agents": tuple(agents),
+    }
+
+
+def _translate_table(
+    sender: Sequence[str], local: Dict[str, int], kind: str
+) -> Optional[bytes]:
+    """256-byte code remap (sender code -> local code), None if identical."""
+    if tuple(sender) == tuple(
+        sorted(local, key=local.__getitem__)
+    ) and len(sender) == len(local):
+        return None
+    table = bytearray(256)
+    for code, value in enumerate(sender):
+        try:
+            table[code] = local[value]
+        except KeyError:
+            raise WireError(
+                f"sender {kind} dictionary carries {value!r}, unknown to "
+                f"this process"
+            ) from None
+    return bytes(table)
+
+
+def _int_array(raw: bytes) -> "array[int]":
+    out = array("q")
+    out.frombytes(raw)
+    return out
+
+
+def _float_array(raw: bytes) -> "array[float]":
+    out = array("d")
+    out.frombytes(raw)
+    return out
+
+
+def decode_result(payload: dict) -> Optional[Selection]:
+    """Rebuild a wire block into a local :class:`Selection`.
+
+    Op/otype code bytes are remapped from the sender's tables to this
+    process's dictionaries (a no-op ``None`` table when they already
+    agree, the common case of equal builds); the agent table is installed
+    verbatim as the block's own dictionary.  Returns ``None`` for an
+    empty payload.
+    """
+    n = payload["n"]
+    if not n:
+        return None
+    op_map = _translate_table(payload["ops"], OP_CODE_BY_VALUE, "operation")
+    ot_map = _translate_table(payload["ots"], OTYPE_CODE_BY_VALUE, "object-type")
+    block = ColumnBlock()
+    block.event_ids = _int_array(payload["eid"])
+    block.seqs = _int_array(payload["seq"])
+    block.t0 = _float_array(payload["t0"])
+    block.t1 = _float_array(payload["t1"])
+    op = payload["op"] if op_map is None else payload["op"].translate(op_map)
+    ot = payload["ot"] if ot_map is None else payload["ot"].translate(ot_map)
+    block.op_codes = bytearray(op)
+    block.otype_codes = bytearray(ot)
+    block.subject_ids = _int_array(payload["subj"])
+    block.object_ids = _int_array(payload["obj"])
+    block.amounts = _int_array(payload["amt"])
+    block.failure_codes = _int_array(payload["fc"])
+    agents = tuple(payload["agents"])
+    block.agents = agents
+    block._agent_code = {agent: code for code, agent in enumerate(agents)}
+    if payload["wide"]:
+        block.agent_codes = _int_array(payload["agent"])
+    else:
+        block.agent_codes = bytearray(payload["agent"])
+    block.op_universe = frozenset(block.op_codes)
+    block.otype_universe = frozenset(block.otype_codes)
+    block._rows = [None] * n
+    # Rows arrive in (start_time, event_id) handle order: sorted by time.
+    block.time_sorted = True
+    block.min_time = block.t0[0]
+    block.max_time = block.t0[-1]
+    block.max_event_id = max(block.event_ids)
+    return Selection(block, range(n))

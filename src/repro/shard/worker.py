@@ -1,0 +1,186 @@
+"""Shard worker: one process owning one horizontal slice of the store.
+
+Each worker is a miniature single-process deployment — its own entity
+registry, ingestor, hot backend (any of the four), and when the
+deployment is durable, its own WAL, snapshot, cold segments and
+background compactor under ``<data_dir>/shard-<i>``.  The coordinator
+(:mod:`repro.shard.coordinator`) routes whole ``(day, agent-group)``
+partitions to a worker, so partition pruning, compiled kernels, the
+scan cache and the tiered cold path all run unchanged inside it.
+
+Protocol: a strict request/response loop over one duplex pipe.  Every
+command is answered with ``("ok", payload)`` or ``("err", message)`` —
+errors are contained per command, never crash the worker, and surface
+in the coordinator as raised exceptions.  On startup the worker sends
+one *hello* carrying its recovery state (entity records in id order,
+next event id, per-agent seq maxima, event count), which the
+coordinator merges across shards; each shard replays its own WAL.
+
+Workers are started with the ``spawn`` method: a forked child would
+inherit the parent's shared-executor thread state (locks held by
+threads that do not exist in the child) and can deadlock.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.entities import EntityRegistry
+from repro.service.cache import ScanCache
+from repro.service.pool import shutdown_shared_executor
+from repro.shard.wire import decode_events, encode_events, encode_result
+from repro.storage.database import EventStore
+from repro.storage.flat import FlatStore
+from repro.storage.ingest import Ingestor
+from repro.storage.kernels import set_columnar
+from repro.storage.partition import PartitionScheme
+from repro.storage.persist import entity_record, rebuild_entity
+from repro.storage.segments import SegmentedStore
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to build its slice (picklable)."""
+
+    index: int
+    backend: str = "partitioned"
+    agents_per_group: int = 10
+    segments: int = 5
+    distribution: str = "domain"
+    columnar: bool = True
+    scan_cache: bool = True
+    scan_cache_entries: int = 512
+    data_dir: Optional[str] = None
+    retention_days: Optional[int] = None
+    compact_interval_s: float = 30.0
+    wal_sync: bool = True
+    cold_cache_segments: int = 4
+    cold_scan_cache_entries: int = 128
+
+
+def _build_hot(spec: ShardSpec, registry: EntityRegistry):
+    if spec.backend == "partitioned":
+        return EventStore(
+            registry=registry,
+            scheme=PartitionScheme(agents_per_group=spec.agents_per_group),
+            scan_cache=ScanCache(spec.scan_cache_entries)
+            if spec.scan_cache
+            else None,
+        )
+    if spec.backend == "flat":
+        return FlatStore(registry=registry)
+    return SegmentedStore(
+        registry=registry,
+        segments=spec.segments,
+        policy=spec.distribution,
+    )
+
+
+def shard_worker_main(conn, spec: ShardSpec) -> None:
+    """Worker entry point (the ``spawn`` target)."""
+    set_columnar(spec.columnar)
+    ingestor = Ingestor()
+    registry = ingestor.registry
+    store = _build_hot(spec, registry)
+    wal = None
+    compactor = None
+    report = None
+    if spec.data_dir is not None:
+        from repro.tier import Compactor, open_data_dir
+
+        store, wal, report = open_data_dir(
+            spec.data_dir,
+            store,
+            ingestor,
+            retention_days=spec.retention_days,
+            wal_sync=spec.wal_sync,
+            cold_cache_segments=spec.cold_cache_segments,
+            cold_scan_cache_entries=spec.cold_scan_cache_entries,
+        )
+        if spec.retention_days is not None:
+            compactor = Compactor(
+                store,
+                retention_days=spec.retention_days,
+                interval_s=spec.compact_interval_s,
+            ).start()
+    ingestor.attach(store)
+
+    # Hello: this shard's recovered slice, for the coordinator's merge.
+    # Entities are always the global observation-order prefix (every
+    # entity is broadcast to every shard), so sorting by id is total.
+    conn.send(
+        (
+            "ok",
+            {
+                "entities": [
+                    entity_record(e)
+                    for e in sorted(registry, key=lambda e: e.id)
+                ],
+                "next_event_id": report.next_event_id if report else 1,
+                "seqs": ingestor.seq_maxima(),
+                "events": len(store),
+                "report": report,
+            },
+        )
+    )
+
+    running = True
+    while running:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        command, args = request[0], request[1:]
+        try:
+            if command == "entities":
+                for record in args[0]:
+                    ingestor.observe(rebuild_entity(registry, record))
+                reply = len(args[0])
+            elif command == "batch":
+                events = decode_events(args[0])
+                ingestor.commit(events)
+                reply = len(events)
+            elif command == "scan":
+                flt, watermark, parallel, use_entity_index = args
+                result = store.scan_columns(
+                    flt, parallel=parallel, use_entity_index=use_entity_index
+                )
+                reply = encode_result(result, watermark=watermark)
+            elif command == "full_scan":
+                reply = encode_events(store.full_scan(args[0]))
+            elif command == "estimate":
+                estimator = getattr(store, "estimated_events", None)
+                reply = estimator(args[0]) if estimator else len(store)
+            elif command == "time_range":
+                reply = store.time_range()
+            elif command == "compact":
+                reply = store.compact(args[0])
+            elif command == "checkpoint":
+                from repro.tier import checkpoint
+
+                if spec.data_dir is None or wal is None:
+                    raise RuntimeError("shard is not durable")
+                reply = checkpoint(spec.data_dir, store, wal)
+            elif command == "stats":
+                stats = dict(store.stats())
+                if wal is not None:
+                    stats["wal"] = wal.stats()
+                reply = stats
+            elif command == "stop":
+                running = False
+                reply = None
+            else:
+                raise ValueError(f"unknown shard command {command!r}")
+        except BaseException:
+            conn.send(("err", traceback.format_exc(limit=8)))
+        else:
+            conn.send(("ok", reply))
+
+    if compactor is not None:
+        compactor.stop()
+    if wal is not None:
+        wal.close()
+    shutdown_shared_executor()
+    conn.close()

@@ -12,7 +12,7 @@ holds append-only typed columns —
 * one-byte dictionary codes for operation and object type (both enums are
   closed: 11 operations, 5 entity types share process-wide code tables);
 * a per-block agent dictionary (``agent_id -> code``), byte-wide until a
-  block sees a 257th distinct agent and then promoted to ``array('l')``.
+  block sees a 257th distinct agent and then promoted to ``array('q')``.
 
 :class:`SystemEvent` becomes a *lazily materialized view*: ``event_at``
 rebuilds the frozen dataclass from the columns on first access and caches
@@ -178,12 +178,14 @@ class ColumnBlock:
     def _add_agent(self, agent_id: int) -> int:
         code = len(self.agents)
         if code == 256 and isinstance(self.agent_codes, bytearray):
-            # 257th distinct agent: promote the byte column to a wide int
-            # column.  (list() first: array('l', bytearray) would reinterpret
-            # the raw bytes as machine words, not one code per row.)  The
-            # swap publishes a new object; readers hold either column, both
-            # agree on every published position.
-            self.agent_codes = array("l", list(self.agent_codes))
+            # 257th distinct agent: promote the byte column to a wide int64
+            # column — 'q' like every other int column, so the width is the
+            # same on every platform ('l' is 4 bytes on some ABIs).  (list()
+            # first: array('q', bytearray) would reinterpret the raw bytes
+            # as machine words, not one code per row.)  The swap publishes a
+            # new object; readers hold either column, both agree on every
+            # published position.
+            self.agent_codes = array("q", list(self.agent_codes))
         self.agents = self.agents + (agent_id,)
         mapping = dict(self._agent_code)
         mapping[agent_id] = code
@@ -228,7 +230,7 @@ class ColumnBlock:
         block.agents = tuple(agents)
         block._agent_code = agent_code
         block.agent_codes = (
-            bytearray(codes) if len(agents) <= 256 else array("l", codes)
+            bytearray(codes) if len(agents) <= 256 else array("q", codes)
         )
         block.op_universe = frozenset(block.op_codes)
         block.otype_universe = frozenset(block.otype_codes)

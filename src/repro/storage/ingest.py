@@ -183,6 +183,20 @@ class Ingestor:
         self._register(entity)
         return entity
 
+    def observe(self, entity: Entity) -> None:
+        """Register an externally rebuilt entity into the fan-out.
+
+        The shard-worker entity path (:mod:`repro.shard`): the coordinator
+        broadcasts entity records and each worker re-interns them, then
+        feeds them through the same dedup + WAL-pending + store fan-out an
+        agent observation takes.  Idempotent per entity id.
+        """
+        self._register(entity)
+
+    def seq_maxima(self) -> Dict[int, int]:
+        """Per-agent max sequence numbers issued/recovered so far."""
+        return dict(self._seq)
+
     def _register(self, entity: Entity) -> None:
         # Hoisted dedup: agents re-observe the same entity constantly (every
         # event mentions two), so the fan-out runs once per entity, not once

@@ -178,6 +178,40 @@ class TestWatch:
         assert "standing query 't1' registered" in captured.err
 
 
+class TestShardedCorpus:
+    """corpus --shards N: the multi-process deployment behind the CLI."""
+
+    def test_parser_wiring(self):
+        args = make_parser().parse_args(["corpus", "--run", "--shards", "2"])
+        assert args.shards == 2
+        assert make_parser().parse_args(["corpus"]).shards == 0
+
+    def test_negative_shards_rejected(self, capsys):
+        rc = main(["corpus", "--run", "--shards", "-1"])
+        assert rc == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_sharded_run_answers_the_corpus(self, capsys, monkeypatch):
+        from repro.workload import corpus as corpus_mod
+
+        tiny = (
+            corpus_mod.CorpusQuery(
+                "t1",
+                "c1",
+                "multievent",
+                "agentid = 1\nproc p1 start proc p2\nreturn p1, p2",
+                min_rows=1,
+            ),
+        )
+        monkeypatch.setattr(corpus_mod, "ALL_QUERIES", tiny)
+        rc = main(["corpus", "--run", "--rate", "10", "--shards", "2"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "sharded across 2 worker process(es)" in captured.err
+        assert "across 2 shard(s)" in captured.err
+        assert "t1" in captured.out and "ok" in captured.out
+
+
 class TestDemoNonInteractive:
     def test_demo_query(self, capsys):
         rc = main(

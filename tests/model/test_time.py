@@ -89,6 +89,64 @@ class TestParseDatetime:
         stamps = {parse_datetime(f) for f in forms}
         assert len(stamps) == 1
 
+    def test_utc_z_suffix(self):
+        assert parse_datetime("2017-01-01T02:00:00Z") == 1483228800.0 + 2 * HOUR
+
+    def test_utc_z_suffix_lowercase(self):
+        assert parse_datetime("2017-01-01T02:00:00z") == 1483228800.0 + 2 * HOUR
+
+    def test_utc_explicit_zero_offset(self):
+        assert parse_datetime("2017-01-01T02:00:00+00:00") == (
+            1483228800.0 + 2 * HOUR
+        )
+
+    def test_positive_offset_normalizes_to_utc(self):
+        # 10:30 IST (+05:30) is 05:00 UTC
+        assert parse_datetime("2017-01-01T10:30:00+05:30") == (
+            1483228800.0 + 5 * HOUR
+        )
+
+    def test_negative_offset_normalizes_to_utc(self):
+        # 02:00 PST (-08:00) is 10:00 UTC
+        assert parse_datetime("2017-01-01T02:00:00-08:00") == (
+            1483228800.0 + 10 * HOUR
+        )
+
+    def test_compact_offset_without_colon(self):
+        assert parse_datetime("2017-01-01T10:30:00+0530") == (
+            1483228800.0 + 5 * HOUR
+        )
+
+    def test_fractional_seconds_with_z(self):
+        assert parse_datetime("2017-01-01T10:30:00.500Z") == (
+            1483228800.0 + 10 * HOUR + 30 * MINUTE + 0.5
+        )
+
+    def test_offset_on_minute_precision_form(self):
+        assert parse_datetime("2017-01-01T10:30+05:30") == (
+            1483228800.0 + 5 * HOUR
+        )
+
+    def test_offset_equivalent_forms_agree(self):
+        forms = (
+            "2017-01-01T05:00:00Z",
+            "2017-01-01T05:00:00+00:00",
+            "2017-01-01T10:30:00+05:30",
+            "2017-01-01 10:30:00+05:30",
+            "2016-12-31T21:00:00-08:00",
+            "2017-01-01T05:00:00",
+        )
+        stamps = {parse_datetime(f) for f in forms}
+        assert stamps == {1483228800.0 + 5 * HOUR}
+
+    def test_bare_date_is_not_an_offset(self):
+        # the trailing -01 of a date literal must not parse as a tz offset
+        assert parse_datetime("2017-01-01") == 1483228800.0
+
+    def test_z_on_date_only_rejected(self):
+        with pytest.raises(TimeParseError):
+            parse_datetime("2017-01-01Z")
+
     def test_rejects_garbage(self):
         with pytest.raises(TimeParseError):
             parse_datetime("yesterday")

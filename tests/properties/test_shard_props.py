@@ -1,0 +1,104 @@
+"""Property tests: the shard wire codec round-trips arbitrary results.
+
+The receiver's view must be value-identical to the sender's for any
+event population — including >256 distinct agents (the promoted 64-bit
+code column) and a sender whose op/otype dictionaries are permuted
+relative to ours (the cross-process remap path).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model.entities import EntityType
+from repro.model.events import Operation, SystemEvent
+from repro.shard.wire import (
+    decode_events,
+    decode_result,
+    encode_events,
+    encode_result,
+)
+from repro.storage.blocks import BlockScanResult, ColumnBlock, Selection
+
+OPS = tuple(Operation)
+OTYPES = tuple(EntityType)
+
+
+@st.composite
+def events(draw, max_agent=8):
+    n = draw(st.integers(min_value=0, max_value=80))
+    out = []
+    for eid in range(1, n + 1):
+        start = draw(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False, width=32)
+        )
+        out.append(
+            SystemEvent(
+                event_id=eid,
+                agent_id=draw(st.integers(min_value=1, max_value=max_agent)),
+                seq=eid,
+                start_time=start,
+                end_time=start
+                + draw(st.floats(min_value=0, max_value=60, allow_nan=False)),
+                operation=draw(st.sampled_from(OPS)),
+                subject_id=draw(st.integers(min_value=1, max_value=1 << 40)),
+                object_id=draw(st.integers(min_value=1, max_value=1 << 40)),
+                object_type=draw(st.sampled_from(OTYPES)),
+                amount=draw(st.integers(min_value=0, max_value=1 << 30)),
+                failure_code=draw(st.integers(min_value=0, max_value=255)),
+            )
+        )
+    return out
+
+
+def result_of(batch):
+    block = ColumnBlock()
+    for event in batch:
+        block.append(event)
+    return BlockScanResult([Selection(block, range(len(block)))])
+
+
+def by_time(batch):
+    return sorted(batch, key=lambda e: (e.start_time, e.event_id))
+
+
+@given(events())
+@settings(max_examples=60, deadline=None)
+def test_event_batch_round_trip(batch):
+    assert decode_events(encode_events(batch)) == tuple(batch)
+
+
+@given(events())
+@settings(max_examples=60, deadline=None)
+def test_result_round_trip_preserves_values_in_time_order(batch):
+    selection = decode_result(encode_result(result_of(batch)))
+    if not batch:
+        assert selection is None
+        return
+    assert selection.block.events() == by_time(batch)
+    assert selection.block.time_sorted
+
+
+@given(events(max_agent=400))
+@settings(max_examples=25, deadline=None)
+def test_result_round_trip_wide_agent_dictionaries(batch):
+    selection = decode_result(encode_result(result_of(batch)))
+    expected = by_time(batch)
+    got = [] if selection is None else selection.block.events()
+    assert got == expected
+
+
+@given(events(), st.integers(min_value=0, max_value=90), st.randoms())
+@settings(max_examples=60, deadline=None)
+def test_watermark_and_permuted_dictionaries(batch, watermark, rng):
+    """Cap at a watermark AND remap from a shuffled sender dictionary."""
+    payload = encode_result(result_of(batch), watermark=watermark)
+    ops = list(payload["ops"])
+    sender_ops = ops[:]
+    rng.shuffle(sender_ops)
+    local_code = {v: c for c, v in enumerate(ops)}
+    remap = {local_code[v]: code for code, v in enumerate(sender_ops)}
+    payload["ops"] = tuple(sender_ops)
+    payload["op"] = bytes(remap[c] for c in payload["op"])
+    selection = decode_result(payload)
+    expected = by_time([e for e in batch if e.event_id <= watermark])
+    got = [] if selection is None else selection.block.events()
+    assert got == expected

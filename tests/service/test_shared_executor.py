@@ -4,7 +4,11 @@ import threading
 
 from repro.engine.parallel import scan_split
 from repro.model.time import DAY, TimeWindow
-from repro.service.pool import SharedExecutor, get_shared_executor
+from repro.service.pool import (
+    SharedExecutor,
+    get_shared_executor,
+    shutdown_shared_executor,
+)
 from repro.storage.database import EventStore
 from repro.storage.filters import EventFilter
 from repro.storage.ingest import Ingestor
@@ -57,6 +61,31 @@ class TestNoPoolPerScan:
         before = shared.pools_created
         assert scan_split(store, flt) == store.scan(flt)
         assert shared.pools_created <= max(before, 1)
+
+
+class TestProcessWideShutdown:
+    def test_idempotent_and_safe_before_first_use(self):
+        shutdown_shared_executor()
+        shutdown_shared_executor()  # twice in a row must be a no-op
+
+    def test_pool_lazily_rebuilds_after_shutdown(self):
+        shared = get_shared_executor()
+        before = shared.pools_created
+        assert shared.map_all(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        shutdown_shared_executor()
+        # The instance survives; the next fan-out builds a fresh pool, so
+        # one system closing never breaks another still running.
+        assert shared.map_all(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+        assert shared.pools_created >= before
+        assert get_shared_executor() is shared
+
+    def test_shutdown_from_own_worker_does_not_deadlock(self):
+        shared = get_shared_executor()
+        # Two items so map_all actually uses the pool; the shutdown call
+        # inside a worker must skip the self-join.
+        assert shared.map_all(
+            lambda _: shutdown_shared_executor() or "ok", [0, 1]
+        ) == ["ok", "ok"]
 
 
 class TestMapAll:

@@ -1,0 +1,188 @@
+"""Wire codec: event batches and serialized scan-result blocks."""
+
+from array import array
+
+import pytest
+
+from repro.model.entities import EntityType
+from repro.model.events import Operation, SystemEvent
+from repro.shard.wire import (
+    WireError,
+    decode_events,
+    decode_result,
+    encode_events,
+    encode_result,
+)
+from repro.storage.blocks import (
+    OP_VALUE_BY_CODE,
+    BlockScanResult,
+    ColumnBlock,
+    Selection,
+)
+
+
+def make_event(
+    eid,
+    start,
+    agent=1,
+    op=Operation.READ,
+    otype=EntityType.FILE,
+    subject=100,
+    obj=200,
+    amount=0,
+    failure=0,
+):
+    return SystemEvent(
+        event_id=eid,
+        agent_id=agent,
+        seq=eid,
+        start_time=start,
+        end_time=start + 1.0,
+        operation=op,
+        subject_id=subject,
+        object_id=obj,
+        object_type=otype,
+        amount=amount,
+        failure_code=failure,
+    )
+
+
+def result_of(events):
+    block = ColumnBlock()
+    for event in events:
+        block.append(event)
+    return BlockScanResult([Selection(block, range(len(block)))])
+
+
+SAMPLE = [
+    make_event(1, 10.0, agent=3, op=Operation.WRITE, amount=512),
+    make_event(2, 11.0, agent=4, otype=EntityType.NETWORK, failure=2),
+    make_event(3, 12.0, agent=3, op=Operation.DELETE, subject=7, obj=9),
+]
+
+
+class TestEventBatches:
+    def test_round_trip(self):
+        assert decode_events(encode_events(SAMPLE)) == tuple(SAMPLE)
+
+    def test_enums_cross_as_value_strings(self):
+        payload = encode_events(SAMPLE)
+        assert payload[0][5] == Operation.WRITE.value
+        assert payload[1][8] == EntityType.NETWORK.value
+
+    def test_unknown_operation_value_raises(self):
+        payload = encode_events(SAMPLE[:1])
+        bad = list(payload[0])
+        bad[5] = "transmogrify"
+        with pytest.raises(WireError):
+            decode_events([tuple(bad)])
+
+
+class TestResultRoundTrip:
+    def test_events_survive(self):
+        payload = encode_result(result_of(SAMPLE))
+        selection = decode_result(payload)
+        assert selection.block.events() == SAMPLE
+
+    def test_decoded_block_is_time_sorted_with_bounds(self):
+        selection = decode_result(encode_result(result_of(SAMPLE)))
+        block = selection.block
+        assert block.time_sorted
+        assert block.min_time == 10.0
+        assert block.max_time == 12.0
+        assert block.max_event_id == 3
+        assert list(selection.positions) == [0, 1, 2]
+
+    def test_agent_dictionary_is_per_payload(self):
+        payload = encode_result(result_of(SAMPLE))
+        assert payload["agents"] == (3, 4)
+        assert not payload["wide"]
+        assert isinstance(payload["agent"], bytes)
+
+    def test_unsorted_result_is_reserialized_in_handle_order(self):
+        shuffled = [SAMPLE[2], SAMPLE[0], SAMPLE[1]]
+        selection = decode_result(encode_result(result_of(shuffled)))
+        assert [e.event_id for e in selection.block.events()] == [1, 2, 3]
+
+    def test_empty_result_decodes_to_none(self):
+        assert decode_result(encode_result(result_of([]))) is None
+
+    def test_columns_are_fixed_width(self):
+        payload = encode_result(result_of(SAMPLE))
+        assert len(payload["eid"]) == 3 * 8
+        assert len(payload["t0"]) == 3 * 8
+        assert len(payload["op"]) == 3
+        assert len(payload["ot"]) == 3
+
+
+class TestWatermark:
+    def test_rows_above_watermark_are_dropped(self):
+        payload = encode_result(result_of(SAMPLE), watermark=2)
+        selection = decode_result(payload)
+        assert [e.event_id for e in selection.block.events()] == [1, 2]
+
+    def test_everything_uncommitted_decodes_to_none(self):
+        payload = encode_result(result_of(SAMPLE), watermark=0)
+        assert payload["n"] == 0
+        assert decode_result(payload) is None
+
+    def test_no_watermark_keeps_everything(self):
+        payload = encode_result(result_of(SAMPLE), watermark=None)
+        assert payload["n"] == 3
+
+
+class TestWideAgentDictionary:
+    def test_past_256_agents_promotes_to_q_array(self):
+        events = [make_event(i, float(i), agent=1000 + i) for i in range(1, 301)]
+        payload = encode_result(result_of(events))
+        assert payload["wide"]
+        assert len(payload["agent"]) == 300 * 8  # array('q'), 8 bytes/code
+        selection = decode_result(payload)
+        assert isinstance(selection.block.agent_codes, array)
+        assert selection.block.agent_codes.typecode == "q"
+        assert [e.agent_id for e in selection.block.events()] == [
+            1000 + i for i in range(1, 301)
+        ]
+
+
+class TestDictionaryRemap:
+    """A sender whose enum order differs must remap, never alias."""
+
+    def _permuted_payload(self):
+        payload = encode_result(result_of(SAMPLE))
+        ops = list(payload["ops"])
+        # Simulate a sender that enumerates operations in reverse order:
+        # code i over there means ops[n-1-i] here.
+        sender_ops = tuple(reversed(ops))
+        remap = {ops.index(v): code for code, v in enumerate(sender_ops)}
+        payload["ops"] = sender_ops
+        payload["op"] = bytes(remap[c] for c in payload["op"])
+        return payload
+
+    def test_permuted_op_table_remaps_to_local_codes(self):
+        selection = decode_result(self._permuted_payload())
+        assert [e.operation for e in selection.block.events()] == [
+            e.operation for e in SAMPLE
+        ]
+
+    def test_identical_tables_round_trip(self):
+        payload = encode_result(result_of(SAMPLE))
+        assert payload["ops"] == tuple(OP_VALUE_BY_CODE)
+        selection = decode_result(payload)
+        assert selection.block.events() == SAMPLE
+
+    def test_unknown_sender_value_raises_instead_of_aliasing(self):
+        payload = encode_result(result_of(SAMPLE))
+        ops = list(payload["ops"])
+        ops[0] = "transmogrify"
+        payload["ops"] = tuple(ops)
+        with pytest.raises(WireError):
+            decode_result(payload)
+
+    def test_unknown_object_type_value_raises(self):
+        payload = encode_result(result_of(SAMPLE))
+        ots = list(payload["ots"])
+        ots[0] = "tachyon"
+        payload["ots"] = tuple(ots)
+        with pytest.raises(WireError):
+            decode_result(payload)

@@ -85,6 +85,9 @@ class TestColumnBlock:
             [make_event(i, float(i), agent=i) for i in range(1, 301)]
         )
         assert isinstance(block.agent_codes, array)
+        # 'q' (8-byte signed) — 'l' is 4 bytes on some ABIs, which would
+        # change the wire width of serialized blocks across platforms
+        assert block.agent_codes.typecode == "q"
         assert len(block.agents) == 300
         # every row still resolves its original agent
         assert [e.agent_id for e in block.events()] == list(range(1, 301))
