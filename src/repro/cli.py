@@ -125,13 +125,16 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    system = AIQLSystem()
+    # Static plans need no data; --analyze deploys the enterprise and
+    # actually runs the query so the span tree carries real cardinalities.
+    system = _build_system(args.rate) if args.analyze else AIQLSystem()
     text = args.query or open(args.file).read()
     try:
-        print(system.explain(text))
+        report = system.explain(text, analyze=args.analyze)
     except AIQLError as exc:
         print(exc, file=sys.stderr)
         return 1
+    print(report.to_json(indent=2) if args.json else report.to_text())
     return 0
 
 
@@ -204,13 +207,26 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                 failures = 0
                 for query in ALL_QUERIES:
                     try:
-                        started = time.perf_counter()
-                        result = system.query(query.text)
-                        elapsed = (time.perf_counter() - started) * 1000
-                        status = "ok" if len(result) >= query.min_rows else "EMPTY"
+                        if args.trace:
+                            report = system.explain(query.text)
+                            rows = report.rows or 0
+                            elapsed = (
+                                report.root.duration_s * 1000
+                                if report.root is not None
+                                else 0.0
+                            )
+                        else:
+                            started = time.perf_counter()
+                            result = system.query(query.text)
+                            elapsed = (time.perf_counter() - started) * 1000
+                            rows = len(result)
+                        status = "ok" if rows >= query.min_rows else "EMPTY"
                         failures += status != "ok"
-                        print(f"{query.qid:12s} {status:5s} {len(result):5d} "
+                        print(f"{query.qid:12s} {status:5s} {rows:5d} "
                               f"row(s) {elapsed:8.1f} ms")
+                        if args.trace and report.root is not None:
+                            for line in report.root.to_text().splitlines():
+                                print(f"    {line}")
                     except AIQLError as exc:
                         failures += 1
                         print(f"{query.qid:12s} ERROR {exc}")
@@ -234,10 +250,17 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             stats = system.stats()
             if "shard_events" in stats:
                 print(f"shard stats: {stats['shard_events']} event(s) "
-                      f"across {stats['shards']} shard(s)", file=sys.stderr)
+                      f"across {stats['shards']} shard(s); "
+                      f"scatter/gather: {stats.get('scatter_gather')}",
+                      file=sys.stderr)
             elif system.durable:
                 print(f"tier stats: {stats.get('cold')}; "
                       f"wal: {stats.get('wal')}", file=sys.stderr)
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as handle:
+                    handle.write(system.metrics_text())
+                print(f"metrics written to {args.metrics_out}",
+                      file=sys.stderr)
             system.close()
         return rc
     for query in ALL_QUERIES:
@@ -348,6 +371,15 @@ def make_parser() -> argparse.ArgumentParser:
     group = explain.add_mutually_exclusive_group(required=True)
     group.add_argument("--query", "-q")
     group.add_argument("--file", "-f")
+    explain.add_argument("--analyze", action="store_true",
+                         help="deploy the enterprise and execute the query, "
+                              "reporting the traced span tree (EXPLAIN "
+                              "ANALYZE)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    explain.add_argument("--rate", type=int, default=120,
+                         help="with --analyze: background events per "
+                              "host-day (default 120)")
     explain.set_defaults(func=cmd_explain)
 
     corpus = sub.add_parser("corpus", help="list/run the paper's query corpus")
@@ -375,6 +407,13 @@ def make_parser() -> argparse.ArgumentParser:
                         help="with --data-dir: hot-tier retention horizon "
                              "(background compactor migrates older days to "
                              "compressed cold segments)")
+    corpus.add_argument("--trace", action="store_true",
+                        help="with --run: execute each query under the "
+                             "tracer and print its span tree (per-pattern "
+                             "cardinalities, prune/cache annotations)")
+    corpus.add_argument("--metrics-out", metavar="FILE",
+                        help="with --run: write the Prometheus-style "
+                             "metrics exposition to FILE after the run")
     corpus.add_argument("--shards", type=int, default=0, metavar="N",
                         help="with --run: shard the store across N worker "
                              "processes (scatter/gather scans; combine "

@@ -113,6 +113,29 @@ class SystemConfig:
         depth of the engine-level alert queue; when full, the oldest
         undrained alert is dropped (and counted) — callbacks still fire
         for every alert.
+    metrics
+        enable the engine metrics registry (:mod:`repro.obs.metrics`):
+        counters/gauges/histograms across ingest, scans, joins, WAL,
+        compaction, continuous queries and shard scatter/gather, exposed
+        via :meth:`AIQLSystem.metrics_text` in Prometheus text format.
+        Process-wide toggle (like ``columnar``); instrumentation sites
+        increment per scan/commit, never per row, so the enabled cost is
+        negligible and the disabled cost is one flag check.
+    tracing
+        allow query tracing: :meth:`AIQLSystem.explain` with
+        ``analyze=True`` executes the query under a span tree (parse →
+        schedule → per-pattern scans → narrowing re-queries → joins)
+        with timings, cardinalities and cache/prune annotations.  When
+        off, ``explain`` always returns the static plan only.  Queries
+        outside ``explain`` never pay tracing costs either way.
+    slow_query_ms
+        latency threshold of the slow-query log: queries through
+        :meth:`AIQLSystem.query` / the query service slower than this
+        (milliseconds) are recorded with their text, latency and row
+        count (:meth:`AIQLSystem.slow_queries`).  ``None`` (default)
+        disables the log.
+    slow_query_log_entries
+        ring-buffer size of the slow-query log (oldest entries evicted).
     """
 
     backend: str = "partitioned"
@@ -137,6 +160,10 @@ class SystemConfig:
     continuous_max_window_s: Optional[float] = None
     continuous_max_subscriptions: int = 64
     continuous_alert_queue: int = 1024
+    metrics: bool = True
+    tracing: bool = True
+    slow_query_ms: Optional[float] = None
+    slow_query_log_entries: int = 128
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -181,3 +208,7 @@ class SystemConfig:
             raise ValueError("continuous_max_subscriptions must be >= 1")
         if self.continuous_alert_queue < 1:
             raise ValueError("continuous_alert_queue must be >= 1")
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise ValueError("slow_query_ms must be >= 0 (or None)")
+        if self.slow_query_log_entries < 1:
+            raise ValueError("slow_query_log_entries must be >= 1")

@@ -22,7 +22,9 @@ engine (Sec. 5).  Typical use::
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from dataclasses import asdict
+from typing import List, Optional
 
 from repro.core.config import SystemConfig
 from repro.engine import compile_query
@@ -31,6 +33,11 @@ from repro.engine.executor import MultieventExecutor
 from repro.engine.result import ResultSet
 from repro.lang.context import QueryContext
 from repro.model.entities import EntityRegistry
+from repro.obs import trace as obs_trace
+from repro.obs.explain import ExplainReport, plan_lines
+from repro.obs.metrics import REGISTRY, flatten_gauges, set_metrics_enabled
+from repro.obs.slowlog import SlowQuery, SlowQueryLog
+from repro.obs.trace import Trace, trace_span
 from repro.service import (
     QueryService,
     ScanCache,
@@ -45,6 +52,13 @@ from repro.storage.ingest import Ingestor
 from repro.storage.kernels import set_columnar
 from repro.storage.partition import PartitionScheme
 from repro.storage.segments import SegmentedStore
+
+# Same metric names the query service registers — the registry dedups by
+# name, so facade queries and service queries accumulate into one series.
+_M_QUERIES = REGISTRY.counter("aiql_queries_total", "Queries executed")
+_M_QUERY_SECONDS = REGISTRY.histogram(
+    "aiql_query_seconds", "End-to-end query latency"
+)
 
 
 def _build_store(config: SystemConfig, registry: EntityRegistry):
@@ -84,6 +98,16 @@ class AIQLSystem:
         self._wal = None
         self.compactor = None
         self.recovery = None
+        # Process-wide, like set_columnar below: the last-constructed
+        # system decides whether the metrics registry records.
+        set_metrics_enabled(self.config.metrics)
+        self.slow_log = (
+            SlowQueryLog(
+                self.config.slow_query_ms, self.config.slow_query_log_entries
+            )
+            if self.config.slow_query_ms is not None
+            else None
+        )
         if self.config.shards:
             # Sharded deployment (repro.shard): worker processes own the
             # hot tiers and — when data_dir is set — their own WALs, cold
@@ -147,6 +171,14 @@ class AIQLSystem:
         self._wal = None
         self.compactor = None
         self.recovery = None
+        set_metrics_enabled(self.config.metrics)
+        self.slow_log = (
+            SlowQueryLog(
+                self.config.slow_query_ms, self.config.slow_query_log_entries
+            )
+            if self.config.slow_query_ms is not None
+            else None
+        )
         if ingestor is None:
             ingestor = Ingestor(registry=store.registry)
             ingestor.attach(store)
@@ -263,45 +295,90 @@ class AIQLSystem:
 
     def query(self, text: str) -> ResultSet:
         """Parse, compile, optimize and execute one AIQL query."""
+        started = time.perf_counter()
         ctx = self.compile(text)
-        return self.execute(ctx)
+        result = self.execute(ctx)
+        elapsed = time.perf_counter() - started
+        _M_QUERIES.inc()
+        _M_QUERY_SECONDS.observe(elapsed)
+        if self.slow_log is not None:
+            self.slow_log.observe(
+                QueryService.canonical_text(text),
+                elapsed,
+                rows=len(result),
+                detail={"kind": ctx.kind},
+            )
+        return result
 
     def execute(self, ctx: QueryContext) -> ResultSet:
         if ctx.kind == "anomaly":
             return self._anomaly.run(ctx)
         return self._multievent.run(ctx)
 
-    def explain(self, text: str) -> str:
-        """Human-readable execution plan (pattern scores, rel order)."""
-        ctx = self.compile(text)
-        lines = [f"kind: {ctx.kind}"]
-        if ctx.agent_ids is not None:
-            lines.append(f"agents: {sorted(ctx.agent_ids)}")
-        if ctx.window.start is not None or ctx.window.end is not None:
-            lines.append(f"window: [{ctx.window.start}, {ctx.window.end})")
-        for pattern in ctx.patterns:
-            flt = pattern.filter
-            ops = (
-                ",".join(sorted(op.value for op in flt.operations))
-                if flt.operations
-                else "*"
+    def explain(self, text: str, analyze: bool = True) -> ExplainReport:
+        """Execution plan for ``text``; with ``analyze`` (EXPLAIN ANALYZE)
+        the query also *runs* under a trace, so the report carries a span
+        tree (parse → schedule → per-pattern scans → narrowing re-queries
+        → joins → project) with timings, cardinalities and cache/prune
+        annotations.  ``analyze=False`` — or ``SystemConfig(tracing=False)``
+        — returns the static plan only (pattern scores, rel order).
+
+        The report stringifies to its text rendering, so existing callers
+        that printed ``explain()`` keep working unchanged.
+        """
+        if not (analyze and self.config.tracing):
+            ctx = self.compile(text)
+            return ExplainReport(query=text, kind=ctx.kind, plan=plan_lines(ctx))
+        started = time.perf_counter()
+        trace = Trace("query")
+        with obs_trace.activate(trace):
+            with trace_span("parse"):
+                ctx = self.compile(text)
+            if ctx.kind == "anomaly":
+                result, stats = self._anomaly.run_with_stats(ctx)
+            else:
+                result, stats = self._multievent.run_with_stats(ctx)
+        # EXPLAIN ANALYZE executes the query, so it counts as one (same
+        # convention as PostgreSQL's statistics views).
+        elapsed = time.perf_counter() - started
+        _M_QUERIES.inc()
+        _M_QUERY_SECONDS.observe(elapsed)
+        if self.slow_log is not None:
+            self.slow_log.observe(
+                QueryService.canonical_text(text),
+                elapsed,
+                rows=len(result),
+                detail={"kind": ctx.kind, "explain": True},
             )
-            lines.append(
-                f"pattern {pattern.index} ({pattern.event_name}): "
-                f"{pattern.subject_name} -[{ops}]-> {pattern.object_name} "
-                f"({pattern.object_type.value}; score={pattern.score})"
-            )
-        for rel in ctx.attr_relationships:
-            lines.append(
-                f"attr rel: p{rel.left.pattern}.{rel.left.role}.{rel.left.attr} "
-                f"{rel.op} p{rel.right.pattern}.{rel.right.role}.{rel.right.attr}"
-            )
-        for rel in ctx.temp_relationships:
-            bounds = ""
-            if rel.low is not None or rel.high is not None:
-                bounds = f"[{rel.low or 0}-{rel.high}s]"
-            lines.append(f"temp rel: evt{rel.left} {rel.kind}{bounds} evt{rel.right}")
-        return "\n".join(lines)
+        return ExplainReport(
+            query=text,
+            kind=ctx.kind,
+            plan=plan_lines(ctx),
+            root=trace.root,
+            rows=len(result),
+            scheduler=asdict(stats),
+        )
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of the engine metrics plus
+        point-in-time gauges sampled from this deployment's ``stats()``."""
+        return REGISTRY.render(
+            extra_gauges=flatten_gauges("aiql_system", self.stats())
+        )
+
+    def metrics_snapshot(self) -> dict:
+        """The metrics registry as plain dicts (counters, histogram p50/p99)."""
+        return REGISTRY.snapshot()
+
+    def slow_queries(self) -> List[SlowQuery]:
+        """Recorded slow queries, oldest first (empty when the log is off).
+
+        Covers :meth:`query` and everything submitted through the query
+        service; enable with ``SystemConfig(slow_query_ms=...)``.
+        """
+        return self.slow_log.entries() if self.slow_log is not None else []
 
     # -- concurrent service ----------------------------------------------------
 
@@ -317,6 +394,7 @@ class AIQLSystem:
                 self.store,
                 scheduling=self.config.scheduling,
                 parallel=self.config.parallel,
+                slow_log=self.slow_log,
             )
         return self._service
 
@@ -414,4 +492,6 @@ class AIQLSystem:
             stats["recovery"] = self.recovery.to_dict()
         if self._continuous is not None:
             stats["continuous"] = self._continuous.stats()
+        if self.slow_log is not None:
+            stats["slow_queries"] = self.slow_log.stats()
         return stats

@@ -29,6 +29,7 @@ from repro.lang.context import QueryContext
 from repro.lang.errors import AIQLSemanticError
 from repro.lang.expr import MappingEnv, evaluate_bool, max_history_depth
 from repro.model.time import format_timestamp
+from repro.obs.trace import trace_span
 
 
 class AnomalyExecutor:
@@ -64,8 +65,15 @@ class AnomalyExecutor:
             )
 
         scheduler = make_scheduler(self.scheduling, self.store, self.parallel)
-        tuples = scheduler.run(ctx)
-        return self._slide(ctx, tuples), scheduler.stats
+        with trace_span("schedule", scheduling=self.scheduling) as span:
+            tuples = scheduler.run(ctx)
+            if span is not None:
+                span.annotate(tuples=len(tuples))
+        with trace_span("slide") as span:
+            result = self._slide(ctx, tuples)
+            if span is not None:
+                span.annotate(rows=len(result))
+        return result, scheduler.stats
 
     # -- sliding-window machinery -------------------------------------------
 

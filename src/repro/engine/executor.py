@@ -15,6 +15,7 @@ from repro.engine.tuples import TupleSet
 from repro.lang.context import QueryContext, ResolvedReturnItem
 from repro.lang.errors import AIQLSemanticError
 from repro.lang.expr import MappingEnv, evaluate_bool
+from repro.obs.trace import trace_span
 
 
 class MultieventExecutor:
@@ -49,8 +50,14 @@ class MultieventExecutor:
                 hint="use repro.engine.anomaly.AnomalyExecutor",
             )
         scheduler = make_scheduler(self.scheduling, self.store, self.parallel)
-        tuples = scheduler.run(ctx)
-        result = evaluate_returns(ctx, tuples, self.store.registry.get)
+        with trace_span("schedule", scheduling=self.scheduling) as span:
+            tuples = scheduler.run(ctx)
+            if span is not None:
+                span.annotate(tuples=len(tuples))
+        with trace_span("project") as span:
+            result = evaluate_returns(ctx, tuples, self.store.registry.get)
+            if span is not None:
+                span.annotate(rows=len(result))
         return result, scheduler.stats
 
 

@@ -42,6 +42,21 @@ from repro.lang.context import (
     ResolvedTempRel,
 )
 from repro.model.events import HIGH_PRUNING_EVENT_TYPES
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import trace_span
+
+# Engine-level metrics: per data query / join, never per row.
+_M_DATA_QUERIES = REGISTRY.counter(
+    "aiql_data_queries_total", "Per-pattern data queries executed"
+)
+_M_CONSTRAINED = REGISTRY.counter(
+    "aiql_constrained_executions_total",
+    "Data queries narrowed by already-joined results (Algorithm 1)",
+)
+_M_JOINS = REGISTRY.counter("aiql_joins_total", "Tuple-set joins performed")
+_M_JOIN_ROWS = REGISTRY.counter(
+    "aiql_join_rows_total", "Rows produced by tuple-set joins"
+)
 
 
 @dataclass
@@ -74,16 +89,66 @@ class _SchedulerBase:
     def _entity_of(self, entity_id: int):
         return self.store.registry.get(entity_id)
 
-    def _execute(self, query: DataQuery, constrained: bool = False):
+    def _execute(
+        self,
+        query: DataQuery,
+        constrained: bool = False,
+        narrowings: Optional[Dict[str, object]] = None,
+    ):
         """Run ``query``, returning a scan result (columnar when the store
-        supports it) — rows are materialized only where a join needs them."""
-        scan = query.execute_scan(self.store, parallel=self.parallel)
-        self.stats.data_queries_executed += 1
+        supports it) — rows are materialized only where a join needs them.
+
+        Under an active trace this opens one ``scan`` span per pattern
+        execution; the storage layer folds its prune/cache annotations
+        into it, and ``rows`` records the pattern's true cardinality
+        (identical to this call's ``events_fetched`` contribution).
+        """
+        attrs: Dict[str, object] = {"pattern": query.index}
         if constrained:
-            self.stats.constrained_executions += 1
-        self.stats.events_fetched += len(scan)
-        self.stats.order.append(query.index)
+            attrs["constrained"] = True
+        if narrowings:
+            attrs.update(narrowings)
+        with trace_span("scan", **attrs) as span:
+            scan = query.execute_scan(self.store, parallel=self.parallel)
+            self.stats.data_queries_executed += 1
+            if constrained:
+                self.stats.constrained_executions += 1
+            self.stats.events_fetched += len(scan)
+            self.stats.order.append(query.index)
+            if span is not None:
+                span.annotate(rows=len(scan))
+        _M_DATA_QUERIES.inc()
+        if constrained:
+            _M_CONSTRAINED.inc()
         return scan
+
+    def _join(self, left: TupleSet, right: TupleSet, attr_rels, temp_rels) -> TupleSet:
+        """Join two tuple sets under a ``join`` span, with row accounting."""
+        with trace_span("join") as span:
+            joined = left.join(right, attr_rels, temp_rels, self._entity_of)
+            self.stats.rows_joined += len(joined)
+            if span is not None:
+                span.annotate(
+                    patterns=sorted(joined.patterns),
+                    rows_left=len(left),
+                    rows_right=len(right),
+                    rows_out=len(joined),
+                )
+        _M_JOINS.inc()
+        _M_JOIN_ROWS.inc(len(joined))
+        return joined
+
+    def _filter(self, ts: TupleSet, attr_rels, temp_rels) -> TupleSet:
+        """Relationship re-check on one tuple set, under a ``filter`` span."""
+        with trace_span("filter") as span:
+            filtered = ts.filter(attr_rels, temp_rels, self._entity_of)
+            if span is not None:
+                span.annotate(
+                    patterns=sorted(ts.patterns),
+                    rows_in=len(ts),
+                    rows_out=len(filtered),
+                )
+        return filtered
 
     def _relationships(self, ctx: QueryContext) -> List[_Relationship]:
         rels: List[_Relationship] = [("attr", r) for r in ctx.attr_relationships]
@@ -228,13 +293,12 @@ class RelationshipScheduler(_SchedulerBase):
                 )
                 events[second] = second_events
                 executed.add(second)
-                joined = TupleSet.from_scan(first, first_events).join(
+                joined = self._join(
+                    TupleSet.from_scan(first, first_events),
                     TupleSet.from_scan(second, second_events),
                     attr_rels,
                     temp_rels,
-                    self._entity_of,
                 )
-                self.stats.rows_joined += len(joined)
                 tuple_of[i] = joined
                 tuple_of[j] = joined
             elif (i in executed) != (j in executed):
@@ -253,24 +317,22 @@ class RelationshipScheduler(_SchedulerBase):
                     if done_set is not None
                     else TupleSet.from_scan(done, events[done])
                 )
-                joined = base.join(
+                joined = self._join(
+                    base,
                     TupleSet.from_scan(pending, pending_events),
                     attr_rels,
                     temp_rels,
-                    self._entity_of,
                 )
-                self.stats.rows_joined += len(joined)
                 replace_vals(base, joined)
                 tuple_of[pending] = joined
                 tuple_of[done] = joined
             else:
                 set_i, set_j = tuple_of[i], tuple_of[j]
                 if set_i is set_j:
-                    filtered = set_i.filter(attr_rels, temp_rels, self._entity_of)
+                    filtered = self._filter(set_i, attr_rels, temp_rels)
                     replace_vals(set_i, filtered)
                 else:
-                    joined = set_i.join(set_j, attr_rels, temp_rels, self._entity_of)
-                    self.stats.rows_joined += len(joined)
+                    joined = self._join(set_i, set_j, attr_rels, temp_rels)
                     replace_vals(set_i, joined)
                     replace_vals(set_j, joined)
 
@@ -298,7 +360,7 @@ class RelationshipScheduler(_SchedulerBase):
         attr_rels, temp_rels = self._rels_between(
             ctx, set(merged.patterns)
         )
-        return merged.filter(attr_rels, temp_rels, self._entity_of)
+        return self._filter(merged, attr_rels, temp_rels)
 
     def _constrained_execute(
         self,
@@ -311,6 +373,7 @@ class RelationshipScheduler(_SchedulerBase):
         executed pattern, then run it.  ``executed_events`` may be a scan
         result or a plain event list (both feed the narrowing helpers)."""
         narrowed = query
+        narrowings: Dict[str, object] = {"narrowed_by": executed_index}
         for rel in ctx.attr_relationships:
             if {rel.left.pattern, rel.right.pattern} == {
                 executed_index,
@@ -327,12 +390,18 @@ class RelationshipScheduler(_SchedulerBase):
                     if ref.attr != "id" and len(values) > 256:
                         continue
                     narrowed = narrowed.narrowed_by_values(ref, values)
+                    narrowings[f"narrow_{ref.role}.{ref.attr}"] = len(values)
         for rel in ctx.temp_relationships:
             if {rel.left, rel.right} == {executed_index, query.index}:
                 window = temp_rel_narrowing(rel, executed_index, executed_events)
                 if window is not None:
                     narrowed = narrowed.narrowed_by_window(window)
-        return self._execute(narrowed, constrained=True)
+                    narrowings["narrow_window"] = (
+                        f"[{window.start:.0f},{window.end:.0f})"
+                        if window.start is not None and window.end is not None
+                        else f"[{window.start},{window.end})"
+                    )
+        return self._execute(narrowed, constrained=True, narrowings=narrowings)
 
 
 class FetchFilterScheduler(_SchedulerBase):
@@ -366,13 +435,12 @@ class FetchFilterScheduler(_SchedulerBase):
             attr_rels = [rel] if kind == "attr" else []
             temp_rels = [rel] if kind == "temp" else []
             if set_i is set_j:
-                filtered = set_i.filter(attr_rels, temp_rels, self._entity_of)
+                filtered = self._filter(set_i, attr_rels, temp_rels)
                 current_sets = [
                     filtered if ts is set_i else ts for ts in current_sets
                 ]
             else:
-                joined = set_i.join(set_j, attr_rels, temp_rels, self._entity_of)
-                self.stats.rows_joined += len(joined)
+                joined = self._join(set_i, set_j, attr_rels, temp_rels)
                 current_sets = [
                     ts for ts in current_sets if ts is not set_i and ts is not set_j
                 ]
@@ -382,7 +450,7 @@ class FetchFilterScheduler(_SchedulerBase):
         for other in current_sets[1:]:
             merged = merged.cross(other)
         attr_rels, temp_rels = self._rels_between(ctx, set(merged.patterns))
-        return merged.filter(attr_rels, temp_rels, self._entity_of)
+        return self._filter(merged, attr_rels, temp_rels)
 
 
 SCHEDULERS = {

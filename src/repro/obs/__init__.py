@@ -1,0 +1,48 @@
+"""Observability: metrics registry, query tracing, slow-query log.
+
+This package is intentionally dependency-free within ``repro`` — every
+other layer (storage, engine, service, tier, shard, cli) may import it
+without creating cycles.  All hooks are off-able and near-zero cost when
+disabled: counters early-return on a single flag check and trace spans
+no-op when no trace is active on the current context.
+"""
+
+from repro.obs.explain import ExplainReport, plan_lines
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    metrics_enabled,
+    set_metrics_enabled,
+)
+from repro.obs.slowlog import SlowQuery, SlowQueryLog
+from repro.obs.trace import (
+    Span,
+    Trace,
+    active_trace,
+    trace_add,
+    trace_annotate,
+    trace_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "Span",
+    "Trace",
+    "active_trace",
+    "trace_span",
+    "trace_add",
+    "trace_annotate",
+    "SlowQuery",
+    "SlowQueryLog",
+    "ExplainReport",
+    "plan_lines",
+]

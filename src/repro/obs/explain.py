@@ -1,0 +1,112 @@
+"""EXPLAIN / EXPLAIN ANALYZE reports.
+
+:func:`plan_lines` renders the static plan (pattern scores, agent set,
+relationships) from a compiled query context; :class:`ExplainReport`
+pairs it with the executed span tree when the query actually ran
+(``AIQLSystem.explain(text, analyze=True)``).
+
+The report stringifies to the text rendering and supports ``in`` so
+existing callers that treated ``explain()`` as a plain string keep
+working (``"score=" in system.explain(q)``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import Span
+
+
+def plan_lines(ctx: Any) -> List[str]:
+    """Static execution plan for a compiled query context."""
+    lines = [f"kind: {ctx.kind}"]
+    if ctx.agent_ids is not None:
+        lines.append(f"agents: {sorted(ctx.agent_ids)}")
+    if ctx.window.start is not None or ctx.window.end is not None:
+        lines.append(f"window: [{ctx.window.start}, {ctx.window.end})")
+    for pattern in ctx.patterns:
+        flt = pattern.filter
+        ops = (
+            ",".join(sorted(op.value for op in flt.operations))
+            if flt.operations
+            else "*"
+        )
+        lines.append(
+            f"pattern {pattern.index} ({pattern.event_name}): "
+            f"{pattern.subject_name} -[{ops}]-> {pattern.object_name} "
+            f"({pattern.object_type.value}; score={pattern.score})"
+        )
+    for rel in ctx.attr_relationships:
+        lines.append(
+            f"attr rel: p{rel.left.pattern}.{rel.left.role}.{rel.left.attr} "
+            f"{rel.op} p{rel.right.pattern}.{rel.right.role}.{rel.right.attr}"
+        )
+    for rel in ctx.temp_relationships:
+        bounds = ""
+        if rel.low is not None or rel.high is not None:
+            bounds = f"[{rel.low or 0}-{rel.high}s]"
+        lines.append(
+            f"temp rel: evt{rel.left} {rel.kind}{bounds} evt{rel.right}"
+        )
+    return lines
+
+
+@dataclass
+class ExplainReport:
+    """Static plan plus (optionally) the executed span tree."""
+
+    query: str
+    kind: str
+    plan: List[str] = field(default_factory=list)
+    root: Optional[Span] = None
+    rows: Optional[int] = None
+    scheduler: Optional[Dict[str, Any]] = None
+
+    # -- renderers ----------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = list(self.plan)
+        if self.root is not None:
+            lines.append("")
+            lines.append(
+                f"execution ({self.root.duration_s * 1e3:.2f} ms, "
+                f"{self.rows if self.rows is not None else '?'} row(s)):"
+            )
+            lines.append(self.root.to_text())
+        if self.scheduler:
+            order = self.scheduler.get("order")
+            if order is not None:
+                lines.append(f"scheduler order: {list(order)}")
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        payload: Dict[str, Any] = {
+            "query": self.query,
+            "kind": self.kind,
+            "plan": list(self.plan),
+            "rows": self.rows,
+            "scheduler": self.scheduler,
+            "trace": self.root.to_dict() if self.root is not None else None,
+        }
+        return json.dumps(payload, indent=indent, default=str)
+
+    # -- string compatibility -----------------------------------------------
+    # Pre-observability callers treated explain() as a plain string.
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __contains__(self, needle: str) -> bool:
+        return needle in self.to_text()
+
+    # -- span access ---------------------------------------------------------
+
+    def spans(self, name: str) -> List[Span]:
+        """All spans with ``name`` (empty when not analyzed)."""
+        return self.root.find(name) if self.root is not None else []
+
+    def pattern_spans(self) -> List[Span]:
+        """Per-pattern scan spans in execution order."""
+        return self.spans("scan")

@@ -1,0 +1,80 @@
+"""Slow-query log: a bounded ring of queries over a latency threshold."""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One slow-query record."""
+
+    text: str
+    elapsed_ms: float
+    rows: int
+    wall_time: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class SlowQueryLog:
+    """Records queries slower than ``threshold_ms`` (newest last).
+
+    ``observe`` is called on every query; below-threshold calls cost one
+    comparison.  Thread-safe: the service layer submits queries from a
+    pool.
+    """
+
+    def __init__(self, threshold_ms: float, max_entries: int = 128) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.threshold_ms = threshold_ms
+        self._entries: Deque[SlowQuery] = deque(maxlen=max_entries)
+        self._lock = threading.Lock()
+        self.observed = 0
+        self.recorded = 0
+
+    def observe(
+        self,
+        text: str,
+        elapsed_s: float,
+        rows: int = 0,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> Optional[SlowQuery]:
+        elapsed_ms = elapsed_s * 1e3
+        with self._lock:
+            self.observed += 1
+            if elapsed_ms < self.threshold_ms:
+                return None
+            entry = SlowQuery(
+                text=text,
+                elapsed_ms=elapsed_ms,
+                rows=rows,
+                wall_time=time.time(),
+                detail=dict(detail or {}),
+            )
+            self._entries.append(entry)
+            self.recorded += 1
+            return entry
+
+    def entries(self) -> List[SlowQuery]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "observed": self.observed,
+                "recorded": self.recorded,
+                "entries": len(self._entries),
+            }

@@ -99,6 +99,7 @@ class ScanCache:
         self.evictions = 0
         self.invalidations = 0
         self.shared_waits = 0
+        self.generation_mismatches = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -124,10 +125,20 @@ class ScanCache:
         key = (partition, fingerprint)
         with self._lock:
             cached = self._entries.get(key)
-            if cached is not None and cached[0] == generation:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                return cached[1]  # type: ignore[return-value]
+            if cached is not None:
+                if cached[0] == generation:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return cached[1]  # type: ignore[return-value]
+                # Stale generation: the source block was rebuilt, so the
+                # cached selection can never be served again.  Evict it
+                # now (the recompute below re-inserts under the new
+                # generation) and count the mismatch distinctly from
+                # plain misses — a high rate means block churn, not a
+                # cold cache.
+                del self._entries[key]
+                self._discard_key(key)
+                self.generation_mismatches += 1
             future = self._inflight.get(key)
             if future is not None:
                 owner = False
@@ -205,6 +216,13 @@ class ScanCache:
             self._keys_by_partition.clear()
 
     def stats(self) -> Dict[str, int]:
+        """One consistent snapshot of the cache counters.
+
+        Taken under the cache lock so hit/miss/eviction counts are
+        mutually consistent; this is the canonical accounting surface
+        (the metrics registry and ``AIQLSystem.stats`` read it) — the
+        bare attributes exist for cheap in-band increments only.
+        """
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -213,4 +231,5 @@ class ScanCache:
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
                 "shared_waits": self.shared_waits,
+                "generation_mismatches": self.generation_mismatches,
             }

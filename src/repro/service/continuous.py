@@ -68,7 +68,26 @@ from repro.engine.data_query import (
 from repro.engine.tuples import TupleSet
 from repro.lang.context import QueryContext
 from repro.model.events import SystemEvent
+from repro.obs.metrics import REGISTRY
 from repro.storage.kernels import ScanKernel, kernel_for
+
+_M_PUSH_BATCHES = REGISTRY.counter(
+    "aiql_continuous_batches_total", "Stream batches pushed through standing queries"
+)
+_M_PUSH_EVENTS = REGISTRY.counter(
+    "aiql_continuous_events_total", "Events pushed through standing queries"
+)
+_M_ALERTS = REGISTRY.counter(
+    "aiql_continuous_alerts_total", "Alerts emitted by standing queries"
+)
+_M_ALERTS_DROPPED = REGISTRY.counter(
+    "aiql_continuous_alerts_dropped_total",
+    "Alerts evicted from a full engine queue before being drained",
+)
+_M_ALERT_LATENCY = REGISTRY.histogram(
+    "aiql_continuous_alert_latency_seconds",
+    "Commit-entry to alert-emission latency of standing queries",
+)
 
 DEFAULT_WINDOW_S = 3600.0
 DEFAULT_MAX_SUBSCRIPTIONS = 64
@@ -326,6 +345,8 @@ class ContinuousQueryEngine:
         with self._lock:
             self.batches_pushed += 1
             self.events_pushed += len(events)
+            _M_PUSH_BATCHES.inc()
+            _M_PUSH_EVENTS.inc(len(events))
             # Snapshot: a callback may (un)subscribe mid-push; changes
             # take effect from the next batch.
             for sub in tuple(self._subs.values()):
@@ -569,8 +590,12 @@ class ContinuousQueryEngine:
             ),
         )
         sub.alerts_emitted += 1
+        _M_ALERTS.inc()
+        if alert.latency_s is not None:
+            _M_ALERT_LATENCY.observe(alert.latency_s)
         if len(self.alerts) == self.alerts.maxlen:
             self.alerts_dropped += 1
+            _M_ALERTS_DROPPED.inc()
         self.alerts.append(alert)
         if sub.callback is not None:
             try:

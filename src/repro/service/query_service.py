@@ -23,6 +23,7 @@ one service.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
@@ -32,7 +33,19 @@ from repro.engine.anomaly import AnomalyExecutor
 from repro.engine.executor import MultieventExecutor
 from repro.engine.result import ResultSet
 from repro.lang.context import QueryContext
+from repro.obs.metrics import REGISTRY
+from repro.obs.slowlog import SlowQueryLog
 from repro.service.pool import SharedExecutor, get_shared_executor
+
+_M_QUERIES = REGISTRY.counter(
+    "aiql_queries_total", "Queries executed (service + facade)"
+)
+_M_DEDUPED = REGISTRY.counter(
+    "aiql_queries_deduped_total", "Submissions served by an in-flight twin"
+)
+_M_QUERY_SECONDS = REGISTRY.histogram(
+    "aiql_query_seconds", "End-to-end query latency (compile + execute)"
+)
 
 
 @dataclass
@@ -53,6 +66,7 @@ class QueryService:
         scheduling: str = "relationship",
         parallel: bool = False,
         executor: Optional[SharedExecutor] = None,
+        slow_log: Optional[SlowQueryLog] = None,
     ) -> None:
         self.store = store
         self.scheduling = scheduling
@@ -63,6 +77,7 @@ class QueryService:
         self._lock = threading.Lock()
         self._inflight: Dict[str, "Future[ResultSet]"] = {}
         self.stats = ServiceStats()
+        self.slow_log = slow_log
 
     # -- compilation ---------------------------------------------------------
 
@@ -77,6 +92,7 @@ class QueryService:
     # -- execution -----------------------------------------------------------
 
     def _execute(self, source: Union[str, QueryContext]) -> ResultSet:
+        started = time.perf_counter()
         ctx = self.compile(source) if isinstance(source, str) else source
         if ctx.kind == "anomaly":
             runner = AnomalyExecutor(
@@ -86,9 +102,24 @@ class QueryService:
             runner = MultieventExecutor(
                 self.store, scheduling=self.scheduling, parallel=self.parallel
             )
-        result, _stats = runner.run_with_stats(ctx)
+        result, stats = runner.run_with_stats(ctx)
         with self._lock:
             self.stats.executed += 1
+        elapsed = time.perf_counter() - started
+        _M_QUERIES.inc()
+        _M_QUERY_SECONDS.observe(elapsed)
+        if self.slow_log is not None:
+            text = source if isinstance(source, str) else "<precompiled>"
+            self.slow_log.observe(
+                self.canonical_text(text),
+                elapsed,
+                rows=len(result),
+                detail={
+                    "kind": ctx.kind,
+                    "events_fetched": stats.events_fetched,
+                    "data_queries": stats.data_queries_executed,
+                },
+            )
         return result
 
     def submit(self, text: str) -> "Future[ResultSet]":
@@ -107,6 +138,7 @@ class QueryService:
             existing = self._inflight.get(key)
             if existing is not None:
                 self.stats.deduped += 1
+                _M_DEDUPED.inc()
                 return existing
             future: "Future[ResultSet]" = Future()
             self._inflight[key] = future

@@ -48,8 +48,20 @@ import time
 from typing import Callable, Dict, List, Tuple
 
 from repro.model.events import SystemEvent
+from repro.obs.metrics import REGISTRY
 
 DEFAULT_BATCH_SIZE = 256
+
+_M_BATCHES = REGISTRY.counter(
+    "aiql_ingest_batches_total", "Stream batches committed"
+)
+_M_EVENTS = REGISTRY.counter(
+    "aiql_ingest_events_total", "Events committed via stream sessions"
+)
+_M_COMMIT_SECONDS = REGISTRY.histogram(
+    "aiql_ingest_commit_seconds",
+    "Commit latency: publish + cache invalidation + commit hooks",
+)
 
 # A commit hook receives the just-published batch and the committing
 # thread's ``time.perf_counter()`` captured at commit entry (so downstream
@@ -185,6 +197,10 @@ class StreamSession:
                         except Exception:
                             self.hook_errors += 1
             self._watermark = self.ingestor.events_ingested
+            if batch:
+                _M_BATCHES.inc()
+                _M_EVENTS.inc(len(batch))
+                _M_COMMIT_SECONDS.observe(time.perf_counter() - started)
             return self._watermark
 
     def __enter__(self) -> "StreamSession":

@@ -36,11 +36,18 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.entities import Entity
 from repro.model.events import SystemEvent
-from repro.shard.wire import decode_events, decode_result, encode_events
+from repro.obs import REGISTRY, active_trace
+from repro.shard.wire import (
+    decode_events,
+    decode_result,
+    encode_events,
+    payload_nbytes,
+)
 from repro.shard.worker import ShardSpec, shard_worker_main
 from repro.storage.blocks import BlockScanResult
 from repro.storage.filters import EventFilter
@@ -53,6 +60,32 @@ from repro.tier.store import CompactionReport
 
 class ShardError(RuntimeError):
     """A worker failed executing a command (carries its traceback)."""
+
+
+_M_SHARD_SCANS = REGISTRY.counter(
+    "aiql_shard_scatter_scans_total",
+    "Scatter scan rounds issued to all shards",
+)
+_M_SHARD_BYTES = REGISTRY.counter(
+    "aiql_shard_gather_bytes_total",
+    "Serialized column bytes gathered from a shard",
+    labelnames=("shard",),
+)
+_M_SHARD_ROWS = REGISTRY.counter(
+    "aiql_shard_gather_rows_total",
+    "Survivor rows gathered from a shard",
+    labelnames=("shard",),
+)
+_M_SHARD_RTT = REGISTRY.histogram(
+    "aiql_shard_gather_seconds",
+    "Per-shard scatter-to-reply round-trip time",
+    labelnames=("shard",),
+)
+_M_SHARD_ROUTED = REGISTRY.counter(
+    "aiql_shard_events_routed_total",
+    "Ingested events routed to a shard",
+    labelnames=("shard",),
+)
 
 
 class ShardedStore:
@@ -81,6 +114,14 @@ class ShardedStore:
         self._closed = False
         self._conns = []
         self._procs = []
+        # Coordinator-side scatter/gather accounting, one slot per shard:
+        # what crossed the pipes (bytes/rows gathered, cumulative recv
+        # wait) and what was routed in — the skew view stats() reports.
+        self._scan_rounds = 0
+        self._shard_bytes = [0] * self.shards
+        self._shard_rows = [0] * self.shards
+        self._shard_recv_s = [0.0] * self.shards
+        self._shard_routed = [0] * self.shards
         ctx = multiprocessing.get_context("spawn")
         for index in range(self.shards):
             spec = ShardSpec(
@@ -102,6 +143,7 @@ class ShardedStore:
                 wal_sync=config.wal_sync,
                 cold_cache_segments=config.cold_cache_segments,
                 cold_scan_cache_entries=config.cold_scan_cache_entries,
+                metrics=getattr(config, "metrics", True),
             )
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -165,23 +207,38 @@ class ShardedStore:
             raise ShardError(f"shard {shard} failed:\n{payload}")
         return payload
 
-    def _gather(self, targets: Sequence[int]) -> List[object]:
+    def _gather(
+        self,
+        targets: Sequence[int],
+        timings: Optional[List[float]] = None,
+    ) -> List[object]:
         """Collect one reply per target — ALL of them, even on failure.
 
         A pipe is a strict request/response stream: raising on the first
         bad reply would leave the other shards' replies queued and
         desynchronize every later command.  So failures are collected
         while every pipe drains, then raised together.
+
+        ``timings``, when given, receives one wall-clock recv wait per
+        target in order.  Replies are drained sequentially, so a shard's
+        figure is the residual wait *after* earlier pipes drained — the
+        straggler (the shard the round actually waited on) still stands
+        out, which is what the skew metrics are for.
         """
         payloads: List[object] = []
         failures: List[str] = []
         for shard in targets:
+            started = time.perf_counter() if timings is not None else 0.0
             try:
                 status, payload = self._conns[shard].recv()
             except (EOFError, OSError):
+                if timings is not None:
+                    timings.append(time.perf_counter() - started)
                 failures.append(f"shard {shard} died mid-command")
                 payloads.append(None)
                 continue
+            if timings is not None:
+                timings.append(time.perf_counter() - started)
             if status != "ok":
                 failures.append(f"shard {shard} failed:\n{payload}")
                 payloads.append(None)
@@ -248,6 +305,10 @@ class ShardedStore:
             self._flush_entities_locked()
             for shard, chunk in by_shard.items():
                 self._send(shard, ("batch", encode_events(chunk)))
+                self._shard_routed[shard] += len(chunk)
+            if REGISTRY.enabled:
+                for shard, chunk in by_shard.items():
+                    _M_SHARD_ROUTED.inc(len(chunk), shard=str(shard))
             self._gather(list(by_shard))
             self._event_count += len(events)
             top = max(e.event_id for e in events)
@@ -272,13 +333,37 @@ class ShardedStore:
         shards are disjoint by construction, so no cross-shard dedup is
         needed.
         """
+        trace = active_trace()
+        observing = REGISTRY.enabled or trace is not None
+        timings: Optional[List[float]] = [] if observing else None
         with self._lock:
             self._flush_entities_locked()
             watermark = self._committed
             message = ("scan", flt, watermark, parallel, use_entity_index)
             for shard in range(self.shards):
                 self._send(shard, message)
-            payloads = self._gather(range(self.shards))
+            payloads = self._gather(range(self.shards), timings=timings)
+            if observing:
+                self._scan_rounds += 1
+                for shard, payload in enumerate(payloads):
+                    self._shard_bytes[shard] += payload_nbytes(payload)
+                    self._shard_rows[shard] += payload["n"]
+                    self._shard_recv_s[shard] += (timings or [])[shard]
+        if observing:
+            total_bytes = sum(payload_nbytes(p) for p in payloads)
+            total_rows = sum(p["n"] for p in payloads)
+            if REGISTRY.enabled:
+                _M_SHARD_SCANS.inc()
+                for shard, payload in enumerate(payloads):
+                    label = str(shard)
+                    _M_SHARD_BYTES.inc(payload_nbytes(payload), shard=label)
+                    _M_SHARD_ROWS.inc(payload["n"], shard=label)
+                    _M_SHARD_RTT.observe((timings or [])[shard], shard=label)
+            if trace is not None:
+                span = trace.current
+                span.add("shards_scattered", self.shards)
+                span.add("shard_bytes_gathered", total_bytes)
+                span.add("shard_rows_gathered", total_rows)
         parts = [decode_result(p) for p in payloads]
         return BlockScanResult([s for s in parts if s is not None])
 
@@ -367,13 +452,55 @@ class ShardedStore:
         """All committed events, in (start_time, event_id) order."""
         return iter(self.scan_columns(EventFilter()).events())
 
+    def metrics(self) -> List[dict]:
+        """Per-worker metrics registry snapshots, one dict per shard.
+
+        Registries are process-local, so the coordinator's own registry
+        never sees a worker-side scan/cache/kernel counter; this pulls
+        each worker's snapshot over the pipe (the ``metrics`` command).
+        """
+        return self._scatter(("metrics",))
+
     def stats(self) -> Dict[str, object]:
-        per_shard = self._scatter(("stats",))
+        """Merged deployment view plus the per-shard detail behind it.
+
+        ``per_shard`` keeps each worker's full stats dict (enriched with
+        the coordinator-side ``scatter_gather`` accounting for that
+        shard), and ``scatter_gather`` is the merged roll-up — so skew
+        (events per shard, bytes gathered per shard, straggler recv
+        waits) survives the merge instead of being summed away.
+        """
+        worker_stats = self._scatter(("stats",))
+        with self._lock:
+            rounds = self._scan_rounds
+            gather = [
+                {
+                    "shard": shard,
+                    "events_routed": self._shard_routed[shard],
+                    "bytes_gathered": self._shard_bytes[shard],
+                    "rows_gathered": self._shard_rows[shard],
+                    "recv_seconds": self._shard_recv_s[shard],
+                }
+                for shard in range(self.shards)
+            ]
+        per_shard: List[Dict[str, object]] = []
+        for shard, stats in enumerate(worker_stats):
+            entry = dict(stats)
+            entry["shard"] = shard
+            entry["scatter_gather"] = gather[shard]
+            per_shard.append(entry)
         return {
             "events": self._event_count,
             "entities": len(self.registry),
             "shards": self.shards,
-            "partitions": sum(s.get("partitions", 0) for s in per_shard),
-            "shard_events": [s.get("events", 0) for s in per_shard],
+            "partitions": sum(s.get("partitions", 0) for s in worker_stats),
+            "shard_events": [s.get("events", 0) for s in worker_stats],
             "per_shard": per_shard,
+            "scatter_gather": {
+                "scan_rounds": rounds,
+                "events_routed": sum(g["events_routed"] for g in gather),
+                "bytes_gathered": sum(g["bytes_gathered"] for g in gather),
+                "rows_gathered": sum(g["rows_gathered"] for g in gather),
+                "recv_seconds": sum(g["recv_seconds"] for g in gather),
+            },
         }

@@ -176,6 +176,20 @@ def encode_result(result: BlockScanResult, watermark: Optional[int] = None) -> d
     }
 
 
+def payload_nbytes(payload: dict) -> int:
+    """Column bytes a :func:`encode_result` payload puts on the wire.
+
+    Counts only the packed column buffers (the dominant term); the small
+    header tables and scalars are ignored, so this is the figure the
+    coordinator's per-shard gather metrics report as bytes gathered.
+    """
+    return sum(
+        len(value)
+        for value in payload.values()
+        if isinstance(value, (bytes, bytearray))
+    )
+
+
 def _translate_table(
     sender: Sequence[str], local: Dict[str, int], kind: str
 ) -> Optional[bytes]:

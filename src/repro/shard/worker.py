@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.model.entities import EntityRegistry
+from repro.obs import REGISTRY, set_metrics_enabled
 from repro.service.cache import ScanCache
 from repro.service.pool import shutdown_shared_executor
 from repro.shard.wire import decode_events, encode_events, encode_result
@@ -58,6 +59,7 @@ class ShardSpec:
     wal_sync: bool = True
     cold_cache_segments: int = 4
     cold_scan_cache_entries: int = 128
+    metrics: bool = True
 
 
 def _build_hot(spec: ShardSpec, registry: EntityRegistry):
@@ -81,6 +83,10 @@ def _build_hot(spec: ShardSpec, registry: EntityRegistry):
 def shard_worker_main(conn, spec: ShardSpec) -> None:
     """Worker entry point (the ``spawn`` target)."""
     set_columnar(spec.columnar)
+    # Metrics registries are process-local: the worker keeps its own, the
+    # coordinator pulls a snapshot over the pipe with the ``metrics``
+    # command instead of sharing mutable state across the spawn boundary.
+    set_metrics_enabled(spec.metrics)
     ingestor = Ingestor()
     registry = ingestor.registry
     store = _build_hot(spec, registry)
@@ -168,6 +174,8 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
                 if wal is not None:
                     stats["wal"] = wal.stats()
                 reply = stats
+            elif command == "metrics":
+                reply = REGISTRY.snapshot()
             elif command == "stop":
                 running = False
                 reply = None

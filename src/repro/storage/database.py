@@ -22,10 +22,40 @@ from repro.storage.filters import (
     filter_fingerprint,
     top_level_equalities,
 )
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import active_trace
 from repro.storage.index import DEFAULT_INDEXED_ATTRIBUTES, EntityAttributeIndex
 from repro.storage.kernels import kernel_for, kernels_enabled
 from repro.storage.partition import PartitionKey, PartitionScheme
 from repro.storage.table import EventTable
+
+# Hot-scan metrics: one increment batch per scan (never per row), keyed
+# per call site below so the disabled cost is one flag check in
+# scan_columns.
+_M_SCANS = REGISTRY.counter("aiql_scan_total", "Hot-store scans executed")
+_M_ROWS_SCANNED = REGISTRY.counter(
+    "aiql_scan_rows_scanned_total",
+    "Rows resident in the partitions each hot scan examined",
+)
+_M_ROWS_SELECTED = REGISTRY.counter(
+    "aiql_scan_rows_selected_total", "Rows selected by hot scans"
+)
+_M_PARTS_SCANNED = REGISTRY.counter(
+    "aiql_scan_partitions_scanned_total",
+    "Partitions surviving pruning and scanned",
+)
+_M_PARTS_PRUNED = REGISTRY.counter(
+    "aiql_scan_partitions_pruned_total",
+    "Partitions eliminated by (day, agent-group) pruning",
+)
+_M_CACHE_HITS = REGISTRY.counter(
+    "aiql_scan_cache_hits_total",
+    "Partition selections served from the scan cache",
+)
+_M_CACHE_MISSES = REGISTRY.counter(
+    "aiql_scan_cache_misses_total",
+    "Partition selections computed (scan-cache miss or cache bypass)",
+)
 
 
 def narrow_with_index(flt: EventFilter, index: EntityAttributeIndex) -> EventFilter:
@@ -253,6 +283,10 @@ class EventStore:
         committed = self._committed  # snapshot before touching any partition
         cache = self.scan_cache
         cacheable = cache is not None and self._cacheable(flt)
+        obs = REGISTRY.enabled
+        trace = active_trace()
+        observing = obs or trace is not None
+        considered = len(self._partitions) if observing else 0
         if use_entity_index:
             flt = narrow_with_index(flt, self.entity_index)
         # Compile the filter once for the whole scan; every surviving
@@ -260,10 +294,22 @@ class EventStore:
         # window, empty narrowed id set) skips pruning and scanning alike.
         kernel = kernel_for(flt) if kernels_enabled() else None
         if kernel is not None and kernel.always_false:
+            if observing:
+                self._observe_scan(obs, trace, considered, 0, 0, 0, 0, 0)
             return BlockScanResult(())
         keys = self._pruned_keys(flt)
         if not keys:
+            if observing:
+                self._observe_scan(obs, trace, considered, 0, 0, 0, 0, 0)
             return BlockScanResult(())
+        # Cache accounting for *this* scan: pool workers don't inherit the
+        # caller's contextvars, so per-partition outcomes are collected via
+        # this thread-safe list and folded into span/metrics on the calling
+        # thread after the gather.
+        computed: List[None] = []
+        # Partition sizes are recorded inside scan_one (same thread-safe
+        # list pattern) so the observing path never re-fetches tables.
+        sizes: Optional[List[int]] = [] if observing else None
         # .get: a partition may be migrated cold (popped) between pruning
         # and the per-partition scan; its events are then served by the
         # cold tier, so an empty result here is correct, not a lost read.
@@ -274,10 +320,17 @@ class EventStore:
                 table = self._partitions.get(key)
                 if table is None:
                     return None
+                if sizes is not None:
+                    sizes.append(len(table))
+
+                def compute() -> Selection:
+                    computed.append(None)
+                    return table.scan_select(flt, None, kernel)
+
                 return cache.get_or_compute(
                     key,
                     fingerprint,
-                    lambda: table.scan_select(flt, None, kernel),
+                    compute,
                     generation=table.block.generation,
                 )
 
@@ -285,7 +338,11 @@ class EventStore:
 
             def scan_one(key: PartitionKey) -> Optional[Selection]:
                 table = self._partitions.get(key)
-                return None if table is None else table.scan_select(flt, None, kernel)
+                if table is None:
+                    return None
+                if sizes is not None:
+                    sizes.append(len(table))
+                return table.scan_select(flt, None, kernel)
 
         if parallel and len(keys) > 1:
             selections = self.executor.map_all(scan_one, keys)
@@ -294,9 +351,50 @@ class EventStore:
         # Rows published by a still-committing batch (or cached by a later
         # scan) sit above our committed snapshot; dropping them per scan
         # keeps multi-partition commits atomic to this scan.
-        return BlockScanResult(
-            [s.committed_only(committed) for s in selections if s is not None]
-        )
+        final = [s.committed_only(committed) for s in selections if s is not None]
+        if observing:
+            scanned = sum(1 for s in selections if s is not None)
+            misses = len(computed) if cacheable else scanned
+            hits = scanned - misses if cacheable else 0
+            rows_scanned = sum(sizes or ())
+            rows_selected = sum(len(s) for s in final)
+            self._observe_scan(
+                obs, trace, considered, scanned,
+                rows_scanned, rows_selected, hits, misses,
+            )
+        return BlockScanResult(final)
+
+    @staticmethod
+    def _observe_scan(
+        obs: bool,
+        trace,
+        considered: int,
+        scanned: int,
+        rows_scanned: int,
+        rows_selected: int,
+        hits: int,
+        misses: int,
+    ) -> None:
+        """Fold one scan's outcome into metrics and the active span."""
+        pruned = max(0, considered - scanned)
+        if obs:
+            _M_SCANS.inc()
+            _M_ROWS_SCANNED.inc(rows_scanned)
+            _M_ROWS_SELECTED.inc(rows_selected)
+            _M_PARTS_SCANNED.inc(scanned)
+            _M_PARTS_PRUNED.inc(pruned)
+            if hits:
+                _M_CACHE_HITS.inc(hits)
+            if misses:
+                _M_CACHE_MISSES.inc(misses)
+        if trace is not None:
+            span = trace.current
+            span.add("rows_scanned", rows_scanned)
+            span.add("rows_selected", rows_selected)
+            span.add("partitions_scanned", scanned)
+            span.add("partitions_pruned", pruned)
+            span.add("cache_hits", hits)
+            span.add("cache_misses", misses)
 
     def scan(
         self,

@@ -52,6 +52,8 @@ from typing import (
 
 from repro.model.entities import ATTRIBUTES_BY_TYPE, normalize_attribute
 from repro.model.events import SystemEvent, event_attribute_getter
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import trace_add
 from repro.service.cache import cache_fingerprint
 from repro.storage.blocks import (
     OP_CODE,
@@ -665,6 +667,16 @@ def compile_filter(
     )
 
 
+# Compile-vs-reuse metrics: shared by every KernelCache instance (they
+# all feed one process-wide compilation economy).
+_M_KERNEL_COMPILED = REGISTRY.counter(
+    "aiql_kernel_compiled_total", "Scan kernels compiled (cache miss or uncacheable)"
+)
+_M_KERNEL_REUSED = REGISTRY.counter(
+    "aiql_kernel_reused_total", "Scan kernels served from the kernel cache"
+)
+
+
 class KernelCache:
     """Thread-safe LRU of compiled kernels keyed by filter fingerprint.
 
@@ -693,14 +705,21 @@ class KernelCache:
     def kernel_for(self, flt: EventFilter) -> ScanKernel:
         fingerprint = cache_fingerprint(flt)
         if fingerprint is None:
+            # Uncacheable (giant narrowed id set): compiled fresh per scan.
+            _M_KERNEL_COMPILED.inc()
+            trace_add("kernel_compiled")
             return compile_filter(flt)
         with self._lock:
             kernel = self._entries.get(fingerprint)
             if kernel is not None:
                 self._entries.move_to_end(fingerprint)
                 self.hits += 1
+                _M_KERNEL_REUSED.inc()
+                trace_add("kernel_reused")
                 return kernel
         kernel = compile_filter(flt, fingerprint)
+        _M_KERNEL_COMPILED.inc()
+        trace_add("kernel_compiled")
         with self._lock:
             self.misses += 1
             self._entries[fingerprint] = kernel

@@ -51,6 +51,8 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.events import SystemEvent
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import active_trace
 from repro.service.cache import ScanCache, cache_fingerprint
 from repro.storage.blocks import BlockScanResult, ColumnBlock, Selection
 from repro.storage.filters import EventFilter
@@ -65,6 +67,20 @@ from repro.storage.partition import PartitionKey
 MANIFEST_VERSION = 1
 
 _COLUMNS = ("eid", "a", "s", "t0", "t1", "op", "subj", "obj", "ot", "amt", "fc")
+
+
+_M_COLD_CONSIDERED = REGISTRY.counter(
+    "aiql_cold_segments_considered_total", "Cold segments examined by zone maps"
+)
+_M_COLD_PRUNED = REGISTRY.counter(
+    "aiql_cold_segments_pruned_total", "Cold segments pruned without decoding"
+)
+_M_COLD_SCANNED = REGISTRY.counter(
+    "aiql_cold_segments_scanned_total", "Cold segments decoded and scanned"
+)
+_M_COLD_ROWS = REGISTRY.counter(
+    "aiql_cold_rows_selected_total", "Rows selected from cold segments"
+)
 
 
 class ColdTierError(ValueError):
@@ -381,12 +397,16 @@ class ColdTier:
             if cache is not None and kernel is not None
             else None
         )
+        considered = pruned = scanned = 0
         for zone in zones:
             self.segments_considered += 1
+            considered += 1
             if not zone.may_match(flt):
                 self.segments_pruned += 1
+                pruned += 1
                 continue
             self.segments_scanned += 1
+            scanned += 1
             if kernel is None:
                 # Interpreted oracle path (use_kernels(False)).
                 block = self._decoded(zone)
@@ -416,6 +436,20 @@ class ColdTier:
                 )
             else:
                 selections.append(self._scan_segment(self._decoded(zone), flt, kernel))
+        if considered:
+            trace = active_trace()
+            if REGISTRY.enabled or trace is not None:
+                rows = sum(len(s) for s in selections)
+                _M_COLD_CONSIDERED.inc(considered)
+                _M_COLD_PRUNED.inc(pruned)
+                _M_COLD_SCANNED.inc(scanned)
+                _M_COLD_ROWS.inc(rows)
+                if trace is not None:
+                    span = trace.current
+                    span.add("cold_segments_considered", considered)
+                    span.add("cold_segments_pruned", pruned)
+                    span.add("cold_segments_scanned", scanned)
+                    span.add("cold_rows_selected", rows)
         return selections
 
     def scan(self, flt: EventFilter) -> List[SystemEvent]:

@@ -31,10 +31,24 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.events import SystemEvent
 from repro.model.time import TimeWindow, day_of, day_start
+from repro.obs.metrics import REGISTRY
 from repro.storage.blocks import BlockScanResult
 from repro.storage.filters import EventFilter
 from repro.storage.partition import PartitionKey, PartitionScheme
 from repro.tier.cold import ColdTier
+
+_M_COMPACTIONS = REGISTRY.counter(
+    "aiql_compaction_passes_total", "Hot-to-cold compaction passes that moved data"
+)
+_M_COMPACTED_EVENTS = REGISTRY.counter(
+    "aiql_compaction_events_total", "Events migrated out of RAM into cold segments"
+)
+_M_COMPACTED_SEGMENTS = REGISTRY.counter(
+    "aiql_compaction_segments_total", "Cold segments written by compaction"
+)
+_M_COMPACTED_BYTES = REGISTRY.counter(
+    "aiql_compaction_bytes_total", "Compressed bytes written to cold segments"
+)
 
 
 @dataclass
@@ -251,6 +265,10 @@ class TieredStore:
         )
         self.compactions += 1
         self.events_migrated += removed
+        _M_COMPACTIONS.inc()
+        _M_COMPACTED_EVENTS.inc(removed)
+        _M_COMPACTED_SEGMENTS.inc(report.segments_written)
+        _M_COMPACTED_BYTES.inc(report.cold_bytes)
         return report
 
     # -- introspection ------------------------------------------------------

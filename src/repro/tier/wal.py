@@ -36,11 +36,23 @@ from typing import Iterator, Optional, Sequence
 
 from repro.model.entities import Entity, EntityRegistry
 from repro.model.events import SystemEvent
+from repro.obs.metrics import REGISTRY
 from repro.storage.persist import (
     entity_record,
     event_record,
     rebuild_entity,
     rebuild_event,
+)
+
+
+_M_WAL_RECORDS = REGISTRY.counter(
+    "aiql_wal_records_total", "WAL batch records appended"
+)
+_M_WAL_EVENTS = REGISTRY.counter(
+    "aiql_wal_events_total", "Events made durable through the WAL"
+)
+_M_WAL_BYTES = REGISTRY.counter(
+    "aiql_wal_bytes_total", "Bytes appended to the WAL"
 )
 
 
@@ -128,13 +140,17 @@ class WriteAheadLog:
         }
         payload = json.dumps(record, sort_keys=True)
         record["crc"] = _checksum(payload)
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        self._handle.write(line)
         self._handle.flush()
         if self.sync:
             os.fsync(self._handle.fileno())
         self._next_number = number + 1
         self.records_appended += 1
         self.events_appended += len(events)
+        _M_WAL_RECORDS.inc()
+        _M_WAL_EVENTS.inc(len(events))
+        _M_WAL_BYTES.inc(len(line))
         return number
 
     # -- read path ----------------------------------------------------------

@@ -1,0 +1,234 @@
+"""Metrics registry: counters, gauges, histograms, exposition, snapshot."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    SECONDS_BUCKETS,
+    MetricsRegistry,
+    flatten_gauges,
+    log_buckets,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestLogBuckets:
+    def test_powers_cover_range(self):
+        bounds = log_buckets(1.0, 8.0)
+        assert bounds == (1.0, 2.0, 4.0, 8.0)
+
+    def test_final_bound_reaches_hi(self):
+        bounds = log_buckets(1.0, 5.0)
+        assert bounds[-1] >= 5.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, factor=1.0)
+
+    def test_default_buckets_are_sorted(self):
+        assert list(SECONDS_BUCKETS) == sorted(SECONDS_BUCKETS)
+        assert list(BYTES_BUCKETS) == sorted(BYTES_BUCKETS)
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("c_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_isolate_series(self, registry):
+        c = registry.counter("c_total", "help", labelnames=("shard",))
+        c.inc(shard="0")
+        c.inc(3, shard="1")
+        assert c.value(shard="0") == 1
+        assert c.value(shard="1") == 3
+        assert c.samples() == [(("0",), 1.0), (("1",), 3.0)]
+
+    def test_wrong_labels_rejected(self, registry):
+        c = registry.counter("c_total", "help", labelnames=("shard",))
+        with pytest.raises(ValueError):
+            c.inc(host="x")
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("c_total", "help")
+        c.inc(10)
+        assert c.value() == 0
+        registry.enabled = True
+        c.inc(1)
+        assert c.value() == 1
+
+    def test_untouched_counter_reads_zero(self, registry):
+        assert registry.counter("c_total", "help").value() == 0.0
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("g", "help")
+        g.set(5)
+        g.inc(-2)
+        assert g.value() == 3
+
+    def test_callback_sampled_on_read(self, registry):
+        state = {"v": 7.0}
+        g = registry.gauge("g", "help", callback=lambda: state["v"])
+        assert g.samples() == [((), 7.0)]
+        state["v"] = 9.0
+        assert g.samples() == [((), 9.0)]
+
+    def test_callback_errors_swallowed(self, registry):
+        g = registry.gauge("g", "help", callback=lambda: 1 / 0)
+        assert g.samples() == []  # sampling failed, no value recorded
+
+
+class TestHistogram:
+    def test_observe_count_sum(self, registry):
+        h = registry.histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 105.0
+
+    def test_quantile_returns_bucket_bound(self, registry):
+        h = registry.histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 0.7, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) == 4.0
+
+    def test_overflow_lands_in_inf_bucket(self, registry):
+        h = registry.histogram("h", "help", buckets=(1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == float("inf")
+
+    def test_empty_quantile_is_zero(self, registry):
+        h = registry.histogram("h", "help", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0
+
+    def test_labelled_series_are_independent(self, registry):
+        h = registry.histogram("h", "help", labelnames=("shard",),
+                               buckets=(1.0, 2.0))
+        h.observe(0.5, shard="0")
+        h.observe(1.5, shard="1")
+        assert h.count(shard="0") == 1
+        assert h.count(shard="1") == 1
+        assert h.sum(shard="1") == 1.5
+
+    def test_disabled_observe_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        h = registry.histogram("h", "help", buckets=(1.0,))
+        h.observe(0.5)
+        assert h.count() == 0
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_object(self, registry):
+        a = registry.counter("c_total", "one wording")
+        b = registry.counter("c_total", "another wording")
+        assert a is b
+
+    def test_type_mismatch_rejected(self, registry):
+        registry.counter("m", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("m", "help")
+
+    def test_label_mismatch_rejected(self, registry):
+        registry.counter("m", "help", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("m", "help", labelnames=("b",))
+
+    def test_reset_zeroes_but_keeps_registrations(self, registry):
+        c = registry.counter("c_total", "help")
+        h = registry.histogram("h", "help", buckets=(1.0,))
+        c.inc()
+        h.observe(0.5)
+        registry.reset()
+        assert registry.get("c_total") is c
+        assert c.value() == 0
+        assert h.count() == 0
+
+    def test_concurrent_increments_do_not_lose_updates(self, registry):
+        c = registry.counter("c_total", "help")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000
+
+
+class TestRender:
+    def test_counter_exposition(self, registry):
+        c = registry.counter("aiql_x_total", "things", labelnames=("shard",))
+        c.inc(2, shard="1")
+        text = registry.render()
+        assert "# HELP aiql_x_total things" in text
+        assert "# TYPE aiql_x_total counter" in text
+        assert 'aiql_x_total{shard="1"} 2' in text
+
+    def test_zero_sample_unlabelled_metric_still_rendered(self, registry):
+        registry.counter("aiql_y_total", "help")
+        assert "aiql_y_total 0" in registry.render()
+
+    def test_histogram_cumulative_buckets(self, registry):
+        h = registry.histogram("aiql_h", "help", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(9.0)
+        text = registry.render()
+        assert 'aiql_h_bucket{le="1"} 1' in text
+        assert 'aiql_h_bucket{le="2"} 2' in text
+        assert 'aiql_h_bucket{le="+Inf"} 3' in text
+        assert "aiql_h_sum 11" in text
+        assert "aiql_h_count 3" in text
+
+    def test_extra_gauges_appended(self, registry):
+        text = registry.render(extra_gauges={"aiql_system_events": 42})
+        assert "aiql_system_events 42" in text
+
+    def test_snapshot_shape(self, registry):
+        c = registry.counter("c_total", "help")
+        c.inc(3)
+        h = registry.histogram("h", "help", buckets=(1.0,))
+        h.observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c_total"] == {"kind": "counter", "values": {"": 3.0}}
+        series = snap["h"]["series"][""]
+        assert series["count"] == 1
+        assert series["sum"] == 0.5
+        assert series["p50"] == 1.0
+
+
+class TestFlattenGauges:
+    def test_nested_dicts_flatten(self):
+        out = flatten_gauges("aiql_system", {"wal": {"bytes": 10}, "events": 2})
+        assert out == {"aiql_system_wal_bytes": 10.0, "aiql_system_events": 2.0}
+
+    def test_non_numeric_and_lists_skipped(self):
+        out = flatten_gauges("p", {"path": "/tmp/x", "shard_events": [1, 2]})
+        assert out == {}
+
+    def test_bools_become_floats(self):
+        assert flatten_gauges("p", {"durable": True}) == {"p_durable": 1.0}
+
+    def test_hostile_key_characters_sanitized(self):
+        out = flatten_gauges("p", {"a.b-c": 1})
+        assert out == {"p_a_b_c": 1.0}

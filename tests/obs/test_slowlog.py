@@ -1,0 +1,56 @@
+"""Slow-query log: threshold, bounded ring, consistent stats."""
+
+import pytest
+
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestSlowQueryLog:
+    def test_below_threshold_not_recorded(self):
+        log = SlowQueryLog(threshold_ms=100.0)
+        assert log.observe("q", elapsed_s=0.05) is None
+        assert log.entries() == []
+        assert log.stats() == {
+            "threshold_ms": 100.0,
+            "observed": 1,
+            "recorded": 0,
+            "entries": 0,
+        }
+
+    def test_at_or_above_threshold_recorded(self):
+        log = SlowQueryLog(threshold_ms=100.0)
+        entry = log.observe("slow q", elapsed_s=0.25, rows=3,
+                            detail={"kind": "multievent"})
+        assert entry is not None
+        assert entry.text == "slow q"
+        assert entry.elapsed_ms == 250.0
+        assert entry.rows == 3
+        assert entry.detail == {"kind": "multievent"}
+        assert log.entries() == [entry]
+
+    def test_zero_threshold_records_everything(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.observe("a", 0.0)
+        log.observe("b", 0.001)
+        assert [e.text for e in log.entries()] == ["a", "b"]
+
+    def test_ring_bounded_newest_kept(self):
+        log = SlowQueryLog(threshold_ms=0.0, max_entries=2)
+        for name in ("a", "b", "c"):
+            log.observe(name, 1.0)
+        assert [e.text for e in log.entries()] == ["b", "c"]
+        assert log.stats()["recorded"] == 3
+        assert log.stats()["entries"] == 2
+
+    def test_clear_empties_ring_keeps_counters(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.observe("a", 1.0)
+        log.clear()
+        assert log.entries() == []
+        assert log.stats()["recorded"] == 1
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=1.0, max_entries=0)

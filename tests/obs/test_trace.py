@@ -1,0 +1,127 @@
+"""Span trees, contextvar activation, and the no-trace fast path."""
+
+import json
+
+from repro.obs.trace import (
+    Span,
+    Trace,
+    activate,
+    active_trace,
+    trace_add,
+    trace_annotate,
+    trace_span,
+)
+
+
+class TestSpan:
+    def test_add_accumulates_counters(self):
+        span = Span("scan")
+        span.add("rows", 3)
+        span.add("rows", 2)
+        assert span.counters == {"rows": 5.0}
+
+    def test_annotate_merges_attrs(self):
+        span = Span("scan")
+        span.annotate(pattern=0)
+        span.annotate(rows=4)
+        assert span.attrs == {"pattern": 0, "rows": 4}
+
+    def test_to_text_renders_attrs_counters_children(self):
+        root = Span("query", started=0.0, ended=0.004)
+        child = Span("scan", started=0.001, ended=0.002)
+        child.annotate(pattern=1)
+        child.add("rows_scanned", 10)
+        root.children.append(child)
+        text = root.to_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert lines[1].startswith("  scan [pattern=1 rows_scanned=10]")
+        assert "(1.00 ms)" in lines[1]
+
+    def test_to_dict_round_trips_through_json(self):
+        span = Span("query", started=0.0, ended=0.5)
+        span.children.append(Span("parse", started=0.0, ended=0.1))
+        payload = json.loads(json.dumps(span.to_dict()))
+        assert payload["name"] == "query"
+        assert payload["duration_ms"] == 500.0
+        assert payload["children"][0]["name"] == "parse"
+
+    def test_find_returns_self_and_descendants(self):
+        root = Span("query")
+        a = Span("scan")
+        b = Span("scan")
+        join = Span("join")
+        root.children.extend([a, join])
+        join.children.append(b)
+        assert root.find("scan") == [a, b]
+        assert root.find("query") == [root]
+
+
+class TestTrace:
+    def test_push_pop_builds_tree(self):
+        trace = Trace("query")
+        outer = trace.push("schedule")
+        inner = trace.push("scan")
+        assert trace.current is inner
+        trace.pop(inner)
+        assert trace.current is outer
+        trace.pop(outer)
+        assert trace.current is trace.root
+        assert trace.root.children == [outer]
+        assert outer.children == [inner]
+
+    def test_finish_closes_everything(self):
+        trace = Trace("query")
+        span = trace.push("scan")
+        root = trace.finish()
+        assert root is trace.root
+        assert span.ended is not None
+        assert root.ended is not None
+
+    def test_child_durations_sum_within_parent(self):
+        trace = Trace("query")
+        for _ in range(3):
+            span = trace.push("scan")
+            trace.pop(span)
+        root = trace.finish()
+        child_total = sum(c.duration_s for c in root.children)
+        assert child_total <= root.duration_s + 1e-9
+
+
+class TestActivation:
+    def test_activate_sets_and_restores(self):
+        assert active_trace() is None
+        trace = Trace("query")
+        with activate(trace) as active:
+            assert active is trace
+            assert active_trace() is trace
+        assert active_trace() is None
+        assert trace.root.ended is not None
+
+    def test_trace_span_attaches_to_active(self):
+        with activate(Trace("query")) as trace:
+            with trace_span("scan", pattern=2) as span:
+                assert span is not None
+                assert trace.current is span
+                trace_add("rows_scanned", 7)
+                trace_annotate(rows=1)
+        scan = trace.root.children[0]
+        assert scan.attrs == {"pattern": 2, "rows": 1}
+        assert scan.counters == {"rows_scanned": 7.0}
+
+    def test_hooks_are_noops_without_trace(self):
+        with trace_span("scan") as span:
+            assert span is None
+        trace_add("rows", 5)  # must not raise
+        trace_annotate(rows=5)
+
+    def test_spans_close_on_exception(self):
+        trace = Trace("query")
+        try:
+            with activate(trace):
+                with trace_span("scan"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active_trace() is None
+        assert trace.root.children[0].ended is not None

@@ -181,6 +181,70 @@ def test_compute_error_raises_original():
         cache.get_or_compute("p", "f", boom)
 
 
+class TestStatsSnapshot:
+    """stats() is the canonical, mutually consistent counter snapshot."""
+
+    def test_every_outcome_is_counted(self):
+        cache = ScanCache(max_entries=2)
+        cache.get_or_compute("p", "a", lambda: [1], generation=1)  # miss
+        cache.get_or_compute("p", "a", lambda: [2], generation=1)  # hit
+        cache.get_or_compute("p", "a", lambda: [3], generation=2)  # gen miss
+        cache.get_or_compute("p", "b", lambda: [4])                # miss
+        cache.get_or_compute("p", "c", lambda: [5])                # miss+evict
+        cache.invalidate("p")
+        stats = cache.stats()
+        assert stats == {
+            "entries": 0,
+            "hits": 1,
+            "misses": 4,
+            "evictions": 1,
+            "invalidations": 1,
+            "shared_waits": 0,
+            "generation_mismatches": 1,
+        }
+
+    def test_generation_mismatch_evicts_stale_entry(self):
+        cache = ScanCache(max_entries=8)
+        cache.get_or_compute("p", "a", lambda: [1], generation=1)
+        cache.get_or_compute("p", "a", lambda: [2], generation=2)
+        # The stale generation's entry was evicted, not shadowed: the
+        # cache holds exactly the rebuilt entry.
+        assert len(cache) == 1
+        assert cache.stats()["generation_mismatches"] == 1
+
+    def test_single_flight_wait_counted(self):
+        import threading
+        import time
+
+        cache = ScanCache(max_entries=8)
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow():
+            started.set()
+            assert release.wait(5)
+            return [1]
+
+        owner = threading.Thread(
+            target=lambda: cache.get_or_compute("p", "a", slow)
+        )
+        owner.start()
+        assert started.wait(5)
+        waiter = threading.Thread(
+            target=lambda: cache.get_or_compute("p", "a", lambda: [9])
+        )
+        waiter.start()
+        deadline = time.monotonic() + 5
+        while cache.shared_waits == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)  # waiter registers before the owner releases
+        release.set()
+        owner.join()
+        waiter.join()
+        stats = cache.stats()
+        assert stats["shared_waits"] == 1
+        assert stats["misses"] == 1  # one compute, shared by both callers
+
+
 class TestEventStoreIntegration:
     def _store(self):
         ingestor = Ingestor()
