@@ -37,6 +37,7 @@ def _build_system(
     data_dir: Optional[str] = None,
     retention: Optional[int] = None,
     shards: int = 0,
+    chaos: Optional[str] = None,
 ) -> AIQLSystem:
     from repro.core.config import SystemConfig
     from repro.workload.loader import build_enterprise
@@ -64,10 +65,14 @@ def _build_system(
             data_dir=data_dir,
             retention_days=retention,
             shards=shards,
+            shard_chaos=chaos,
         )
     )
     if shards:
         print(f"sharded across {shards} worker process(es)", file=sys.stderr)
+        if system.store.fault_plan:
+            print(f"chaos plan: {system.store.fault_plan.to_spec()}",
+                  file=sys.stderr)
     recovered = system.recovery.total_events if system.recovery else 0
     if recovered:
         print(f"recovered {recovered} events from {data_dir} "
@@ -156,6 +161,10 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     if args.shards < 0:
         print("--shards N must be >= 0", file=sys.stderr)
         return 2
+    if args.chaos and not args.shards:
+        print("--chaos requires --shards N: faults target shard workers",
+              file=sys.stderr)
+        return 2
     if args.run:
         system = _build_system(
             args.rate,
@@ -163,6 +172,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             data_dir=args.data_dir,
             retention=args.retention,
             shards=args.shards,
+            chaos=args.chaos,
         )
         replay_handle = None
         session = None
@@ -253,6 +263,14 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                       f"across {stats['shards']} shard(s); "
                       f"scatter/gather: {stats.get('scatter_gather')}",
                       file=sys.stderr)
+                health = stats.get("shard_health") or {}
+                if health.get("restarts") or health.get("timeouts"):
+                    print(f"shard health: {health['restarts']} restart(s), "
+                          f"{health['timeouts']} timeout(s), "
+                          f"{health['retries']} retried command(s), "
+                          f"{health['lost_events']} event(s) lost, "
+                          f"failed shards {health['failed_shards']}",
+                          file=sys.stderr)
             elif system.durable:
                 print(f"tier stats: {stats.get('cold')}; "
                       f"wal: {stats.get('wal')}", file=sys.stderr)
@@ -419,6 +437,11 @@ def make_parser() -> argparse.ArgumentParser:
                              "processes (scatter/gather scans; combine "
                              "with --data-dir for per-shard WALs and cold "
                              "tiers)")
+    corpus.add_argument("--chaos", metavar="SPEC",
+                        help="with --shards: deterministic fault injection "
+                             "— an integer seed, or explicit faults like "
+                             "'kill@1:scan#0,delay@2:scan#1x0.05' "
+                             "(supervised recovery keeps the run serving)")
     corpus.set_defaults(func=cmd_corpus)
 
     archive = sub.add_parser(

@@ -7,6 +7,7 @@ from typing import Optional
 
 BACKENDS = ("partitioned", "flat", "segmented")
 SCHEDULINGS = ("relationship", "relationship_cardinality", "fetch_filter")
+SHARD_READ_POLICIES = ("fail_fast", "degraded")
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,49 @@ class SystemConfig:
         serialized column-block slices; CPU-bound scans scale past the
         GIL with the shard count.  ``backend``, ``scan_cache``,
         ``columnar``, ``retention_days`` etc. configure each worker.
+    shard_command_timeout_s
+        deadline (seconds) for every coordinator↔worker command other
+        than scatter scans: ingest acks, heartbeats, stats/metrics
+        pulls, maintenance and the startup hello.  A worker that does
+        not answer within it counts as wedged — the supervisor
+        quarantines it, SIGKILLs the process and respawns it (durable
+        shards replay their WAL).  ``None`` disables the deadline
+        (pre-ISSUE-9 blocking behaviour).
+    shard_scan_timeout_s
+        deadline for one scatter-scan round (scans decompress cold
+        segments and run compiled kernels, so they get their own, larger
+        budget).  Same recovery semantics as the command timeout.
+    shard_retry_attempts
+        bounded retry budget for *idempotent* shard commands (scans,
+        estimates, stats, metrics, heartbeats, maintenance): each
+        attempt recovers the failed worker and re-issues the command,
+        with exponential backoff + jitter between attempts
+        (:mod:`repro.core.retry`).  Non-idempotent ingest commits never
+        retry — they fail fast reporting exactly which shards acked.
+    shard_read_policy
+        what a scatter scan does when a shard stays unavailable after
+        retries: ``fail_fast`` (default) raises
+        :class:`~repro.shard.ShardError`; ``degraded`` returns the
+        surviving shards' watermark-capped rows plus a completeness
+        annotation (missing shard ids, estimated missed rows) threaded
+        into ``ResultSet.meta['completeness']`` and EXPLAIN reports.
+    shard_heartbeat_interval_s
+        period of the supervisor's liveness sweep (process sentinel
+        check + heartbeat ping per shard); a dead or wedged worker is
+        recovered before the next query trips over it.  ``0`` disables
+        the background sweep (failures are then detected at the next
+        command).
+    shard_max_restarts
+        supervised restarts allowed per shard; beyond it the shard is
+        marked failed and left quarantined (degraded reads annotate it,
+        fail-fast reads raise).  Bounds crash loops.
+    shard_chaos
+        fault-injection plan for the deployment's workers
+        (:mod:`repro.shard.chaos`): an integer seed for a generated
+        plan, or an explicit spec like ``"kill@1:scan#0"``.  ``None``
+        (default) injects nothing; the ``AIQL_SHARD_CHAOS`` environment
+        variable applies when this is unset.  Test/bench harness — not
+        for production deployments.
     data_dir
         root of the durable tiered-storage state (``repro.tier``):
         snapshot, write-ahead log and cold segment files.  ``None`` (the
@@ -150,6 +194,13 @@ class SystemConfig:
     stream_batch_size: int = 256
     max_workers: Optional[int] = None
     shards: int = 0
+    shard_command_timeout_s: Optional[float] = 30.0
+    shard_scan_timeout_s: Optional[float] = 120.0
+    shard_retry_attempts: int = 3
+    shard_read_policy: str = "fail_fast"
+    shard_heartbeat_interval_s: float = 5.0
+    shard_max_restarts: int = 3
+    shard_chaos: Optional[str] = None
     data_dir: Optional[str] = None
     retention_days: Optional[int] = None
     compact_interval_s: float = 30.0
@@ -183,6 +234,29 @@ class SystemConfig:
             raise ValueError("max_workers must be >= 1 (or None)")
         if self.shards < 0:
             raise ValueError("shards must be >= 0 (0 = in-process store)")
+        if (
+            self.shard_command_timeout_s is not None
+            and self.shard_command_timeout_s <= 0
+        ):
+            raise ValueError("shard_command_timeout_s must be > 0 (or None)")
+        if (
+            self.shard_scan_timeout_s is not None
+            and self.shard_scan_timeout_s <= 0
+        ):
+            raise ValueError("shard_scan_timeout_s must be > 0 (or None)")
+        if self.shard_retry_attempts < 1:
+            raise ValueError("shard_retry_attempts must be >= 1")
+        if self.shard_read_policy not in SHARD_READ_POLICIES:
+            raise ValueError(
+                f"unknown shard_read_policy {self.shard_read_policy!r}; "
+                f"expected one of {SHARD_READ_POLICIES}"
+            )
+        if self.shard_heartbeat_interval_s < 0:
+            raise ValueError(
+                "shard_heartbeat_interval_s must be >= 0 (0 disables)"
+            )
+        if self.shard_max_restarts < 0:
+            raise ValueError("shard_max_restarts must be >= 0")
         if self.retention_days is not None:
             if self.retention_days < 1:
                 raise ValueError("retention_days must be >= 1 (or None)")

@@ -1,0 +1,106 @@
+"""Bounded retry with exponential backoff and jitter (ISSUE 9).
+
+One policy object shared by everything that retries — the shard
+coordinator's idempotent command retries, supervised worker respawns,
+and any future network front door.  The policy is *deterministic given a
+seeded RNG*: tests (and the chaos harness) can replay the exact delay
+sequence a production run would have used, which is what makes
+fault-injection runs reproducible end to end.
+
+Two entry points:
+
+* :meth:`RetryPolicy.delays` — the pure delay schedule (``attempts - 1``
+  values), for callers that drive their own loop (the coordinator
+  interleaves recovery work between attempts);
+* :func:`retry_call` — the classic wrapper for self-contained callables.
+
+Backoff shape: attempt ``k`` (0-based) waits ``base * multiplier**k``
+capped at ``max_delay_s``, then multiplied by a jitter factor drawn
+uniformly from ``[1 - jitter, 1 + jitter]``.  Every delay is therefore
+bounded by ``max_delay_s * (1 + jitter)`` and never negative — the
+property suite pins both bounds.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with symmetric jitter."""
+
+    attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be >= 0")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delays(self, rng: Optional[random.Random] = None) -> Iterator[float]:
+        """The delay before each retry (``attempts - 1`` values).
+
+        With a seeded ``rng`` the sequence is fully deterministic; with
+        ``None`` a process-global source is used (production default).
+        """
+        draw = (rng or random).uniform
+        delay = self.base_delay_s
+        for _ in range(self.attempts - 1):
+            yield min(delay, self.max_delay_s) * draw(
+                1.0 - self.jitter, 1.0 + self.jitter
+            )
+            delay = min(delay * self.multiplier, self.max_delay_s)
+
+    @property
+    def max_total_delay_s(self) -> float:
+        """Upper bound on the summed backoff across all retries."""
+        total, delay = 0.0, self.base_delay_s
+        for _ in range(self.attempts - 1):
+            total += min(delay, self.max_delay_s) * (1.0 + self.jitter)
+            delay = min(delay * self.multiplier, self.max_delay_s)
+        return total
+
+
+def retry_call(
+    fn: Callable,
+    policy: RetryPolicy = RetryPolicy(),
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Call ``fn`` with bounded retries; re-raises the last failure.
+
+    Only exceptions in ``retry_on`` are retried — anything else (a
+    deterministic error that retrying cannot fix) propagates on the
+    first occurrence, which is the fail-fast half of the shard
+    coordinator's idempotent/non-idempotent split.  ``on_retry(attempt,
+    exc)`` fires before each backoff sleep, so callers can count retries
+    or interleave recovery work.
+    """
+    delays = list(policy.delays(rng))
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == policy.attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if delays[attempt] > 0:
+                sleep(delays[attempt])
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -311,9 +311,35 @@ class AIQLSystem:
         return result
 
     def execute(self, ctx: QueryContext) -> ResultSet:
+        mark = self._completeness_mark()
         if ctx.kind == "anomaly":
-            return self._anomaly.run(ctx)
-        return self._multievent.run(ctx)
+            result = self._anomaly.run(ctx)
+        else:
+            result = self._multievent.run(ctx)
+        self._attach_completeness(result, mark)
+        return result
+
+    def _completeness_mark(self) -> Optional[int]:
+        """Degraded-read bookkeeping mark (sharded stores only)."""
+        marker = getattr(self.store, "completeness_mark", None)
+        return marker() if marker is not None else None
+
+    def _attach_completeness(self, result: ResultSet, mark) -> None:
+        """Annotate ``result.meta`` when any scan it ran was partial.
+
+        A sharded store under the ``degraded`` read policy records a
+        completeness entry for every scatter scan that answered without
+        all shards; the merge of the entries recorded during this
+        execution (missing shards, estimated missed rows) lands in
+        ``result.meta['completeness']`` so callers — and the query
+        service's responses — can tell a complete answer from a
+        best-effort one.
+        """
+        if mark is None:
+            return
+        summary = self.store.completeness_since(mark)
+        if summary is not None:
+            result.meta["completeness"] = summary
 
     def explain(self, text: str, analyze: bool = True) -> ExplainReport:
         """Execution plan for ``text``; with ``analyze`` (EXPLAIN ANALYZE)
@@ -330,6 +356,7 @@ class AIQLSystem:
             ctx = self.compile(text)
             return ExplainReport(query=text, kind=ctx.kind, plan=plan_lines(ctx))
         started = time.perf_counter()
+        mark = self._completeness_mark()
         trace = Trace("query")
         with obs_trace.activate(trace):
             with trace_span("parse"):
@@ -338,6 +365,7 @@ class AIQLSystem:
                 result, stats = self._anomaly.run_with_stats(ctx)
             else:
                 result, stats = self._multievent.run_with_stats(ctx)
+        self._attach_completeness(result, mark)
         # EXPLAIN ANALYZE executes the query, so it counts as one (same
         # convention as PostgreSQL's statistics views).
         elapsed = time.perf_counter() - started
@@ -357,6 +385,7 @@ class AIQLSystem:
             root=trace.root,
             rows=len(result),
             scheduler=asdict(stats),
+            completeness=result.meta.get("completeness"),
         )
 
     # -- observability ---------------------------------------------------------

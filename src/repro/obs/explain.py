@@ -63,6 +63,9 @@ class ExplainReport:
     root: Optional[Span] = None
     rows: Optional[int] = None
     scheduler: Optional[Dict[str, Any]] = None
+    # Degraded sharded reads: merged ScanCompleteness summary of the
+    # scans this execution ran without every shard (None = complete).
+    completeness: Optional[Dict[str, Any]] = None
 
     # -- renderers ----------------------------------------------------------
 
@@ -79,6 +82,13 @@ class ExplainReport:
             order = self.scheduler.get("order")
             if order is not None:
                 lines.append(f"scheduler order: {list(order)}")
+        if self.completeness:
+            lines.append(
+                "completeness: DEGRADED "
+                f"(missing shards {self.completeness.get('missing_shards')}, "
+                f"~{self.completeness.get('estimated_missed_rows')} "
+                f"row(s) unavailable)"
+            )
         return "\n".join(lines)
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -88,6 +98,7 @@ class ExplainReport:
             "plan": list(self.plan),
             "rows": self.rows,
             "scheduler": self.scheduler,
+            "completeness": self.completeness,
             "trace": self.root.to_dict() if self.root is not None else None,
         }
         return json.dumps(payload, indent=indent, default=str)

@@ -102,7 +102,15 @@ class QueryService:
             runner = MultieventExecutor(
                 self.store, scheduling=self.scheduling, parallel=self.parallel
             )
+        # Degraded-read annotation (sharded stores): scans recorded as
+        # partial between the mark and completion land in result.meta.
+        marker = getattr(self.store, "completeness_mark", None)
+        mark = marker() if marker is not None else None
         result, stats = runner.run_with_stats(ctx)
+        if mark is not None:
+            summary = self.store.completeness_since(mark)
+            if summary is not None:
+                result.meta["completeness"] = summary
         with self._lock:
             self.stats.executed += 1
         elapsed = time.perf_counter() - started

@@ -1,0 +1,238 @@
+"""Deterministic fault injection for sharded deployments (ISSUE 9).
+
+A :class:`FaultPlan` is an explicit, picklable list of faults — *this
+shard*, at *this command count*, does *this* — so a failure
+interleaving observed once can be replayed exactly.  Plans come from
+three places, all landing in the same representation:
+
+* programmatic: ``FaultPlan(faults=(Fault(...),))`` in tests;
+* a spec string (``SystemConfig(shard_chaos=...)``, ``corpus --shards N
+  --chaos SPEC``, or the ``AIQL_SHARD_CHAOS`` environment variable):
+  either an integer seed (``"42"`` → :meth:`FaultPlan.generate`) or an
+  explicit comma list like ``"kill@1:scan#0,wedge@0:batch#2x30"``;
+* seeded generation: :meth:`FaultPlan.generate` draws a small plan from
+  ``random.Random(seed)`` — same seed, same shard count, same plan,
+  forever (the determinism property test pins this).
+
+Workers run a :class:`ChaosAgent` over their command loop.  The agent
+counts commands *per command type* when a fault names one (``scan#0`` =
+the first scan this worker processes, immune to heartbeat pings and
+entity broadcasts interleaving) and globally otherwise, and fires the
+fault **before** the command executes:
+
+* ``kill``  — ``SIGKILL`` to itself: no goodbye, no flush; the batch or
+  scan in flight was never acknowledged, exactly like a machine loss;
+* ``wedge`` — sleep far past every deadline: the worker is alive but
+  unresponsive, which only deadline-based waits can detect;
+* ``delay`` — sleep briefly, then answer normally: exercises the slow
+  path without tripping recovery.
+
+Faults belong to a worker's *first incarnation*: a supervised respawn
+clears the spec's faults, so recovery is never re-killed by the plan
+that proved it (bounded restart loops by construction).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, Optional, Tuple
+
+ACTIONS = ("kill", "wedge", "delay")
+
+# A "wedge" must outlive any plausible command deadline; the supervisor
+# SIGKILLs the worker long before this elapses.
+WEDGE_DEFAULT_S = 3600.0
+DELAY_DEFAULT_S = 0.05
+
+
+class ChaosSpecError(ValueError):
+    """Raised for unparseable chaos spec strings."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: ``action`` on ``shard`` at ``at_command``.
+
+    ``command`` scopes the count to one command type (``"scan"``,
+    ``"batch"``, ...): ``at_command`` then indexes only commands of that
+    type, which keeps plans deterministic even when heartbeats or entity
+    broadcasts interleave.  ``None`` counts every command the worker
+    processes.
+    """
+
+    shard: int
+    action: str
+    at_command: int = 0
+    command: Optional[str] = None
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected {ACTIONS}"
+            )
+        if self.shard < 0:
+            raise ValueError("fault shard must be >= 0")
+        if self.at_command < 0:
+            raise ValueError("fault at_command must be >= 0")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("fault duration_s must be > 0 (or None)")
+
+    def to_spec(self) -> str:
+        """The ``action@shard[:command]#count[xseconds]`` spec form."""
+        where = f"{self.shard}:{self.command}" if self.command else str(self.shard)
+        spec = f"{self.action}@{where}#{self.at_command}"
+        if self.duration_s is not None:
+            spec += f"x{self.duration_s:g}"
+        return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of faults across a sharded deployment."""
+
+    faults: Tuple[Fault, ...] = ()
+    seed: Optional[int] = None
+
+    @classmethod
+    def generate(
+        cls, seed: int, shards: int, kills: int = 1, delays: int = 1
+    ) -> "FaultPlan":
+        """Draw a small plan from ``Random(seed)`` — fully deterministic.
+
+        ``kills`` workers die at an early scan or batch command and
+        ``delays`` others answer slowly; victims are distinct while
+        shards allow.
+        """
+        if shards < 1:
+            raise ValueError("generate needs shards >= 1")
+        rng = Random(seed)
+        pool = list(range(shards))
+        rng.shuffle(pool)
+        faults = []
+        for _ in range(min(kills, len(pool))):
+            faults.append(
+                Fault(
+                    shard=pool.pop(),
+                    action="kill",
+                    command=rng.choice(("scan", "batch")),
+                    at_command=rng.randrange(0, 3),
+                )
+            )
+        for _ in range(delays):
+            faults.append(
+                Fault(
+                    shard=pool.pop() if pool else rng.randrange(shards),
+                    action="delay",
+                    command="scan",
+                    at_command=rng.randrange(0, 3),
+                    duration_s=round(rng.uniform(0.01, 0.05), 4),
+                )
+            )
+        return cls(faults=tuple(faults), seed=seed)
+
+    @classmethod
+    def from_spec(cls, spec: str, shards: int) -> "FaultPlan":
+        """Parse a chaos spec string (an integer seed or explicit faults).
+
+        Explicit form, comma-separated::
+
+            kill@SHARD[:COMMAND]#COUNT
+            wedge@SHARD[:COMMAND]#COUNT[xSECONDS]
+            delay@SHARD[:COMMAND]#COUNT[xSECONDS]
+        """
+        text = spec.strip()
+        if not text:
+            return cls()
+        try:
+            return cls.generate(int(text), shards)
+        except ValueError:
+            pass
+        faults = []
+        for part in text.split(","):
+            part = part.strip()
+            try:
+                action, rest = part.split("@", 1)
+                duration = None
+                if "x" in rest:
+                    rest, raw = rest.rsplit("x", 1)
+                    duration = float(raw)
+                where, _, count = rest.partition("#")
+                shard_text, _, command = where.partition(":")
+                faults.append(
+                    Fault(
+                        shard=int(shard_text),
+                        action=action.strip(),
+                        command=command or None,
+                        at_command=int(count) if count else 0,
+                        duration_s=duration,
+                    )
+                )
+            except (ValueError, TypeError) as exc:
+                raise ChaosSpecError(
+                    f"bad chaos fault {part!r} "
+                    f"(want action@shard[:command]#count[xseconds]): {exc}"
+                ) from None
+        for fault in faults:
+            if fault.shard >= shards:
+                raise ChaosSpecError(
+                    f"chaos fault targets shard {fault.shard} but the "
+                    f"deployment has {shards}"
+                )
+        return cls(faults=tuple(faults))
+
+    def for_shard(self, index: int) -> Tuple[Fault, ...]:
+        return tuple(f for f in self.faults if f.shard == index)
+
+    def to_spec(self) -> str:
+        return ",".join(fault.to_spec() for fault in self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+
+def plan_from_env(shards: int) -> FaultPlan:
+    """The ``AIQL_SHARD_CHAOS`` environment plan (empty when unset)."""
+    spec = os.environ.get("AIQL_SHARD_CHAOS", "")
+    return FaultPlan.from_spec(spec, shards) if spec.strip() else FaultPlan()
+
+
+@dataclass
+class ChaosAgent:
+    """Applies a worker's faults as its command loop runs."""
+
+    faults: Tuple[Fault, ...] = ()
+    _total: int = 0
+    _by_command: Dict[str, int] = field(default_factory=dict)
+
+    def before(self, command: str) -> None:
+        """Count ``command`` and fire any fault scheduled for it.
+
+        Runs before the command executes, so a killed worker never
+        acknowledges the in-flight request — the coordinator sees a dead
+        pipe, exactly like a crashed machine.
+        """
+        typed = self._by_command.get(command, 0)
+        self._by_command[command] = typed + 1
+        total = self._total
+        self._total = total + 1
+        for fault in self.faults:
+            if fault.command is None:
+                if fault.at_command != total:
+                    continue
+            elif fault.command != command or fault.at_command != typed:
+                continue
+            self._fire(fault)
+
+    @staticmethod
+    def _fire(fault: Fault) -> None:
+        if fault.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault.action == "wedge":
+            time.sleep(fault.duration_s or WEDGE_DEFAULT_S)
+        else:
+            time.sleep(fault.duration_s or DELAY_DEFAULT_S)

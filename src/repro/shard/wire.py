@@ -104,19 +104,28 @@ def decode_events(payload: Sequence[tuple]) -> Tuple[SystemEvent, ...]:
 # -- scan results -----------------------------------------------------------
 
 
-def encode_result(result: BlockScanResult, watermark: Optional[int] = None) -> dict:
+def encode_result(
+    result: BlockScanResult,
+    watermark: Optional[int] = None,
+    exclude: Optional[frozenset] = None,
+) -> dict:
     """Serialize a scan's survivors as one wire block, sorted and capped.
 
     Rows ride in the result's merged (start_time, event_id) handle order —
     already deduplicated across tiers — and rows above ``watermark`` (the
     coordinator's committed snapshot at scatter time) are dropped here, so
     a batch another shard has not acknowledged yet can never leak into a
-    gathered result half-committed.
+    gathered result half-committed.  ``exclude`` drops specific event ids:
+    the coordinator's torn-commit set (slices acknowledged by some shards
+    of a batch whose commit ultimately failed), which a later watermark
+    advance must never expose.
     """
     if watermark is not None:
         handles = [h for h in result.handles() if h[1] <= watermark]
     else:
         handles = list(result.handles())
+    if exclude:
+        handles = [h for h in handles if h[1] not in exclude]
     # A single-part result rides in its block's physical order, which a
     # flat heap does not sort by time — the decoded block claims
     # time_sorted, so establish the order here (timsort: cheap on the

@@ -25,12 +25,13 @@ from __future__ import annotations
 
 import traceback
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.model.entities import EntityRegistry
 from repro.obs import REGISTRY, set_metrics_enabled
 from repro.service.cache import ScanCache
 from repro.service.pool import shutdown_shared_executor
+from repro.shard.chaos import ChaosAgent, Fault
 from repro.shard.wire import decode_events, encode_events, encode_result
 from repro.storage.database import EventStore
 from repro.storage.flat import FlatStore
@@ -60,6 +61,10 @@ class ShardSpec:
     cold_cache_segments: int = 4
     cold_scan_cache_entries: int = 128
     metrics: bool = True
+    # Deterministic fault injection (ISSUE 9): faults this worker fires
+    # as its command loop runs.  Always () on a supervised respawn —
+    # plans target a shard's first incarnation only.
+    faults: Tuple[Fault, ...] = ()
 
 
 def _build_hot(spec: ShardSpec, registry: EntityRegistry):
@@ -132,6 +137,7 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
         )
     )
 
+    chaos = ChaosAgent(faults=spec.faults)
     running = True
     while running:
         try:
@@ -139,6 +145,9 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
         except (EOFError, OSError):
             break
         command, args = request[0], request[1:]
+        # Fire scheduled faults *before* executing, so a killed worker
+        # never acknowledges the in-flight command (like a machine loss).
+        chaos.before(command)
         try:
             if command == "entities":
                 for record in args[0]:
@@ -149,11 +158,13 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
                 ingestor.commit(events)
                 reply = len(events)
             elif command == "scan":
-                flt, watermark, parallel, use_entity_index = args
+                flt, watermark, parallel, use_entity_index, exclude = args
                 result = store.scan_columns(
                     flt, parallel=parallel, use_entity_index=use_entity_index
                 )
-                reply = encode_result(result, watermark=watermark)
+                reply = encode_result(
+                    result, watermark=watermark, exclude=exclude
+                )
             elif command == "full_scan":
                 reply = encode_events(store.full_scan(args[0]))
             elif command == "estimate":
@@ -176,6 +187,8 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
                 reply = stats
             elif command == "metrics":
                 reply = REGISTRY.snapshot()
+            elif command == "ping":
+                reply = "pong"
             elif command == "stop":
                 running = False
                 reply = None

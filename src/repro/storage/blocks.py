@@ -404,13 +404,17 @@ class BlockScanResult:
     event_id)-sorted row list exactly once, for final results.
     """
 
-    __slots__ = ("parts", "dedup", "_handles", "_events")
+    __slots__ = ("parts", "dedup", "completeness", "_handles", "_events")
 
     def __init__(self, parts: Sequence[Selection], dedup: bool = False) -> None:
         self.parts = list(parts)
         # Tiered scans can reach one event in both tiers during a
         # migration hand-off; their results dedup by event id on merge.
         self.dedup = dedup
+        # Degraded sharded scans attach a ScanCompleteness annotation
+        # here (missing shard ids, estimated missed rows); None means the
+        # scan answered from every shard.
+        self.completeness = None
         self._handles: Optional[List[_Handle]] = None
         self._events: Optional[List[SystemEvent]] = None
 

@@ -54,6 +54,17 @@ _M_WAL_EVENTS = REGISTRY.counter(
 _M_WAL_BYTES = REGISTRY.counter(
     "aiql_wal_bytes_total", "Bytes appended to the WAL"
 )
+_M_WAL_TORN = REGISTRY.counter(
+    "aiql_wal_torn_tails_total",
+    "Torn (unacknowledged) WAL tails detected and discarded",
+)
+_M_WAL_REPLAY_EVENTS = REGISTRY.counter(
+    "aiql_wal_replay_events_total", "Events applied during WAL replay"
+)
+_M_WAL_REPLAY_SKIPPED = REGISTRY.counter(
+    "aiql_wal_replay_skipped_events_total",
+    "Replayed events skipped as snapshot-covered or cold-migrated",
+)
 
 
 class WALError(ValueError):
@@ -81,12 +92,19 @@ class WriteAheadLog:
         self.path = Path(path)
         self.sync = sync
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.torn_tails_detected = 0
+        self.torn_bytes_discarded = 0
+        self.replay_events_applied = 0
+        self.replay_events_skipped = 0
         last_number, valid_bytes = self._scan_valid_prefix()
         # Truncate a torn tail *before* appending: a record written after
         # a leftover partial line would be unreachable forever (replay
         # stops at the first torn line), silently losing every commit
         # acknowledged after the recovery.
         if self.path.exists() and self.path.stat().st_size > valid_bytes:
+            self.torn_tails_detected += 1
+            self.torn_bytes_discarded += self.path.stat().st_size - valid_bytes
+            _M_WAL_TORN.inc()
             with self.path.open("rb+") as handle:
                 handle.truncate(valid_bytes)
         self._handle = self.path.open("a", encoding="utf-8")
@@ -229,6 +247,13 @@ class WriteAheadLog:
                 if event.event_id > after_event_id
                 and (skip_event is None or not skip_event(event))
             ]
+            skipped = len(record.events) - len(batch)
+            if skipped:
+                # Snapshot-covered or cold-migrated: idempotence at work,
+                # but surfaced — a replay skipping *everything* is how a
+                # stale-snapshot misconfiguration shows up.
+                self.replay_events_skipped += skipped
+                _M_WAL_REPLAY_SKIPPED.inc(skipped)
             if not batch:
                 continue
             for store in stores:
@@ -239,6 +264,9 @@ class WriteAheadLog:
                     for event in batch:
                         store.add_event(event)
             applied += len(batch)
+        if applied:
+            self.replay_events_applied += applied
+            _M_WAL_REPLAY_EVENTS.inc(applied)
         return applied
 
     # -- lifecycle ----------------------------------------------------------
@@ -277,4 +305,8 @@ class WriteAheadLog:
             "bytes": self.size_bytes(),
             "records_appended": self.records_appended,
             "events_appended": self.events_appended,
+            "torn_tails_detected": self.torn_tails_detected,
+            "torn_bytes_discarded": self.torn_bytes_discarded,
+            "replay_events_applied": self.replay_events_applied,
+            "replay_events_skipped": self.replay_events_skipped,
         }

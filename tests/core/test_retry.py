@@ -1,0 +1,136 @@
+"""RetryPolicy: backoff schedule shape, bounds and retry_call semantics."""
+
+import random
+
+import pytest
+
+from repro.core.retry import RetryPolicy, retry_call
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.attempts == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_delay_s": -0.1},
+            {"max_delay_s": 0.01, "base_delay_s": 0.05},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestDelays:
+    def test_count_is_attempts_minus_one(self):
+        for attempts in (1, 2, 5):
+            policy = RetryPolicy(attempts=attempts)
+            assert len(list(policy.delays(random.Random(0)))) == attempts - 1
+
+    def test_deterministic_with_seeded_rng(self):
+        policy = RetryPolicy(attempts=6)
+        first = list(policy.delays(random.Random(7)))
+        second = list(policy.delays(random.Random(7)))
+        assert first == second
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            attempts=4, base_delay_s=0.1, max_delay_s=10.0, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay_s=1.0, max_delay_s=2.0, jitter=0.0
+        )
+        assert max(policy.delays()) == pytest.approx(2.0)
+
+    def test_max_total_delay_bounds_any_draw(self):
+        policy = RetryPolicy(attempts=5)
+        for seed in range(20):
+            total = sum(policy.delays(random.Random(seed)))
+            assert total <= policy.max_total_delay_s + 1e-9
+
+
+class TestRetryCall:
+    def test_success_first_try_never_sleeps(self):
+        sleeps = []
+        result = retry_call(lambda: 42, sleep=sleeps.append)
+        assert result == 42
+        assert sleeps == []
+
+    def test_retries_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "done"
+
+        result = retry_call(
+            flaky,
+            RetryPolicy(attempts=3),
+            rng=random.Random(0),
+            sleep=lambda _s: None,
+        )
+        assert result == "done"
+        assert len(calls) == 3
+
+    def test_exhaustion_reraises_last_error(self):
+        def always_fails():
+            raise OSError("persistent")
+
+        with pytest.raises(OSError, match="persistent"):
+            retry_call(
+                always_fails,
+                RetryPolicy(attempts=3),
+                rng=random.Random(0),
+                sleep=lambda _s: None,
+            )
+
+    def test_non_retriable_error_fails_fast(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise ValueError("deterministic")
+
+        with pytest.raises(ValueError):
+            retry_call(fails, retry_on=(OSError,), sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_on_retry_sees_each_failure(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("again")
+            return "ok"
+
+        retry_call(
+            flaky,
+            RetryPolicy(attempts=3),
+            rng=random.Random(0),
+            sleep=lambda _s: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert [attempt for attempt, _ in seen] == [0, 1]
+
+    def test_single_attempt_policy_never_retries(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise OSError("once")
+
+        with pytest.raises(OSError):
+            retry_call(fails, RetryPolicy(attempts=1), sleep=lambda _s: None)
+        assert len(calls) == 1

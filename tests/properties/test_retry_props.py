@@ -1,0 +1,115 @@
+"""Property tests: retry backoff bounds and fault-plan determinism.
+
+The guarantees the fault-tolerant coordinator leans on:
+
+* every backoff delay a :class:`RetryPolicy` draws is non-negative and
+  bounded by ``max_delay_s * (1 + jitter)``, the schedule has exactly
+  ``attempts - 1`` entries, and its sum never exceeds
+  :attr:`RetryPolicy.max_total_delay_s` — so a supervised retry loop's
+  total wait is bounded by construction;
+* seeded schedules and seeded :class:`FaultPlan` generation are pure
+  functions of their inputs — the property that makes a chaos run
+  replayable bit-for-bit.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.retry import RetryPolicy
+from repro.shard.chaos import ACTIONS, FaultPlan
+
+policies = st.builds(
+    RetryPolicy,
+    attempts=st.integers(min_value=1, max_value=8),
+    base_delay_s=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    max_delay_s=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+    multiplier=st.integers(min_value=1, max_value=4).map(float),
+    jitter=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+)
+
+
+class TestBackoffBounds:
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=200)
+    def test_every_delay_is_bounded(self, policy, seed):
+        delays = list(policy.delays(random.Random(seed)))
+        assert len(delays) == policy.attempts - 1
+        ceiling = policy.max_delay_s * (1.0 + policy.jitter)
+        for delay in delays:
+            assert 0.0 <= delay <= ceiling + 1e-9
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=200)
+    def test_total_wait_is_bounded(self, policy, seed):
+        total = sum(policy.delays(random.Random(seed)))
+        assert total <= policy.max_total_delay_s + 1e-9
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=100)
+    def test_seeded_schedule_is_deterministic(self, policy, seed):
+        first = list(policy.delays(random.Random(seed)))
+        second = list(policy.delays(random.Random(seed)))
+        assert first == second
+
+    @given(policy=policies)
+    @settings(max_examples=100)
+    def test_jitterless_schedule_is_monotone_nondecreasing(self, policy):
+        policy = RetryPolicy(
+            attempts=policy.attempts,
+            base_delay_s=policy.base_delay_s,
+            max_delay_s=policy.max_delay_s,
+            multiplier=policy.multiplier,
+            jitter=0.0,
+        )
+        delays = list(policy.delays())
+        assert delays == sorted(delays)
+
+
+class TestFaultPlanDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        shards=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=200)
+    def test_same_inputs_same_plan(self, seed, shards):
+        assert FaultPlan.generate(seed, shards) == FaultPlan.generate(
+            seed, shards
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        shards=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=200)
+    def test_generated_faults_are_well_formed(self, seed, shards):
+        plan = FaultPlan.generate(seed, shards)
+        assert plan.faults
+        for fault in plan.faults:
+            assert 0 <= fault.shard < shards
+            assert fault.action in ACTIONS
+            assert fault.at_command >= 0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        shards=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=200)
+    def test_spec_roundtrip_preserves_faults(self, seed, shards):
+        plan = FaultPlan.generate(seed, shards)
+        rebuilt = FaultPlan.from_spec(plan.to_spec(), shards)
+        assert rebuilt.faults == plan.faults
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        shards=st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=100)
+    def test_shard_partition_covers_plan(self, seed, shards):
+        plan = FaultPlan.generate(seed, shards)
+        scattered = [
+            fault
+            for index in range(shards)
+            for fault in plan.for_shard(index)
+        ]
+        assert sorted(scattered, key=repr) == sorted(plan.faults, key=repr)

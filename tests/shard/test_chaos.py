@@ -1,0 +1,127 @@
+"""Deterministic fault plans: specs, generation, and the chaos agent."""
+
+import pytest
+
+from repro.shard.chaos import (
+    ChaosAgent,
+    ChaosSpecError,
+    Fault,
+    FaultPlan,
+    plan_from_env,
+)
+
+
+class TestFault:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fault(shard=0, action="explode")
+        with pytest.raises(ValueError):
+            Fault(shard=-1, action="kill")
+        with pytest.raises(ValueError):
+            Fault(shard=0, action="kill", at_command=-1)
+        with pytest.raises(ValueError):
+            Fault(shard=0, action="delay", duration_s=0)
+
+    def test_spec_roundtrip(self):
+        faults = (
+            Fault(shard=1, action="kill", command="scan", at_command=0),
+            Fault(shard=0, action="wedge", at_command=2, duration_s=30.0),
+            Fault(
+                shard=2,
+                action="delay",
+                command="batch",
+                at_command=1,
+                duration_s=0.05,
+            ),
+        )
+        plan = FaultPlan(faults=faults)
+        assert FaultPlan.from_spec(plan.to_spec(), shards=3).faults == faults
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(seed=42, shards=4)
+        b = FaultPlan.generate(seed=42, shards=4)
+        assert a == b
+        assert a.faults  # non-empty by construction
+
+    def test_different_seeds_differ_somewhere(self):
+        plans = {FaultPlan.generate(seed=s, shards=6).to_spec() for s in range(8)}
+        assert len(plans) > 1
+
+    def test_integer_spec_is_seeded_generation(self):
+        assert FaultPlan.from_spec("42", shards=4) == FaultPlan.generate(
+            42, shards=4
+        )
+
+    def test_kill_targets_early_scan_or_batch(self):
+        for seed in range(10):
+            plan = FaultPlan.generate(seed=seed, shards=4)
+            kills = [f for f in plan.faults if f.action == "kill"]
+            assert kills
+            for fault in kills:
+                assert fault.command in ("scan", "batch")
+                assert 0 <= fault.at_command < 3
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ChaosSpecError):
+            FaultPlan.from_spec("kill@", shards=2)
+        with pytest.raises(ChaosSpecError):
+            FaultPlan.from_spec("frob@0#1", shards=2)
+        with pytest.raises(ChaosSpecError):
+            FaultPlan.from_spec("kill@5:scan#0", shards=2)  # out of range
+
+    def test_for_shard_partitions_the_plan(self):
+        plan = FaultPlan.from_spec("kill@1:scan#0,delay@0:scan#1x0.02", shards=2)
+        assert [f.action for f in plan.for_shard(0)] == ["delay"]
+        assert [f.action for f in plan.for_shard(1)] == ["kill"]
+        assert plan.for_shard(0) + plan.for_shard(1) != ()
+
+    def test_empty_spec_is_empty_plan(self):
+        assert not FaultPlan.from_spec("  ", shards=2)
+        assert not FaultPlan()
+
+    def test_plan_from_env(self, monkeypatch):
+        monkeypatch.delenv("AIQL_SHARD_CHAOS", raising=False)
+        assert not plan_from_env(2)
+        monkeypatch.setenv("AIQL_SHARD_CHAOS", "kill@1:scan#0")
+        plan = plan_from_env(2)
+        assert plan.faults[0].action == "kill"
+
+
+class TestChaosAgent:
+    def test_typed_counts_ignore_other_commands(self, monkeypatch):
+        fired = []
+        monkeypatch.setattr(ChaosAgent, "_fire", staticmethod(fired.append))
+        agent = ChaosAgent(
+            faults=(Fault(shard=0, action="kill", command="scan", at_command=1),)
+        )
+        # Heartbeats and entity broadcasts interleave freely: only the
+        # second *scan* fires the fault.
+        for command in ("ping", "entities", "scan", "ping", "batch"):
+            agent.before(command)
+        assert fired == []
+        agent.before("scan")
+        assert [f.action for f in fired] == ["kill"]
+
+    def test_untyped_counts_every_command(self, monkeypatch):
+        fired = []
+        monkeypatch.setattr(ChaosAgent, "_fire", staticmethod(fired.append))
+        agent = ChaosAgent(faults=(Fault(shard=0, action="delay", at_command=2),))
+        agent.before("ping")
+        agent.before("scan")
+        assert fired == []
+        agent.before("stats")
+        assert len(fired) == 1
+
+    def test_delay_sleeps_for_duration(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr("repro.shard.chaos.time.sleep", slept.append)
+        ChaosAgent._fire(Fault(shard=0, action="delay", duration_s=0.02))
+        assert slept == [0.02]
+
+    def test_wedge_defaults_far_past_deadlines(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr("repro.shard.chaos.time.sleep", slept.append)
+        ChaosAgent._fire(Fault(shard=0, action="wedge"))
+        assert slept and slept[0] >= 3600
