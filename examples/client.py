@@ -1,0 +1,150 @@
+"""A minimal network client for the AIQL service — stdlib only.
+
+Start a server in one terminal:
+
+    $ PYTHONPATH=src python -m repro serve --port 8080 --rate 200
+
+then run this against it:
+
+    $ PYTHONPATH=src python examples/client.py --port 8080
+
+It submits one query over HTTP (streaming the NDJSON pages as they
+arrive), asks for the execution plan, and finally opens the alert
+WebSocket and waits briefly for standing-query matches.
+
+Everything on the wire is a versioned ``repro.api`` message; errors
+come back as ``ErrorEnvelope`` with a stable dotted code — switch on
+``envelope.code``, never on the message text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro import api
+from repro.server import websocket
+
+QUERY = """\
+proc p1 start proc p2
+return p1, p2
+"""
+
+WATCH = """\
+proc p1 write file f1 as evt1
+return p1, f1
+"""
+
+
+def run_query(base: str, text: str) -> None:
+    """POST /v1/query and stream the NDJSON pages."""
+    request = urllib.request.Request(
+        f"{base}/v1/query",
+        data=api.QueryRequest(text=text, client_id="example").to_json().encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            pages = []
+            for raw in response:  # one JSON object per line, as it arrives
+                line = raw.decode().strip()
+                if line:
+                    pages.append(api.from_json(line))
+            columns, rows, meta = api.result_from_pages(pages)
+    except urllib.error.HTTPError as err:
+        envelope = api.from_json(err.read().decode())
+        print(f"query failed: [{envelope.code}] {envelope.message}")
+        if envelope.retryable:
+            print(f"  retryable — retry after {envelope.retry_after_s}s")
+        return
+    print(f"columns: {columns}")
+    for row in rows[:10]:
+        print(f"  {row}")
+    if len(rows) > 10:
+        print(f"  ... {len(rows) - 10} more")
+    print(f"{len(rows)} rows in {meta.get('elapsed_ms', '?')} ms "
+          f"({len(pages)} page(s))")
+    if "completeness" in meta:  # degraded sharded read — still a 200
+        print(f"  degraded: {meta['completeness']}")
+
+
+def run_explain(base: str, text: str) -> None:
+    """GET /v1/explain — the scheduler's plan for the query."""
+    q = urllib.parse.quote(text)
+    with urllib.request.urlopen(f"{base}/v1/explain?q={q}&analyze=0") as resp:
+        report = api.from_json(resp.read().decode())
+    print(f"plan kind: {report.kind}")
+    for step in report.plan:
+        print(f"  {json.dumps(step)[:100]}")
+
+
+async def watch_alerts(host: str, port: int, timeout_s: float) -> None:
+    """Subscribe on the /v1/alerts WebSocket and print pushed matches."""
+    ws = await websocket.connect(host, port)
+    await ws.send_text(
+        api.SubscribeRequest(query=WATCH, name="example-watch").to_json()
+    )
+    ack = api.from_json(await ws.recv_text())
+    if isinstance(ack, api.ErrorEnvelope):
+        print(f"subscribe failed: [{ack.code}] {ack.message}")
+        return
+    print(f"subscribed {ack.name!r}: {ack.patterns} pattern(s), "
+          f"window {ack.window_s}s — waiting {timeout_s:.0f}s for alerts")
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    received = 0
+    while loop.time() < deadline:
+        try:
+            text = await asyncio.wait_for(
+                ws.recv_text(), timeout=max(0.1, deadline - loop.time())
+            )
+        except asyncio.TimeoutError:
+            break
+        if text is None:
+            break
+        message = api.from_json(text)
+        if isinstance(message, api.AlertMessage):
+            received += 1
+            first = message.events[0] if message.events else {}
+            print(f"  alert #{received} [{message.subscription}] {first}")
+    print(f"{received} alert(s) received")
+    await ws.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--watch-s", type=float, default=5.0,
+                        help="how long to wait on the alert socket")
+    args = parser.parse_args()
+    base = f"http://{args.host}:{args.port}"
+
+    try:
+        with urllib.request.urlopen(f"{base}/healthz") as resp:
+            health = api.from_json(resp.read().decode())
+    except OSError as err:
+        print(f"no server at {base}: {err}", file=sys.stderr)
+        print("start one with: PYTHONPATH=src python -m repro serve",
+              file=sys.stderr)
+        return 1
+    print(f"server ok ({health.status}, api {health.api}, "
+          f"schema v{api.SCHEMA_VERSION})")
+
+    print("\n-- query " + "-" * 40)
+    run_query(base, QUERY)
+    print("\n-- explain " + "-" * 38)
+    run_explain(base, QUERY)
+    print("\n-- alerts " + "-" * 39)
+    asyncio.run(watch_alerts(args.host, args.port, args.watch_s))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

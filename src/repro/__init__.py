@@ -15,7 +15,19 @@ provides:
 * :mod:`repro.workload` -- the synthetic enterprise and the paper's attack
   scenarios (APT case study, dependency chains, malware, abnormal behavior);
 * :mod:`repro.service` -- the concurrent query service: shared executor,
-  partition-scan cache, batched/deduplicated query submission.
+  partition-scan cache, batched/deduplicated query submission;
+* :mod:`repro.api` -- the versioned public wire schema (v1): query/page/
+  alert/error messages with lossless JSON codecs and the stable error
+  taxonomy, shared by the network service, the CLI and clients;
+* :mod:`repro.server` -- the asyncio HTTP/WebSocket network front door
+  (``AIQLSystem.serve()`` / ``python -m repro serve``).
+
+The documented public surface is ``__all__`` below: the system facade
+(:class:`AIQLSystem`, :class:`SystemConfig`, :class:`ResultSet`), the
+language entry points (:func:`parse` and the ``AIQL*Error`` types), the
+concurrent service (:class:`QueryService`, :class:`ScanCache`) and the
+network layer (:class:`AIQLServer`, lazily imported).  Everything else
+is implementation detail and may move between releases.
 """
 
 from repro.core.config import SystemConfig
@@ -25,12 +37,13 @@ from repro.lang.errors import AIQLError, AIQLSemanticError, AIQLSyntaxError
 from repro.lang.parser import parse
 from repro.service import QueryService, ScanCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AIQLError",
     "AIQLSemanticError",
     "AIQLSyntaxError",
+    "AIQLServer",
     "AIQLSystem",
     "QueryService",
     "ResultSet",
@@ -39,3 +52,14 @@ __all__ = [
     "parse",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # AIQLServer is part of the public surface but imported lazily:
+    # pulling the server stack (asyncio plumbing) on `import repro`
+    # would tax every non-networked user.
+    if name == "AIQLServer":
+        from repro.server import AIQLServer
+
+        return AIQLServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

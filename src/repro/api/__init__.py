@@ -1,0 +1,72 @@
+"""``repro.api`` — the versioned public wire schema (ISSUE 10).
+
+One serializable request/response/error contract shared by the asyncio
+network service (:mod:`repro.server`), the CLI's ``--json`` outputs,
+``examples/client.py`` and in-process callers:
+
+* :mod:`repro.api.schema` — the message dataclasses
+  (:class:`QueryRequest`, :class:`QueryPage`, :class:`AlertMessage`,
+  :class:`ErrorEnvelope`, :class:`ExplainReportPayload`,
+  :class:`StatsPayload`, subscribe/ack messages) with lossless
+  ``to_json``/``from_json`` codecs and ``SCHEMA_VERSION`` gating;
+* :mod:`repro.api.errors` — the stable error taxonomy: dotted codes,
+  HTTP statuses, retryability, :func:`classify` from exceptions.
+"""
+
+from repro.api.errors import Code, classify, envelope, exit_code, render
+from repro.api.schema import (
+    API_PREFIX,
+    AlertMessage,
+    ErrorEnvelope,
+    ExplainReportPayload,
+    HealthPayload,
+    Message,
+    QueryPage,
+    QueryRequest,
+    SCHEMA_VERSION,
+    SchemaError,
+    StatsPayload,
+    SubscribeAck,
+    SubscribeRequest,
+    UnsubscribeRequest,
+    alert_message,
+    event_summary,
+    explain_payload,
+    from_json,
+    from_payload,
+    pages_from_result,
+    result_from_pages,
+    to_json,
+    wire_value,
+)
+
+__all__ = [
+    "API_PREFIX",
+    "AlertMessage",
+    "Code",
+    "ErrorEnvelope",
+    "ExplainReportPayload",
+    "HealthPayload",
+    "Message",
+    "QueryPage",
+    "QueryRequest",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "StatsPayload",
+    "SubscribeAck",
+    "SubscribeRequest",
+    "UnsubscribeRequest",
+    "alert_message",
+    "classify",
+    "envelope",
+    "event_summary",
+    "exit_code",
+    "explain_payload",
+    "from_json",
+    "from_payload",
+    "pages_from_result",
+    "render",
+    "result_from_pages",
+    "to_json",
+    "wire_value",
+]

@@ -1,0 +1,160 @@
+"""The public error taxonomy: every failure gets a stable dotted code.
+
+:func:`classify` maps any exception the query/subscription/ingest
+surface can raise onto an :class:`~repro.api.schema.ErrorEnvelope` with
+a documented code, the HTTP status the network service pairs with it,
+and a retryability flag.  The codes are part of the versioned wire
+contract — tests pin each mapping, and clients may switch on them.
+
+==========================  ======  =========  =================================
+code                        status  retryable  raised by
+==========================  ======  =========  =================================
+``aiql.syntax``             400     no         :class:`AIQLSyntaxError`
+``aiql.semantic``           400     no         :class:`AIQLSemanticError`
+``aiql.invalid``            400     no         any other :class:`AIQLError`
+``aiql.subscription``       400     no         :class:`ContinuousError`
+``request.invalid``         400     no         malformed wire payloads
+``request.not_found``       404     no         unknown route
+``request.method``          405     no         wrong HTTP method on a route
+``request.too_large``       413     no         body over the server limit
+``server.overloaded``       429     yes        admission control shedding load
+``shard.timeout``           503     yes        :class:`ShardTimeout`
+``shard.commit_failed``     503     yes        :class:`ShardCommitError`
+``shard.unavailable``       503     yes        any other :class:`ShardError`
+``server.internal``         500     no         anything unclassified
+==========================  ======  =========  =================================
+
+Degraded sharded reads are *not* errors: they answer 200 with the
+``completeness`` annotation on the final :class:`QueryPage`'s meta.
+
+Imports of the exception types are lazy so this module stays cycle-free
+(``repro.api`` is imported by the observability layer, which everything
+else imports).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.schema import ErrorEnvelope, SchemaError, wire_value
+
+
+class Code:
+    """Stable error-code constants (see the module table)."""
+
+    SYNTAX = "aiql.syntax"
+    SEMANTIC = "aiql.semantic"
+    QUERY_INVALID = "aiql.invalid"
+    SUBSCRIPTION_INVALID = "aiql.subscription"
+    REQUEST_INVALID = "request.invalid"
+    NOT_FOUND = "request.not_found"
+    METHOD_NOT_ALLOWED = "request.method"
+    PAYLOAD_TOO_LARGE = "request.too_large"
+    OVERLOADED = "server.overloaded"
+    SHARD_TIMEOUT = "shard.timeout"
+    SHARD_COMMIT_FAILED = "shard.commit_failed"
+    SHARD_UNAVAILABLE = "shard.unavailable"
+    INTERNAL = "server.internal"
+
+
+_STATUS = {
+    Code.SYNTAX: 400,
+    Code.SEMANTIC: 400,
+    Code.QUERY_INVALID: 400,
+    Code.SUBSCRIPTION_INVALID: 400,
+    Code.REQUEST_INVALID: 400,
+    Code.NOT_FOUND: 404,
+    Code.METHOD_NOT_ALLOWED: 405,
+    Code.PAYLOAD_TOO_LARGE: 413,
+    Code.OVERLOADED: 429,
+    Code.SHARD_TIMEOUT: 503,
+    Code.SHARD_COMMIT_FAILED: 503,
+    Code.SHARD_UNAVAILABLE: 503,
+    Code.INTERNAL: 500,
+}
+
+_RETRYABLE = frozenset(
+    (Code.OVERLOADED, Code.SHARD_TIMEOUT, Code.SHARD_COMMIT_FAILED,
+     Code.SHARD_UNAVAILABLE)
+)
+
+
+def envelope(
+    code: str,
+    message: str,
+    retry_after_s: Optional[float] = None,
+    **detail: object,
+) -> ErrorEnvelope:
+    """Build an envelope for ``code`` with the taxonomy's status/retry."""
+    return ErrorEnvelope(
+        code=code,
+        message=message,
+        http_status=_STATUS.get(code, 500),
+        retryable=code in _RETRYABLE,
+        retry_after_s=retry_after_s,
+        detail={k: wire_value(v) for k, v in detail.items() if v is not None},
+    )
+
+
+def classify(exc: BaseException) -> ErrorEnvelope:
+    """Map an exception from the public surface onto its envelope."""
+    from repro.lang.errors import AIQLError, AIQLSemanticError, AIQLSyntaxError
+
+    if isinstance(exc, AIQLSyntaxError):
+        return envelope(
+            Code.SYNTAX, str(exc), line=exc.line or None, column=exc.column or None
+        )
+    if isinstance(exc, AIQLSemanticError):
+        return envelope(Code.SEMANTIC, str(exc), hint=exc.hint)
+    if isinstance(exc, AIQLError):
+        return envelope(Code.QUERY_INVALID, str(exc))
+    if isinstance(exc, SchemaError):
+        return envelope(Code.REQUEST_INVALID, str(exc))
+
+    # Server-local types (the admission controller's shed signal).
+    overloaded = getattr(exc, "retry_after_s", None)
+    if type(exc).__name__ == "Overloaded":
+        return envelope(Code.OVERLOADED, str(exc), retry_after_s=overloaded)
+
+    try:  # subscription surface (pulls in the engine stack — lazy)
+        from repro.service.continuous import ContinuousError
+    except ImportError:  # pragma: no cover - continuous always importable
+        ContinuousError = ()  # type: ignore[assignment]
+    if isinstance(exc, ContinuousError):
+        return envelope(Code.SUBSCRIPTION_INVALID, str(exc))
+
+    try:  # sharded deployments only
+        from repro.shard.coordinator import (
+            ShardCommitError,
+            ShardError,
+            ShardTimeout,
+        )
+    except ImportError:  # pragma: no cover - shard always importable
+        ShardError = ShardTimeout = ShardCommitError = ()  # type: ignore
+    if isinstance(exc, ShardTimeout):
+        return envelope(Code.SHARD_TIMEOUT, str(exc))
+    if isinstance(exc, ShardCommitError):
+        return envelope(
+            Code.SHARD_COMMIT_FAILED,
+            str(exc),
+            acked_shards=list(exc.acked_shards),
+            failed_shards=list(exc.failed_shards),
+        )
+    if isinstance(exc, ShardError):
+        return envelope(Code.SHARD_UNAVAILABLE, str(exc))
+
+    return envelope(Code.INTERNAL, str(exc) or type(exc).__name__,
+                    type=type(exc).__name__)
+
+
+def render(env: ErrorEnvelope) -> str:
+    """One-line human rendering used by the CLI's error paths."""
+    text = f"error[{env.code}]: {env.message}"
+    if env.retry_after_s is not None:
+        text += f" (retry after {env.retry_after_s:.1f}s)"
+    return text
+
+
+def exit_code(env: ErrorEnvelope) -> int:
+    """CLI exit code for an envelope: 2 for bad requests/usage, 1 else."""
+    return 2 if env.code.startswith("request.") else 1

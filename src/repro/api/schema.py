@@ -1,0 +1,411 @@
+"""The versioned public wire schema (the ISSUE-10 api_redesign core).
+
+One serializable contract shared by the asyncio network service
+(:mod:`repro.server`), the CLI's ``--json`` outputs and in-process
+callers: every message that crosses a process boundary is one of the
+frozen dataclasses below, tagged with its ``type`` and the schema
+version ``v``.  The codecs are bidirectional and lossless —
+``from_json(to_json(x)) == x`` holds for every message (property-tested
+in ``tests/properties/test_api_props.py``) — so clients written against
+``repro.api`` parse server responses, CLI output and example scripts
+with the same code.
+
+Versioning policy: ``SCHEMA_VERSION`` bumps only on incompatible shape
+changes; additive optional fields keep the version.  Decoders accept any
+payload whose ``v`` is at most the current version (missing optional
+fields take their defaults) and reject newer ones, so old clients fail
+loudly against a newer server instead of mis-parsing it.
+
+Values inside messages are restricted to the JSON scalar set (``None``,
+``bool``, ``int``, ``float``, ``str``) plus lists/tuples and
+string-keyed dicts of the same — :func:`wire_value` coerces anything
+else to ``str`` at construction time, never at decode time, so a
+round-tripped message compares equal to the one that was sent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple, Type
+
+SCHEMA_VERSION = 1
+API_PREFIX = "/v1"
+
+_SCALARS = (bool, int, float, str)
+
+
+def wire_value(value: Any) -> Any:
+    """Coerce ``value`` onto the JSON-stable wire domain.
+
+    Scalars pass through; tuples/lists normalize to tuples of wire
+    values (decode re-tuples, so equality survives the JSON list trip);
+    string-keyed dicts recurse; everything else becomes ``str(value)``.
+    """
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(wire_value(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): wire_value(v) for k, v in value.items()}
+    return str(value)
+
+
+def _jsonable(value: Any) -> Any:
+    """The dump-side twin of :func:`wire_value`: tuples become lists."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
+
+
+class SchemaError(ValueError):
+    """A payload that does not decode under this schema version."""
+
+
+_MESSAGE_TYPES: Dict[str, Type["Message"]] = {}
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base of every wire message; subclasses set ``TYPE``."""
+
+    TYPE = ""
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.TYPE:
+            _MESSAGE_TYPES[cls.TYPE] = cls
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"v": SCHEMA_VERSION, "type": self.TYPE}
+        for spec in fields(self):
+            payload[spec.name] = _jsonable(getattr(self, spec.name))
+        return payload
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_payload(), indent=indent)
+
+    @classmethod
+    def _decode_field(cls, name: str, value: Any) -> Any:
+        """Hook: re-shape one field on decode (lists back to tuples)."""
+        return wire_value(value)
+
+
+def from_payload(payload: Dict[str, Any]) -> Message:
+    """Decode one wire payload into its message dataclass."""
+    if not isinstance(payload, dict):
+        raise SchemaError(f"wire payload must be an object, got {type(payload).__name__}")
+    version = payload.get("v")
+    if not isinstance(version, int) or version < 1:
+        raise SchemaError("wire payload carries no schema version 'v'")
+    if version > SCHEMA_VERSION:
+        raise SchemaError(
+            f"payload schema v{version} is newer than this client "
+            f"(v{SCHEMA_VERSION}); upgrade to decode it"
+        )
+    type_tag = payload.get("type")
+    cls = _MESSAGE_TYPES.get(type_tag)
+    if cls is None:
+        raise SchemaError(f"unknown wire message type {type_tag!r}")
+    known = {spec.name for spec in fields(cls)}
+    kwargs = {
+        name: cls._decode_field(name, value)
+        for name, value in payload.items()
+        if name in known
+    }
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:  # missing required fields
+        raise SchemaError(f"malformed {type_tag!r} payload: {exc}") from None
+
+
+def from_json(text: str) -> Message:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"wire payload is not JSON: {exc}") from None
+    return from_payload(payload)
+
+
+def to_json(message: Message, indent: Optional[int] = None) -> str:
+    return message.to_json(indent=indent)
+
+
+# -- request/response messages ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest(Message):
+    """``POST /v1/query`` body: one AIQL query submission.
+
+    ``client_id`` keys the server's per-client admission fairness
+    (defaults to the connection's peer address); ``page_rows`` overrides
+    the server's result page size for this query.
+    """
+
+    TYPE = "query_request"
+
+    text: str = ""
+    client_id: Optional[str] = None
+    page_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.text, str) or not self.text.strip():
+            raise SchemaError("query_request.text must be a non-empty string")
+        if self.page_rows is not None and (
+            not isinstance(self.page_rows, int) or self.page_rows < 1
+        ):
+            raise SchemaError("query_request.page_rows must be >= 1 (or null)")
+
+
+@dataclass(frozen=True)
+class QueryPage(Message):
+    """One page of a query result stream.
+
+    A response is one or more pages (NDJSON over HTTP); ``last`` marks
+    the final page, which also carries ``meta`` — ``elapsed_ms`` and,
+    for degraded sharded reads, the ``completeness`` annotation from
+    ``ResultSet.meta['completeness']``.
+    """
+
+    TYPE = "query_page"
+
+    columns: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[Any, ...], ...] = ()
+    page: int = 0
+    total_rows: int = 0
+    last: bool = True
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def _decode_field(cls, name: str, value: Any) -> Any:
+        if name == "meta":
+            return wire_value(value) if value else {}
+        return super()._decode_field(name, value)
+
+
+@dataclass(frozen=True)
+class ExplainReportPayload(Message):
+    """The EXPLAIN / EXPLAIN ANALYZE report on the wire.
+
+    The one schema behind ``GET /v1/explain``, ``repro explain --json``
+    and :meth:`repro.obs.explain.ExplainReport.to_json`.
+    """
+
+    TYPE = "explain_report"
+
+    query: str = ""
+    kind: str = ""
+    plan: Tuple[str, ...] = ()
+    rows: Optional[int] = None
+    scheduler: Optional[Dict[str, Any]] = None
+    completeness: Optional[Dict[str, Any]] = None
+    trace: Optional[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class SubscribeRequest(Message):
+    """WebSocket client -> server: register a standing query."""
+
+    TYPE = "subscribe"
+
+    query: str = ""
+    name: Optional[str] = None
+    window_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, str) or not self.query.strip():
+            raise SchemaError("subscribe.query must be a non-empty string")
+
+
+@dataclass(frozen=True)
+class SubscribeAck(Message):
+    """Server -> client: the standing query is registered."""
+
+    TYPE = "subscribe_ack"
+
+    name: str = ""
+    patterns: int = 0
+    window_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class UnsubscribeRequest(Message):
+    """WebSocket client -> server: drop a standing query by name."""
+
+    TYPE = "unsubscribe"
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class AlertMessage(Message):
+    """One standing-query alert pushed over the WebSocket.
+
+    ``key`` is the matched tuple's event ids in pattern order;
+    ``events`` are compact event summaries (id, agent, op, entity ids,
+    times); ``latency_ms`` is the commit-entry -> emission latency the
+    continuous engine measured (alert-path freshness, not network time).
+    """
+
+    TYPE = "alert"
+
+    subscription: str = ""
+    query: str = ""
+    key: Tuple[int, ...] = ()
+    time: float = 0.0
+    latency_ms: Optional[float] = None
+    events: Tuple[Dict[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope(Message):
+    """Every error the public surface reports, in one shape.
+
+    ``code`` is a stable dotted identifier from the taxonomy in
+    :mod:`repro.api.errors`; ``http_status`` is the status the network
+    service pairs it with; ``retryable`` tells clients whether backing
+    off and re-submitting can succeed (overload, shard recovery), and
+    ``retry_after_s`` suggests how long to wait when the server knows.
+    """
+
+    TYPE = "error"
+
+    code: str = "server.internal"
+    message: str = ""
+    http_status: int = 500
+    retryable: bool = False
+    retry_after_s: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def _decode_field(cls, name: str, value: Any) -> Any:
+        if name == "detail":
+            return wire_value(value) if value else {}
+        return super()._decode_field(name, value)
+
+
+@dataclass(frozen=True)
+class StatsPayload(Message):
+    """``GET /v1/stats``: deployment stats + the metrics snapshot."""
+
+    TYPE = "stats"
+
+    stats: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class HealthPayload(Message):
+    """``GET /healthz``: liveness plus the schema version served."""
+
+    TYPE = "health"
+
+    status: str = "ok"
+    api: str = API_PREFIX
+
+
+# -- constructors from engine objects ---------------------------------------
+
+
+def pages_from_result(
+    result: Any,
+    page_rows: int,
+    elapsed_ms: Optional[float] = None,
+) -> Tuple[QueryPage, ...]:
+    """Slice a :class:`~repro.engine.result.ResultSet` into wire pages.
+
+    Every page repeats the column header (pages are self-describing);
+    the final page carries ``meta`` — ``elapsed_ms`` plus whatever the
+    engine attached to ``result.meta`` (e.g. the degraded-read
+    ``completeness`` annotation).  An empty result is one empty page.
+    """
+    if page_rows < 1:
+        raise ValueError("page_rows must be >= 1")
+    columns = tuple(result.columns)
+    rows = [tuple(wire_value(v) for v in row) for row in result.rows]
+    total = len(rows)
+    meta: Dict[str, Any] = {str(k): wire_value(v) for k, v in result.meta.items()}
+    if elapsed_ms is not None:
+        meta["elapsed_ms"] = round(elapsed_ms, 3)
+    pages = []
+    bounds = range(0, max(total, 1), page_rows)
+    for index, lo in enumerate(bounds):
+        last = lo + page_rows >= total
+        pages.append(
+            QueryPage(
+                columns=columns,
+                rows=tuple(rows[lo : lo + page_rows]),
+                page=index,
+                total_rows=total,
+                last=last,
+                meta=meta if last else {},
+            )
+        )
+    return tuple(pages)
+
+
+def result_from_pages(pages: Any) -> Tuple[Tuple[str, ...], list, Dict[str, Any]]:
+    """Reassemble ``(columns, rows, meta)`` from a page stream."""
+    columns: Tuple[str, ...] = ()
+    rows: list = []
+    meta: Dict[str, Any] = {}
+    for page in pages:
+        if not isinstance(page, QueryPage):
+            raise SchemaError(
+                f"expected query_page, got {getattr(page, 'TYPE', type(page).__name__)!r}"
+            )
+        columns = page.columns
+        rows.extend(page.rows)
+        if page.last:
+            meta = dict(page.meta)
+    return columns, rows, meta
+
+
+def alert_message(alert: Any, subscription: Optional[str] = None) -> AlertMessage:
+    """Wire form of a :class:`repro.service.continuous.Alert`."""
+    return AlertMessage(
+        subscription=subscription if subscription is not None else alert.query,
+        query=alert.query,
+        key=tuple(int(k) for k in alert.key),
+        time=float(alert.time),
+        latency_ms=(
+            round(alert.latency_s * 1000.0, 3)
+            if alert.latency_s is not None
+            else None
+        ),
+        events=tuple(event_summary(event) for event in alert.events),
+    )
+
+
+def event_summary(event: Any) -> Dict[str, Any]:
+    """Compact, wire-safe summary of one :class:`SystemEvent`."""
+    return {
+        "id": event.event_id,
+        "agent": event.agent_id,
+        "op": str(getattr(event.operation, "value", event.operation)),
+        "subject": event.subject_id,
+        "object": event.object_id,
+        "otype": str(getattr(event.object_type, "value", event.object_type)),
+        "start": event.start_time,
+        "end": event.end_time,
+    }
+
+
+def explain_payload(report: Any) -> ExplainReportPayload:
+    """Wire form of an :class:`repro.obs.explain.ExplainReport`."""
+    return ExplainReportPayload(
+        query=report.query,
+        kind=report.kind,
+        plan=tuple(report.plan),
+        rows=report.rows,
+        scheduler=wire_value(report.scheduler),
+        completeness=wire_value(report.completeness),
+        trace=(
+            wire_value(report.root.to_dict()) if report.root is not None else None
+        ),
+    )

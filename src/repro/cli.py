@@ -13,7 +13,15 @@ Subcommands:
 * ``archive`` — compact a durable data dir to its retention horizon and
   checkpoint it (snapshot + WAL truncate);
 * ``recover`` — crash-recover a durable data dir and report what it held;
-* ``translate`` — print the SQL/Cypher/SPL equivalents of an AIQL query.
+* ``translate`` — print the SQL/Cypher/SPL equivalents of an AIQL query;
+* ``serve``   — deploy the enterprise and expose it over the network
+  front door (:mod:`repro.server`): the versioned ``/v1`` HTTP query API
+  plus the ``/v1/alerts`` WebSocket.
+
+Every error path prints the structured :class:`repro.api.ErrorEnvelope`
+rendering (``error[<code>]: <message>``), so scripts can match on the
+same stable codes the network service returns; usage errors exit 2,
+query/runtime errors exit 1.
 
 The CLI exists for exploration; programmatic use goes through
 :class:`repro.AIQLSystem`.
@@ -26,9 +34,17 @@ import sys
 import time
 from typing import List, Optional
 
+from repro import api
 from repro.core.system import AIQLSystem
 from repro.lang.errors import AIQLError
 from repro.service.continuous import ContinuousError
+
+
+def _fail(exc: BaseException, prefix: str = "") -> int:
+    """Print an exception's error envelope to stderr; returns the exit code."""
+    env = api.classify(exc)
+    print(f"{prefix}{api.render(env)}", file=sys.stderr)
+    return api.exit_code(env)
 
 
 def _build_system(
@@ -97,8 +113,7 @@ def _run_one(system: AIQLSystem, text: str) -> int:
         result = system.query(text)
         elapsed = (time.perf_counter() - started) * 1000
     except AIQLError as exc:
-        print(exc, file=sys.stderr)
-        return 1
+        return _fail(exc)
     print(result.to_text())
     print(f"({len(result)} row(s) in {elapsed:.1f} ms)")
     return 0
@@ -137,8 +152,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
     try:
         report = system.explain(text, analyze=args.analyze)
     except AIQLError as exc:
-        print(exc, file=sys.stderr)
-        return 1
+        return _fail(exc)
     print(report.to_json(indent=2) if args.json else report.to_text())
     return 0
 
@@ -198,7 +212,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                     watch_text, callback=_print_alert, name=watch_name
                 )
             except (AIQLError, ContinuousError) as exc:
-                print(f"--watch: {exc}", file=sys.stderr)
+                _fail(exc, prefix="--watch: ")
                 return 2
             print(f"standing query {watch.name!r} registered "
                   f"({len(watch.kernels)} pattern(s), "
@@ -239,7 +253,8 @@ def cmd_corpus(args: argparse.Namespace) -> int:
                                 print(f"    {line}")
                     except AIQLError as exc:
                         failures += 1
-                        print(f"{query.qid:12s} ERROR {exc}")
+                        print(f"{query.qid:12s} ERROR "
+                              f"{api.render(api.classify(exc))}")
                 rc = 1 if failures else 0
         finally:
             if replay_handle is not None:
@@ -307,7 +322,7 @@ def _run_corpus_concurrent(system: AIQLSystem, queries, jobs: int) -> int:
             print(f"{query.qid:12s} {status:5s} {len(result):5d} row(s)")
         except AIQLError as exc:
             failures += 1
-            print(f"{query.qid:12s} ERROR {exc}")
+            print(f"{query.qid:12s} ERROR {api.render(api.classify(exc))}")
     elapsed = time.perf_counter() - started
     print(f"({len(queries)} queries, {jobs} workers: {elapsed:.2f} s, "
           f"{len(queries) / elapsed:.1f} q/s)")
@@ -359,14 +374,52 @@ def cmd_translate(args: argparse.Namespace) -> int:
     try:
         translated = translate_all(text)
     except AIQLError as exc:
-        print(exc, file=sys.stderr)
-        return 1
+        return _fail(exc)
     wanted = args.language.split(",") if args.language else list(translated)
     for language in wanted:
         query = translated[language.strip().lower()]
         print(f"=== {query.language.upper()} ({query.constraints} constraints) ===")
         print(query.text.strip())
         print()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Deploy the enterprise and serve it over the network front door."""
+    import asyncio
+
+    if args.live < 0:
+        env = api.envelope(api.Code.REQUEST_INVALID, "--live RATE must be >= 0")
+        print(api.render(env), file=sys.stderr)
+        return api.exit_code(env)
+    system = _build_system(
+        args.rate,
+        data_dir=args.data_dir,
+        shards=args.shards,
+    )
+    server = system.serve(host=args.host, port=args.port)
+    replay_handle = None
+    if args.live:
+        from repro.workload.live import LiveReplay
+
+        replay_handle = LiveReplay(system.stream(), rate=args.live).start()
+        print(f"live ingest started at {args.live} events/s", file=sys.stderr)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving the v1 API on http://{server.host}:{server.port} "
+              f"(schema v{api.SCHEMA_VERSION}); Ctrl-C stops",
+              file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        if replay_handle is not None:
+            replay_handle.stop()
+        system.close()
     return 0
 
 
@@ -472,6 +525,24 @@ def make_parser() -> argparse.ArgumentParser:
         "--language", "-l", help="comma list: aiql,sql,cypher,spl"
     )
     translate.set_defaults(func=cmd_translate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="deploy the enterprise and serve the v1 HTTP/WebSocket API",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 binds an ephemeral one)")
+    serve.add_argument("--rate", type=int, default=120,
+                       help="background events per host-day (default 120)")
+    serve.add_argument("--live", type=float, default=0, metavar="RATE",
+                       help="stream live background events at RATE events/sec "
+                            "while serving (feeds /v1/alerts subscriptions)")
+    serve.add_argument("--data-dir", metavar="DIR",
+                       help="serve a durable deployment rooted at DIR")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="shard the store across N worker processes")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

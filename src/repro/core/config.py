@@ -180,6 +180,26 @@ class SystemConfig:
         disables the log.
     slow_query_log_entries
         ring-buffer size of the slow-query log (oldest entries evicted).
+    server_max_inflight
+        network front door (:meth:`AIQLSystem.serve`): maximum queries
+        executing concurrently on the shared executor.  Arrivals beyond
+        it queue per client and are dispatched round-robin.
+    server_queue_depth
+        total queued requests the server holds before shedding load with
+        ``429 server.overloaded`` + ``Retry-After``.
+    server_client_queue_depth
+        per-client queue bound — one chatty client saturating its own
+        queue is rejected without starving the rest.
+    server_page_rows
+        rows per streamed :class:`~repro.api.QueryPage` when the request
+        does not pick its own ``page_rows``.
+    server_alert_queue
+        per-WebSocket bound on undelivered alerts; beyond it the newest
+        alert is dropped (and counted) rather than blocking the stream
+        commit thread.
+    server_max_body_bytes
+        largest accepted HTTP request body (``413 request.too_large``
+        beyond it).
     """
 
     backend: str = "partitioned"
@@ -215,6 +235,12 @@ class SystemConfig:
     tracing: bool = True
     slow_query_ms: Optional[float] = None
     slow_query_log_entries: int = 128
+    server_max_inflight: int = 8
+    server_queue_depth: int = 64
+    server_client_queue_depth: int = 16
+    server_page_rows: int = 1024
+    server_alert_queue: int = 4096
+    server_max_body_bytes: int = 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -286,3 +312,15 @@ class SystemConfig:
             raise ValueError("slow_query_ms must be >= 0 (or None)")
         if self.slow_query_log_entries < 1:
             raise ValueError("slow_query_log_entries must be >= 1")
+        if self.server_max_inflight < 1:
+            raise ValueError("server_max_inflight must be >= 1")
+        if self.server_queue_depth < 0:
+            raise ValueError("server_queue_depth must be >= 0")
+        if self.server_client_queue_depth < 1:
+            raise ValueError("server_client_queue_depth must be >= 1")
+        if self.server_page_rows < 1:
+            raise ValueError("server_page_rows must be >= 1")
+        if self.server_alert_queue < 1:
+            raise ValueError("server_alert_queue must be >= 1")
+        if self.server_max_body_bytes < 1024:
+            raise ValueError("server_max_body_bytes must be >= 1024")

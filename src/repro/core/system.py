@@ -341,7 +341,7 @@ class AIQLSystem:
         if summary is not None:
             result.meta["completeness"] = summary
 
-    def explain(self, text: str, analyze: bool = True) -> ExplainReport:
+    def explain(self, text: str, *, analyze: bool = True) -> ExplainReport:
         """Execution plan for ``text``; with ``analyze`` (EXPLAIN ANALYZE)
         the query also *runs* under a trace, so the report carries a span
         tree (parse → schedule → per-pattern scans → narrowing re-queries
@@ -433,7 +433,7 @@ class AIQLSystem:
 
     # -- live ingestion --------------------------------------------------------
 
-    def stream(self, batch_size: Optional[int] = None) -> StreamSession:
+    def stream(self, *, batch_size: Optional[int] = None) -> StreamSession:
         """Open a live-ingestion session over this system's ingestor.
 
         Events appended to the session become visible to queries at each
@@ -473,6 +473,7 @@ class AIQLSystem:
     def subscribe(
         self,
         text: str,
+        *,
         callback=None,
         window_s: Optional[float] = None,
         name: Optional[str] = None,
@@ -501,6 +502,33 @@ class AIQLSystem:
     def _push_continuous(self, batch, started: float) -> None:
         if self._continuous is not None:
             self._continuous.push(batch, started)
+
+    # -- network service -------------------------------------------------------
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0):
+        """The network front door over this deployment (:mod:`repro.server`).
+
+        Returns an unstarted :class:`~repro.server.AIQLServer` exposing the
+        versioned :mod:`repro.api` surface — ``POST /v1/query`` (streamed
+        :class:`~repro.api.QueryPage` NDJSON), ``GET /v1/explain``,
+        ``/v1/metrics``, ``/v1/stats``, ``/healthz`` and the ``/v1/alerts``
+        WebSocket pushing standing-query alerts.  Drive it with
+        ``await server.run()`` inside an event loop, or
+        ``server.start_background()`` for a daemon-thread deployment
+        (tests, benchmarks, embedding)::
+
+            handle = system.serve(port=8080).start_background()
+            ...
+            handle.stop()
+
+        ``port=0`` binds an ephemeral port (read it off ``server.port``
+        once started).  Query execution, admission control and alert fan-
+        out all run over this system's existing query service, shared
+        executor and continuous engine.
+        """
+        from repro.server import AIQLServer
+
+        return AIQLServer(self, host=host, port=port)
 
     # -- introspection ---------------------------------------------------------
 

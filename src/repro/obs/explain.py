@@ -5,14 +5,18 @@ relationships) from a compiled query context; :class:`ExplainReport`
 pairs it with the executed span tree when the query actually ran
 (``AIQLSystem.explain(text, analyze=True)``).
 
-The report stringifies to the text rendering and supports ``in`` so
-existing callers that treated ``explain()`` as a plain string keep
-working (``"score=" in system.explain(q)``).
+The report stringifies to the text rendering; the ``in`` containment
+shim for pre-observability callers that treated ``explain()`` as a
+plain string is deprecated (use ``"..." in str(report)``) and will be
+removed one release after ISSUE 10.  JSON output goes through the
+versioned :mod:`repro.api` wire schema, so ``repro explain --json``,
+``GET /v1/explain`` and this method all emit the same
+``explain_report`` message.
 """
 
 from __future__ import annotations
 
-import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -92,16 +96,12 @@ class ExplainReport:
         return "\n".join(lines)
 
     def to_json(self, indent: Optional[int] = None) -> str:
-        payload: Dict[str, Any] = {
-            "query": self.query,
-            "kind": self.kind,
-            "plan": list(self.plan),
-            "rows": self.rows,
-            "scheduler": self.scheduler,
-            "completeness": self.completeness,
-            "trace": self.root.to_dict() if self.root is not None else None,
-        }
-        return json.dumps(payload, indent=indent, default=str)
+        """The versioned ``explain_report`` wire message (:mod:`repro.api`)."""
+        # Imported lazily: repro.api is the public surface and must stay
+        # importable without pulling the obs/storage stack (and vice versa).
+        from repro.api import explain_payload
+
+        return explain_payload(self).to_json(indent=indent)
 
     # -- string compatibility -----------------------------------------------
     # Pre-observability callers treated explain() as a plain string.
@@ -110,6 +110,13 @@ class ExplainReport:
         return self.to_text()
 
     def __contains__(self, needle: str) -> bool:
+        warnings.warn(
+            "`needle in explain_report` string-compat containment is "
+            "deprecated and will be removed one release after the v1 API; "
+            "use `needle in str(report)` or `needle in report.to_text()`",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return needle in self.to_text()
 
     # -- span access ---------------------------------------------------------

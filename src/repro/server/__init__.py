@@ -1,0 +1,20 @@
+"""``repro.server`` — the asyncio HTTP/WebSocket network front door.
+
+* :mod:`repro.server.http` — minimal HTTP/1.1 on asyncio streams
+  (keep-alive, chunked NDJSON streaming, request limits);
+* :mod:`repro.server.websocket` — RFC 6455 framing for alert push;
+* :mod:`repro.server.admission` — bounded in-flight admission control
+  with per-client round-robin fairness and ``Retry-After`` estimation;
+* :mod:`repro.server.app` — :class:`AIQLServer` wiring the routes to an
+  :class:`~repro.core.system.AIQLSystem` (use ``system.serve()``).
+"""
+
+from repro.server.admission import AdmissionController, Overloaded
+from repro.server.app import AIQLServer, ServerHandle
+
+__all__ = [
+    "AIQLServer",
+    "AdmissionController",
+    "Overloaded",
+    "ServerHandle",
+]

@@ -1,0 +1,152 @@
+"""Admission control for the query endpoint.
+
+The network front door must shed load instead of queueing it without
+bound: under overload an open-loop client fleet keeps arriving at its
+rate regardless of server latency, so an unbounded queue turns into
+unbounded latency.  The controller bounds the work the server accepts:
+
+* at most ``max_inflight`` queries execute concurrently (they run on the
+  shared thread-pool executor — more in flight than workers only adds
+  queueing inside the pool);
+* arrivals beyond that wait in **per-client FIFO queues** dispatched
+  **round-robin**, so one chatty client cannot starve the rest —
+  fairness is per ``client_id`` (the ``QueryRequest`` field, defaulting
+  to the connection's peer address);
+* a client may queue at most ``per_client_queue`` waiters and the whole
+  server at most ``max_queued``; beyond either the request is rejected
+  immediately with :class:`Overloaded`, which the HTTP layer maps to
+  ``429`` + ``Retry-After`` (the ``server.overloaded`` taxonomy code).
+
+``retry_after_s`` is estimated from an EWMA of recent service times:
+(queued + inflight) x average service seconds / max_inflight — i.e. the
+backlog drain time an arriving client would have waited anyway.
+
+Single event loop: all methods run on the loop thread, so there is no
+lock; the only cross-thread entry is ``release`` being called from a
+done-callback, which the server marshals back onto the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from typing import Deque, Dict
+
+
+class Overloaded(Exception):
+    """Admission rejected the request; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """Bounded in-flight queries with per-client round-robin fairness."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queued: int = 64,
+        per_client_queue: int = 16,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+        if per_client_queue < 1:
+            raise ValueError("per_client_queue must be >= 1")
+        self.max_inflight = max_inflight
+        self.max_queued = max_queued
+        self.per_client_queue = per_client_queue
+        self.inflight = 0
+        self.queued = 0
+        # client -> FIFO of waiter futures; OrderedDict preserves the
+        # round-robin rotation (move_to_end on every dispatch).
+        self._waiters: "OrderedDict[str, Deque[asyncio.Future]]" = OrderedDict()
+        self.admitted = 0
+        self.rejected = 0
+        self.dispatched = 0
+        self._avg_service_s = 0.05  # EWMA, seeded pessimistically
+
+    # -- acquire/release -----------------------------------------------------
+
+    async def acquire(self, client: str) -> None:
+        """Admit one query for ``client``; raises :class:`Overloaded`."""
+        if self.inflight < self.max_inflight and not self._waiters:
+            self.inflight += 1
+            self.admitted += 1
+            return
+        queue = self._waiters.get(client)
+        if self.queued >= self.max_queued or (
+            queue is not None and len(queue) >= self.per_client_queue
+        ):
+            self.rejected += 1
+            raise Overloaded(
+                f"server at capacity ({self.inflight} in flight, "
+                f"{self.queued} queued)",
+                retry_after_s=self.retry_after_s(),
+            )
+        if queue is None:
+            queue = self._waiters[client] = deque()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        queue.append(future)
+        self.queued += 1
+        try:
+            await future
+        except asyncio.CancelledError:
+            # The connection went away while queued: withdraw, or hand
+            # the already-granted slot straight back.
+            if future in queue:
+                queue.remove(future)
+                self.queued -= 1
+                if not queue:
+                    self._waiters.pop(client, None)
+            elif future.done() and not future.cancelled():
+                # The slot was granted between set_result and our wake-up;
+                # hand it straight on.
+                self.release(0.0)
+            raise
+        self.admitted += 1
+
+    def release(self, service_s: float) -> None:
+        """Return one slot; wakes the next client in round-robin order."""
+        if service_s > 0:
+            self._avg_service_s += 0.2 * (service_s - self._avg_service_s)
+        while self._waiters:
+            client, queue = next(iter(self._waiters.items()))
+            # Rotate the client to the back whether or not it still has
+            # waiters — that is what makes dispatch round-robin.
+            self._waiters.move_to_end(client)
+            future = None
+            while queue and future is None:
+                candidate = queue.popleft()
+                self.queued -= 1
+                if not candidate.done():
+                    future = candidate
+            if not queue:
+                self._waiters.pop(client, None)
+            if future is not None:
+                self.dispatched += 1
+                future.set_result(None)
+                return
+        self.inflight -= 1
+
+    def retry_after_s(self) -> float:
+        """Backlog drain estimate for a rejected client."""
+        backlog = self.queued + self.inflight
+        estimate = backlog * self._avg_service_s / self.max_inflight
+        return round(max(0.05, min(estimate, 30.0)), 3)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "inflight": self.inflight,
+            "queued": self.queued,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "dispatched": self.dispatched,
+            "clients_waiting": len(self._waiters),
+            "avg_service_ms": round(self._avg_service_s * 1000.0, 3),
+            "max_inflight": self.max_inflight,
+            "max_queued": self.max_queued,
+        }

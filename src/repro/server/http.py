@@ -1,0 +1,265 @@
+"""Minimal HTTP/1.1 on asyncio streams (stdlib only).
+
+Just enough protocol for the AIQL network front door: request parsing
+with header/body limits, keep-alive, fixed and chunked responses.  No
+TLS, no compression, no multipart — clients needing more sit behind a
+reverse proxy, which is how the service is meant to be deployed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+CRLF = b"\r\n"
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpProtocolError(Exception):
+    """Malformed/oversized request; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    target: str
+    path: str
+    params: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    peer: str = ""
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int,
+    peer: str = "",
+) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` on a clean EOF between requests."""
+    try:
+        line = await reader.readuntil(CRLF)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpProtocolError(400, "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise HttpProtocolError(400, "request line too long") from None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpProtocolError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpProtocolError(400, f"malformed request line {line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpProtocolError(400, f"unsupported protocol {version}")
+
+    headers: Dict[str, str] = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(CRLF)
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpProtocolError(400, "truncated headers") from None
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpProtocolError(400, "headers too large")
+        if line == CRLF:
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpProtocolError(400, f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise HttpProtocolError(400, "bad Content-Length") from None
+        if size < 0:
+            raise HttpProtocolError(400, "bad Content-Length")
+        if size > max_body_bytes:
+            raise HttpProtocolError(413, f"body over {max_body_bytes} bytes")
+        body = await reader.readexactly(size)
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        # Requests are small (one query text) — chunked uploads are not
+        # part of the contract.
+        raise HttpProtocolError(400, "chunked request bodies unsupported")
+
+    split = urlsplit(target)
+    params = {k: v for k, v in parse_qsl(split.query, keep_blank_values=True)}
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        params=params,
+        headers=headers,
+        body=body,
+        version=version,
+        peer=peer,
+    )
+
+
+def _head(
+    status: int,
+    headers: Dict[str, str],
+) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> None:
+    """Write one fixed-length response."""
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    writer.write(_head(status, headers) + body)
+    await writer.drain()
+
+
+async def send_chunked(
+    writer: asyncio.StreamWriter,
+    chunks: AsyncIterator[bytes],
+    status: int = 200,
+    content_type: str = "application/x-ndjson",
+    extra_headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> None:
+    """Stream a chunked response, one transfer chunk per yielded piece."""
+    headers = {
+        "Content-Type": content_type,
+        "Transfer-Encoding": "chunked",
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    writer.write(_head(status, headers))
+    async for chunk in chunks:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):x}".encode("latin-1") + CRLF + chunk + CRLF)
+        await writer.drain()
+    writer.write(b"0" + CRLF + CRLF)
+    await writer.drain()
+
+
+# -- client side (load harness / examples) ----------------------------------
+
+
+@dataclass
+class HttpResponse:
+    """One parsed response (client side)."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Parse one response, decoding chunked transfer when present."""
+    line = await reader.readuntil(CRLF)
+    parts = line.decode("latin-1").strip().split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpProtocolError(400, f"malformed status line {line!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readuntil(CRLF)
+        if line == CRLF:
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        body = bytearray()
+        while True:
+            size_line = await reader.readuntil(CRLF)
+            size = int(size_line.strip().split(b";")[0], 16)
+            chunk = await reader.readexactly(size + 2)  # chunk + CRLF
+            if size == 0:
+                break
+            body.extend(chunk[:-2])
+        return HttpResponse(status=status, headers=headers, body=bytes(body))
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+def request_bytes(
+    method: str,
+    path: str,
+    host: str,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialize one client request (keep-alive by default)."""
+    headers = {
+        "Host": host,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive",
+    }
+    if body:
+        headers["Content-Type"] = content_type
+    if extra_headers:
+        headers.update(extra_headers)
+    lines = [f"{method} {path} HTTP/1.1"]
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def split_host_port(peername: Tuple) -> str:
+    """Stable client identity from a transport peername."""
+    if isinstance(peername, tuple) and len(peername) >= 2:
+        return f"{peername[0]}:{peername[1]}"
+    return str(peername)

@@ -1,0 +1,213 @@
+"""RFC 6455 WebSocket framing on asyncio streams (stdlib only).
+
+Implements the handshake and the frame codec for both roles — the alert
+push endpoint of :mod:`repro.server.app` (server) and the load harness /
+``examples/client.py`` (client).  Text frames carry
+:mod:`repro.api` JSON messages; ping/pong and close are handled inside
+:meth:`WebSocket.recv_text` so callers only ever see text payloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.server.http import CRLF, HttpProtocolError, HttpRequest
+
+WS_MAGIC = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class WebSocketError(Exception):
+    """Protocol violation on an established socket."""
+
+
+def accept_key(client_key: str) -> str:
+    """The Sec-WebSocket-Accept value for a client's nonce."""
+    digest = hashlib.sha1((client_key + WS_MAGIC).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def is_upgrade(request: HttpRequest) -> bool:
+    return (
+        "upgrade" in request.header("connection").lower()
+        and request.header("upgrade").lower() == "websocket"
+    )
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One final frame (no fragmentation — our messages are small)."""
+    head = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head.extend(struct.pack("!H", length))
+    else:
+        head.append(mask_bit | 127)
+        head.extend(struct.pack("!Q", length))
+    if mask:
+        key = os.urandom(4)
+        head.extend(key)
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
+    """Read one frame; returns ``(opcode, unmasked payload)``."""
+    head = await reader.readexactly(2)
+    fin = head[0] & 0x80
+    opcode = head[0] & 0x0F
+    if not fin and opcode not in (OP_CONT,):
+        raise WebSocketError("fragmented messages unsupported")
+    masked = head[1] & 0x80
+    length = head[1] & 0x7F
+    if length == 126:
+        (length,) = struct.unpack("!H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", await reader.readexactly(8))
+    if length > MAX_FRAME_BYTES:
+        raise WebSocketError(f"frame over {MAX_FRAME_BYTES} bytes")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length)
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+class WebSocket:
+    """One established connection; ``client`` masks outbound frames."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        client: bool = False,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._client = client
+        self.closed = False
+
+    async def send_text(self, text: str) -> None:
+        if self.closed:
+            raise WebSocketError("socket closed")
+        self._writer.write(
+            encode_frame(OP_TEXT, text.encode("utf-8"), mask=self._client)
+        )
+        await self._writer.drain()
+
+    async def recv_text(self) -> Optional[str]:
+        """Next text payload; ``None`` once the peer closed.
+
+        Control frames are handled transparently: pings are ponged,
+        pongs ignored, close is acknowledged and surfaces as ``None``.
+        """
+        while True:
+            if self.closed:
+                return None
+            try:
+                opcode, payload = await read_frame(self._reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                self.closed = True
+                return None
+            if opcode == OP_TEXT:
+                return payload.decode("utf-8")
+            if opcode == OP_PING:
+                self._writer.write(
+                    encode_frame(OP_PONG, payload, mask=self._client)
+                )
+                await self._writer.drain()
+            elif opcode == OP_CLOSE:
+                await self.close(echo=payload)
+                return None
+            elif opcode in (OP_PONG, OP_CONT, OP_BINARY):
+                continue
+            else:
+                raise WebSocketError(f"unexpected opcode {opcode:#x}")
+
+    async def close(self, echo: bytes = b"", code: int = 1000) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        payload = echo if echo else struct.pack("!H", code)
+        try:
+            self._writer.write(
+                encode_frame(OP_CLOSE, payload, mask=self._client)
+            )
+            await self._writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+
+
+async def server_handshake(
+    request: HttpRequest,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> "WebSocket":
+    """Answer an upgrade request; returns the established socket."""
+    key = request.header("sec-websocket-key")
+    if not key or request.header("sec-websocket-version") != "13":
+        raise HttpProtocolError(400, "malformed websocket upgrade")
+    lines = [
+        "HTTP/1.1 101 Switching Protocols",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Accept: {accept_key(key)}",
+    ]
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+    return WebSocket(reader, writer, client=False)
+
+
+async def connect(
+    host: str,
+    port: int,
+    path: str = "/v1/alerts",
+    headers: Optional[Dict[str, str]] = None,
+) -> "WebSocket":
+    """Client-side: open a TCP connection and upgrade it."""
+    reader, writer = await asyncio.open_connection(host, port)
+    nonce = base64.b64encode(os.urandom(16)).decode("ascii")
+    lines = [
+        f"GET {path} HTTP/1.1",
+        f"Host: {host}:{port}",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Key: {nonce}",
+        "Sec-WebSocket-Version: 13",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+    status_line = await reader.readuntil(CRLF)
+    parts = status_line.decode("latin-1").split()
+    if len(parts) < 2 or parts[1] != "101":
+        raise WebSocketError(f"upgrade refused: {status_line!r}")
+    expected = accept_key(nonce).encode("ascii")
+    accepted = False
+    while True:
+        line = await reader.readuntil(CRLF)
+        if line == CRLF:
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "sec-websocket-accept":
+            accepted = value.strip().encode("ascii") == expected
+    if not accepted:
+        raise WebSocketError("handshake accept key mismatch")
+    return WebSocket(reader, writer, client=True)

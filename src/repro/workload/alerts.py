@@ -232,7 +232,7 @@ class AlertReplay:
             for query in self.queries
         ]
 
-        session = self.system.stream(self.batch_size)
+        session = self.system.stream(batch_size=self.batch_size)
         feed = _PacedSession(session, self.rate) if self.rate else session
         generator = BackgroundGenerator(
             feed,

@@ -1,0 +1,364 @@
+"""Open-loop constant-rate load generation against the network service.
+
+A closed-loop client (send, wait, send again) slows down exactly when
+the server does, so its latency numbers hide overload — the classic
+*coordinated omission* problem.  This harness is open-loop, wrk2-style:
+
+* the fleet fires requests on a fixed schedule derived only from the
+  target rate — request ``i`` of a client is *due* at
+  ``epoch + i / client_rate`` regardless of how the server is doing;
+* every latency sample is measured **from the scheduled due time**, not
+  from when the socket write actually happened, so time a request spent
+  waiting behind a stalled connection counts against the server;
+* a client that falls behind does not re-plan its schedule — it works
+  through the backlog, accumulating the queueing delay into the
+  percentiles exactly as a real arrival process would.
+
+The fleet speaks the versioned :mod:`repro.api` wire schema over
+keep-alive HTTP (one connection per client, reconnecting on failure)
+and reports CO-free p50/p99/p999 latencies plus a status breakdown —
+``429`` rejections are tallied separately from errors, since shedding
+load is the *correct* overload response.
+
+:class:`AlertListener` is the WebSocket side: it registers a standing
+query and counts pushed alerts, for asserting zero alert loss while the
+HTTP fleet hammers the same server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import api
+from repro.server.http import read_response, request_bytes
+from repro.server import websocket
+
+
+def percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample list (0 if empty)."""
+    if not sorted_samples:
+        return 0.0
+    rank = min(len(sorted_samples) - 1, int(q * len(sorted_samples)))
+    return sorted_samples[rank]
+
+
+@dataclass
+class LoadReport:
+    """One open-loop run's outcome."""
+
+    target_rate: float
+    wall_s: float
+    scheduled: int = 0
+    completed: int = 0
+    ok: int = 0
+    rejected: int = 0  # 429 server.overloaded — shed, not failed
+    errors: int = 0
+    reconnects: int = 0
+    rows: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    rejected_latencies_ms: List[float] = field(default_factory=list)
+    error_samples: List[str] = field(default_factory=list)
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def ok_rate(self) -> float:
+        return self.ok / self.wall_s if self.wall_s > 0 else 0.0
+
+    def quantiles_ms(self) -> Dict[str, float]:
+        samples = sorted(self.latencies_ms)
+        return {
+            "p50": round(percentile(samples, 0.50), 3),
+            "p90": round(percentile(samples, 0.90), 3),
+            "p99": round(percentile(samples, 0.99), 3),
+            "p999": round(percentile(samples, 0.999), 3),
+            "max": round(samples[-1], 3) if samples else 0.0,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target_rate": round(self.target_rate, 1),
+            "achieved_rate": round(self.achieved_rate, 1),
+            "ok_rate": round(self.ok_rate, 1),
+            "wall_s": round(self.wall_s, 3),
+            "scheduled": self.scheduled,
+            "completed": self.completed,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "reconnects": self.reconnects,
+            "rows": self.rows,
+            "latency_ms": self.quantiles_ms(),
+            "error_samples": self.error_samples[:5],
+        }
+
+
+class _Client:
+    """One keep-alive connection working its own arrival schedule."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str,
+        queries: Sequence[str],
+        page_rows: Optional[int],
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.queries = queries
+        self.page_rows = page_rows
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def _close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+        self._reader = self._writer = None
+
+    async def run(
+        self,
+        report: LoadReport,
+        rate: float,
+        deadline: float,
+        lock: asyncio.Lock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        interval = 1.0 / rate
+        epoch = loop.time()
+        index = 0
+        while True:
+            due = epoch + index * interval
+            if due >= deadline:
+                break
+            now = loop.time()
+            if due > now:
+                await asyncio.sleep(due - now)
+            async with lock:
+                report.scheduled += 1
+            body = api.QueryRequest(
+                text=self.queries[index % len(self.queries)],
+                client_id=self.client_id,
+                page_rows=self.page_rows,
+            ).to_json().encode("utf-8")
+            index += 1
+            try:
+                if self._writer is None:
+                    await self._connect()
+                    report.reconnects += 1
+                assert self._writer is not None and self._reader is not None
+                self._writer.write(
+                    request_bytes(
+                        "POST",
+                        "/v1/query",
+                        f"{self.host}:{self.port}",
+                        body,
+                    )
+                )
+                await self._writer.drain()
+                response = await read_response(self._reader)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                await self._close()
+                async with lock:
+                    report.completed += 1
+                    report.errors += 1
+                    if len(report.error_samples) < 16:
+                        report.error_samples.append(
+                            f"transport: {type(exc).__name__}: {exc}"
+                        )
+                continue
+            # CO-free: latency runs from the *scheduled* arrival, so time
+            # spent queued behind this connection counts against the server.
+            latency_ms = (loop.time() - due) * 1000.0
+            async with lock:
+                report.completed += 1
+                if response.status == 200:
+                    report.ok += 1
+                    report.latencies_ms.append(latency_ms)
+                    report.rows += _count_rows(response.body)
+                elif response.status == 429:
+                    report.rejected += 1
+                    report.rejected_latencies_ms.append(latency_ms)
+                else:
+                    report.errors += 1
+                    if len(report.error_samples) < 16:
+                        report.error_samples.append(
+                            f"http {response.status}: "
+                            f"{response.body[:120]!r}"
+                        )
+        await self._close()
+
+
+def _count_rows(body: bytes) -> int:
+    total = 0
+    for line in body.decode("utf-8", errors="replace").splitlines():
+        if not line.strip():
+            continue
+        try:
+            message = api.from_json(line)
+        except api.SchemaError:
+            continue
+        if isinstance(message, api.QueryPage) and message.last:
+            total += message.total_rows
+    return total
+
+
+async def run_fleet(
+    host: str,
+    port: int,
+    rate: float,
+    duration_s: float,
+    queries: Sequence[str],
+    clients: int = 8,
+    page_rows: Optional[int] = None,
+) -> LoadReport:
+    """Drive ``rate`` req/s at the server for ``duration_s`` seconds.
+
+    The target rate is split evenly across ``clients`` keep-alive
+    connections (each holding its own open-loop schedule); the combined
+    report carries CO-free latency percentiles and the 200/429/error
+    breakdown.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if not queries:
+        raise ValueError("queries must be non-empty")
+    loop = asyncio.get_running_loop()
+    report = LoadReport(target_rate=rate, wall_s=duration_s)
+    lock = asyncio.Lock()
+    deadline = loop.time() + duration_s
+    started = time.perf_counter()
+    fleet = [
+        _Client(host, port, f"load-{i}", queries, page_rows)
+        for i in range(clients)
+    ]
+    await asyncio.gather(
+        *(client.run(report, rate / clients, deadline, lock) for client in fleet)
+    )
+    report.wall_s = time.perf_counter() - started
+    return report
+
+
+def run_fleet_sync(*args: Any, **kwargs: Any) -> LoadReport:
+    """:func:`run_fleet` from synchronous code (benchmarks, tests)."""
+    return asyncio.run(run_fleet(*args, **kwargs))
+
+
+class AlertListener:
+    """A WebSocket client collecting pushed alerts on its own thread.
+
+    Subscribes to ``query`` on construction-start and appends every
+    :class:`~repro.api.AlertMessage` to :attr:`alerts`; used by the
+    bench/tests to assert zero alert loss under concurrent HTTP load.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        query: str,
+        name: str = "load-watch",
+        window_s: Optional[float] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.query = query
+        self.name = name
+        self.window_s = window_s
+        self.alerts: List[api.AlertMessage] = []
+        self.ack: Optional[api.SubscribeAck] = None
+        self.error: Optional[str] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._done: Optional[asyncio.Future] = None
+
+    def start(self) -> "AlertListener":
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+
+        def runner() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self._run())
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="alert-listener", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("alert listener failed to subscribe in time")
+        if self.error is not None:
+            raise RuntimeError(f"alert listener: {self.error}")
+        return self
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._done = loop.create_future()
+        try:
+            ws = await websocket.connect(self.host, self.port)
+            await ws.send_text(
+                api.SubscribeRequest(
+                    query=self.query, name=self.name, window_s=self.window_s
+                ).to_json()
+            )
+            text = await ws.recv_text()
+            if text is None:
+                raise RuntimeError("socket closed during subscribe")
+            first = api.from_json(text)
+            if isinstance(first, api.ErrorEnvelope):
+                raise RuntimeError(f"{first.code}: {first.message}")
+            assert isinstance(first, api.SubscribeAck)
+            self.ack = first
+        except Exception as exc:
+            self.error = f"{type(exc).__name__}: {exc}"
+            self._ready.set()
+            return
+        self._ready.set()
+        receiver = asyncio.ensure_future(self._receive(ws))
+        await self._done
+        receiver.cancel()
+        try:
+            await receiver
+        except asyncio.CancelledError:
+            pass
+        await ws.close()
+
+    async def _receive(self, ws: websocket.WebSocket) -> None:
+        while True:
+            text = await ws.recv_text()
+            if text is None:
+                return
+            message = api.from_json(text)
+            if isinstance(message, api.AlertMessage):
+                self.alerts.append(message)
+
+    def stop(self, timeout: float = 10.0) -> List[api.AlertMessage]:
+        """Close the socket and return the collected alerts."""
+        if self._loop is not None and self._done is not None:
+            def finish() -> None:
+                if self._done is not None and not self._done.done():
+                    self._done.set_result(None)
+
+            self._loop.call_soon_threadsafe(finish)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.alerts

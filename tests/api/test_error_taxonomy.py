@@ -1,0 +1,90 @@
+"""The error taxonomy: every public failure maps to its documented code."""
+
+import pytest
+
+from repro import api
+from repro.api.schema import SchemaError
+from repro.lang.errors import AIQLError, AIQLSemanticError, AIQLSyntaxError
+from repro.server.admission import Overloaded
+from repro.service.continuous import ContinuousError
+from repro.shard.coordinator import ShardCommitError, ShardError, ShardTimeout
+
+
+class TestClassify:
+    CASES = [
+        (AIQLSyntaxError("bad token", line=2, column=5), "aiql.syntax", 400, False),
+        (AIQLSemanticError("unknown entity", hint="try proc"), "aiql.semantic", 400, False),
+        (AIQLError("odd"), "aiql.invalid", 400, False),
+        (SchemaError("bad payload"), "request.invalid", 400, False),
+        (ContinuousError("too many"), "aiql.subscription", 400, False),
+        (Overloaded("full", retry_after_s=0.5), "server.overloaded", 429, True),
+        (ShardTimeout("slow shard"), "shard.timeout", 503, True),
+        (
+            ShardCommitError("half", acked_shards=[0], failed_shards=[1]),
+            "shard.commit_failed",
+            503,
+            True,
+        ),
+        (ShardError("gone"), "shard.unavailable", 503, True),
+        (RuntimeError("boom"), "server.internal", 500, False),
+    ]
+
+    @pytest.mark.parametrize(
+        "exc,code,status,retryable", CASES, ids=[c[1] for c in CASES]
+    )
+    def test_mapping_is_stable(self, exc, code, status, retryable):
+        env = api.classify(exc)
+        assert env.code == code
+        assert env.http_status == status
+        assert env.retryable is retryable
+        assert str(exc) in env.message or env.message
+
+    def test_syntax_location_in_detail(self):
+        env = api.classify(AIQLSyntaxError("bad", line=3, column=7))
+        assert env.detail["line"] == 3 and env.detail["column"] == 7
+
+    def test_semantic_hint_in_detail(self):
+        env = api.classify(AIQLSemanticError("x", hint="use proc"))
+        assert env.detail["hint"] == "use proc"
+
+    def test_overloaded_carries_retry_after(self):
+        env = api.classify(Overloaded("full", retry_after_s=1.5))
+        assert env.retry_after_s == 1.5
+
+    def test_commit_failure_names_the_shards(self):
+        env = api.classify(
+            ShardCommitError("half", acked_shards=[0, 2], failed_shards=[1])
+        )
+        assert env.detail["acked_shards"] == (0, 2)
+        assert env.detail["failed_shards"] == (1,)
+
+    def test_envelope_round_trips_the_wire(self):
+        env = api.classify(Overloaded("full", retry_after_s=0.25))
+        assert api.from_json(env.to_json()) == env
+
+
+class TestRendering:
+    def test_render_names_the_code(self):
+        env = api.envelope(api.Code.SYNTAX, "syntax error at line 1")
+        text = api.render(env)
+        assert text.startswith("error[aiql.syntax]:")
+        assert "syntax error" in text
+
+    def test_render_mentions_retry_after(self):
+        env = api.envelope(api.Code.OVERLOADED, "full", retry_after_s=2.0)
+        assert "retry after 2.0s" in api.render(env)
+
+    def test_exit_codes(self):
+        assert api.exit_code(api.envelope(api.Code.SYNTAX, "x")) == 1
+        assert api.exit_code(api.envelope(api.Code.REQUEST_INVALID, "x")) == 2
+        assert api.exit_code(api.envelope(api.Code.NOT_FOUND, "x")) == 2
+        assert api.exit_code(api.envelope(api.Code.SHARD_TIMEOUT, "x")) == 1
+
+
+class TestEnvelopeBuilder:
+    def test_unknown_code_defaults_to_500(self):
+        assert api.envelope("future.code", "x").http_status == 500
+
+    def test_none_detail_values_dropped(self):
+        env = api.envelope(api.Code.SYNTAX, "x", line=None, column=3)
+        assert "line" not in env.detail and env.detail["column"] == 3

@@ -1,0 +1,178 @@
+"""The versioned wire schema: codecs, version gating, constructors."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.api.schema import _jsonable
+from repro.engine.result import ResultSet
+
+
+class TestRoundTrips:
+    MESSAGES = [
+        api.QueryRequest(text="proc p read file f\nreturn p"),
+        api.QueryRequest(text="q", client_id="c-1", page_rows=7),
+        api.QueryPage(
+            columns=("p1", "p2"),
+            rows=(("bash[42]", "vim[7]"), ("a", "b")),
+            page=0,
+            total_rows=2,
+            last=True,
+            meta={"elapsed_ms": 1.25},
+        ),
+        api.SubscribeRequest(query="proc p read file f\nreturn p", name="w"),
+        api.SubscribeAck(name="w", patterns=2, window_s=3600.0),
+        api.UnsubscribeRequest(name="w"),
+        api.AlertMessage(
+            subscription="w",
+            query="q",
+            key=(3, 9),
+            time=1234.5,
+            latency_ms=0.7,
+            events=({"id": 3, "agent": 1, "op": "read"},),
+        ),
+        api.ErrorEnvelope(
+            code="aiql.syntax",
+            message="syntax error",
+            http_status=400,
+            retryable=False,
+            detail={"line": 2},
+        ),
+        api.StatsPayload(stats={"events": 10}, metrics={"c": 1}),
+        api.HealthPayload(),
+        api.ExplainReportPayload(
+            query="q", kind="multievent", plan=("kind: multievent",), rows=3
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "message", MESSAGES, ids=[m.TYPE for m in MESSAGES]
+    )
+    def test_json_round_trip_is_identity(self, message):
+        assert api.from_json(message.to_json()) == message
+
+    def test_payload_carries_version_and_type(self):
+        payload = api.HealthPayload().to_payload()
+        assert payload["v"] == api.SCHEMA_VERSION
+        assert payload["type"] == "health"
+
+
+class TestVersionGating:
+    def test_newer_version_rejected(self):
+        payload = api.HealthPayload().to_payload()
+        payload["v"] = api.SCHEMA_VERSION + 1
+        with pytest.raises(api.SchemaError, match="newer"):
+            api.from_payload(payload)
+
+    def test_missing_version_rejected(self):
+        payload = api.HealthPayload().to_payload()
+        del payload["v"]
+        with pytest.raises(api.SchemaError, match="schema version"):
+            api.from_payload(payload)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(api.SchemaError, match="unknown wire message"):
+            api.from_payload({"v": 1, "type": "nope"})
+
+    def test_unknown_fields_ignored_for_forward_compat(self):
+        # Additive optional fields keep the version: an old client must
+        # decode a payload carrying fields it does not know.
+        payload = api.HealthPayload().to_payload()
+        payload["shiny_new_field"] = 42
+        assert api.from_payload(payload) == api.HealthPayload()
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(api.SchemaError):
+            api.from_payload({"v": 1, "type": "query_request"})
+
+    def test_not_json_rejected(self):
+        with pytest.raises(api.SchemaError, match="not JSON"):
+            api.from_json("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(api.SchemaError, match="object"):
+            api.from_json("[1, 2]")
+
+
+class TestWireValue:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert api.wire_value(value) == value
+
+    def test_lists_normalize_to_tuples(self):
+        assert api.wire_value([1, [2, 3]]) == (1, (2, 3))
+
+    def test_non_scalars_coerce_to_str(self):
+        class Odd:
+            def __str__(self):
+                return "odd"
+
+        assert api.wire_value(Odd()) == "odd"
+        assert api.wire_value({"k": Odd()}) == {"k": "odd"}
+
+    def test_jsonable_dumps_tuples_as_lists(self):
+        assert json.dumps(_jsonable((1, (2,)))) == "[1, [2]]"
+
+
+class TestQueryRequestValidation:
+    def test_empty_text_rejected(self):
+        with pytest.raises(api.SchemaError, match="non-empty"):
+            api.QueryRequest(text="   ")
+
+    def test_bad_page_rows_rejected(self):
+        with pytest.raises(api.SchemaError, match="page_rows"):
+            api.QueryRequest(text="q", page_rows=0)
+
+    def test_subscribe_empty_query_rejected(self):
+        with pytest.raises(api.SchemaError, match="non-empty"):
+            api.SubscribeRequest(query="")
+
+
+class TestPaging:
+    def _result(self, n):
+        return ResultSet(
+            columns=("a", "b"),
+            rows=[(i, f"v{i}") for i in range(n)],
+            meta={},
+        )
+
+    def test_single_page(self):
+        pages = api.pages_from_result(self._result(3), page_rows=10)
+        assert len(pages) == 1
+        assert pages[0].last and pages[0].total_rows == 3
+
+    def test_multi_page_split_and_meta_on_last(self):
+        pages = api.pages_from_result(
+            self._result(25), page_rows=10, elapsed_ms=4.2
+        )
+        assert [len(p.rows) for p in pages] == [10, 10, 5]
+        assert [p.last for p in pages] == [False, False, True]
+        assert pages[0].meta == {} and pages[-1].meta == {"elapsed_ms": 4.2}
+        # every page is self-describing
+        assert all(p.columns == ("a", "b") for p in pages)
+
+    def test_empty_result_is_one_empty_page(self):
+        pages = api.pages_from_result(self._result(0), page_rows=10)
+        assert len(pages) == 1
+        assert pages[0].last and pages[0].rows == ()
+
+    def test_reassembly_inverts_paging(self):
+        result = self._result(25)
+        pages = api.pages_from_result(result, page_rows=7)
+        # ... through the JSON wire, as a client would see them
+        wire = [api.from_json(p.to_json()) for p in pages]
+        columns, rows, meta = api.result_from_pages(wire)
+        assert columns == ("a", "b")
+        assert rows == [tuple(api.wire_value(v) for v in r) for r in result.rows]
+
+    def test_completeness_annotation_rides_the_last_page(self):
+        result = self._result(2)
+        result.meta["completeness"] = {"missing_shards": (1,), "estimated_missed_rows": 5}
+        pages = api.pages_from_result(result, page_rows=1)
+        assert pages[-1].meta["completeness"]["missing_shards"] == (1,)
+        assert pages[0].meta == {}
+
+    def test_reassembly_rejects_non_pages(self):
+        with pytest.raises(api.SchemaError, match="query_page"):
+            api.result_from_pages([api.HealthPayload()])

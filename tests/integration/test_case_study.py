@@ -101,8 +101,8 @@ class TestAIQLSystemFacade:
         plan = system.explain(
             'agentid = 1\nproc p["%cmd%"] start proc q\nreturn p'
         )
-        assert "score=" in plan
-        assert "agents: [1]" in plan
+        assert "score=" in str(plan)
+        assert "agents: [1]" in str(plan)
 
     def test_facade_backends(self):
         for backend in ("partitioned", "flat", "segmented"):

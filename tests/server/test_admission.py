@@ -1,0 +1,166 @@
+"""Admission control: bounded in-flight, fairness, shed-on-overload."""
+
+import asyncio
+
+import pytest
+
+from repro.server.admission import AdmissionController, Overloaded
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestFastPath:
+    def test_admits_up_to_max_inflight(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=2, max_queued=10)
+            await ctl.acquire("a")
+            await ctl.acquire("b")
+            return ctl.inflight
+
+        assert _run(scenario()) == 2
+
+    def test_release_frees_the_slot(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queued=10)
+            await ctl.acquire("a")
+            ctl.release(0.01)
+            await ctl.acquire("a")  # would hang if the slot leaked
+            return ctl.inflight
+
+        assert _run(scenario()) == 1
+
+
+class TestQueueing:
+    def test_waiters_dispatch_on_release(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queued=10)
+            await ctl.acquire("a")
+            waiter = asyncio.ensure_future(ctl.acquire("b"))
+            await asyncio.sleep(0)  # let the waiter enqueue
+            assert ctl.queued == 1
+            ctl.release(0.01)
+            await waiter
+            return ctl.inflight, ctl.queued
+
+        assert _run(scenario()) == (1, 0)
+
+    def test_round_robin_across_clients(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queued=100)
+            await ctl.acquire("hog")
+            order = []
+
+            async def worker(client, tag):
+                await ctl.acquire(client)
+                order.append(tag)
+                ctl.release(0.001)
+
+            # one chatty client queues 3, two quiet clients queue 1 each
+            tasks = [
+                asyncio.ensure_future(worker("hog", "hog-0")),
+                asyncio.ensure_future(worker("hog", "hog-1")),
+                asyncio.ensure_future(worker("hog", "hog-2")),
+                asyncio.ensure_future(worker("quiet-a", "a-0")),
+                asyncio.ensure_future(worker("quiet-b", "b-0")),
+            ]
+            await asyncio.sleep(0)
+            ctl.release(0.001)  # start the dispatch chain
+            await asyncio.gather(*tasks)
+            return order
+
+        order = _run(scenario())
+        # the quiet clients must not sit behind the hog's whole backlog
+        assert order.index("a-0") < order.index("hog-2")
+        assert order.index("b-0") < order.index("hog-2")
+
+    def test_global_queue_bound_sheds(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queued=1)
+            await ctl.acquire("a")
+            waiter = asyncio.ensure_future(ctl.acquire("b"))
+            await asyncio.sleep(0)
+            with pytest.raises(Overloaded) as err:
+                await ctl.acquire("c")
+            assert err.value.retry_after_s > 0
+            ctl.release(0.01)
+            await waiter
+            ctl.release(0.01)
+            return ctl.rejected
+
+        assert _run(scenario()) == 1
+
+    def test_per_client_queue_bound_sheds_only_that_client(self):
+        async def scenario():
+            ctl = AdmissionController(
+                max_inflight=1, max_queued=100, per_client_queue=1
+            )
+            await ctl.acquire("hog")
+            hog_waiter = asyncio.ensure_future(ctl.acquire("hog"))
+            await asyncio.sleep(0)
+            with pytest.raises(Overloaded):
+                await ctl.acquire("hog")  # hog's queue is full
+            quiet_waiter = asyncio.ensure_future(ctl.acquire("quiet"))
+            await asyncio.sleep(0)
+            assert not quiet_waiter.done()  # queued, not rejected
+            ctl.release(0.01)
+            ctl.release(0.01)
+            await asyncio.gather(hog_waiter, quiet_waiter)
+            return ctl.rejected
+
+        assert _run(scenario()) == 1
+
+    def test_cancelled_waiter_withdraws(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queued=10)
+            await ctl.acquire("a")
+            waiter = asyncio.ensure_future(ctl.acquire("b"))
+            await asyncio.sleep(0)
+            waiter.cancel()
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                pass
+            assert ctl.queued == 0
+            ctl.release(0.01)
+            await ctl.acquire("c")  # slot must not have leaked
+            return ctl.inflight
+
+        assert _run(scenario()) == 1
+
+
+class TestRetryAfter:
+    def test_estimate_scales_with_backlog(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queued=100)
+            await ctl.acquire("a")
+            small = ctl.retry_after_s()
+            for _ in range(20):
+                asyncio.ensure_future(ctl.acquire("b"))
+            await asyncio.sleep(0)
+            large = ctl.retry_after_s()
+            # unwind
+            for _ in range(21):
+                ctl.release(0.01)
+            await asyncio.sleep(0)
+            return small, large
+
+        small, large = _run(scenario())
+        assert large > small
+        assert 0.05 <= small <= 30.0 and 0.05 <= large <= 30.0
+
+    def test_stats_shape(self):
+        ctl = AdmissionController()
+        stats = ctl.stats()
+        for key in ("inflight", "queued", "admitted", "rejected",
+                    "avg_service_ms", "max_inflight"):
+            assert key in stats
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queued=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(per_client_queue=0)

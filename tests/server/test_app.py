@@ -1,0 +1,456 @@
+"""The network front door end to end: routes, taxonomy, backpressure, alerts.
+
+One real deployment (module-scoped) serves most cells; the shard-
+failure and overload cells run against a stub system so the failure
+modes are deterministic rather than provoked.
+"""
+
+import asyncio
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import pytest
+
+from repro import api
+from repro.core.config import SystemConfig
+from repro.core.system import AIQLSystem
+from repro.engine.result import ResultSet
+from repro.server import AIQLServer, websocket
+from repro.server.http import read_response, request_bytes
+from repro.shard.coordinator import ShardTimeout
+from repro.workload.loader import build_enterprise
+
+QUERY = "agentid = 1\nproc p1 start proc p2\nreturn p1, p2"
+WATCH = "proc p1 write file f1 as evt1\nreturn p1, f1"
+
+
+@pytest.fixture(scope="module")
+def system():
+    deployment = AIQLSystem(SystemConfig())
+    build_enterprise(
+        stores=(), ingestor=deployment.ingestor, events_per_host_day=40
+    )
+    yield deployment
+    deployment.close()
+
+
+@pytest.fixture(scope="module")
+def served(system):
+    handle = system.serve(port=0).start_background()
+    yield handle
+    handle.stop()
+
+
+def call(handle, method, path, body=b""):
+    async def go():
+        reader, writer = await asyncio.open_connection(
+            handle.host, handle.port
+        )
+        writer.write(
+            request_bytes(method, path, f"{handle.host}:{handle.port}", body)
+        )
+        await writer.drain()
+        response = await read_response(reader)
+        writer.close()
+        return response
+
+    return asyncio.run(go())
+
+
+def post_query(handle, text, **kwargs):
+    body = api.QueryRequest(text=text, **kwargs).to_json().encode()
+    return call(handle, "POST", "/v1/query", body)
+
+
+def decode_pages(response):
+    return [
+        api.from_json(line)
+        for line in response.body.decode().splitlines()
+        if line.strip()
+    ]
+
+
+class TestQueryEndpoint:
+    def test_query_streams_pages(self, served):
+        response = post_query(served, QUERY)
+        assert response.status == 200
+        assert response.header("content-type") == "application/x-ndjson"
+        pages = decode_pages(response)
+        columns, rows, meta = api.result_from_pages(pages)
+        assert columns == ("p1", "p2") and rows
+        assert meta["elapsed_ms"] >= 0
+
+    def test_page_rows_override_splits_the_stream(self, served):
+        response = post_query(served, QUERY, page_rows=1)
+        pages = decode_pages(response)
+        assert len(pages) > 1
+        assert all(len(p.rows) <= 1 for p in pages)
+        assert pages[-1].last and not pages[0].last
+
+    def test_result_matches_in_process_query(self, system, served):
+        response = post_query(served, QUERY)
+        _, rows, _ = api.result_from_pages(decode_pages(response))
+        direct = system.query(QUERY)
+        assert sorted(rows) == sorted(
+            tuple(api.wire_value(v) for v in row) for row in direct.rows
+        )
+
+    def test_keep_alive_serves_multiple_requests(self, served):
+        async def go():
+            reader, writer = await asyncio.open_connection(
+                served.host, served.port
+            )
+            host = f"{served.host}:{served.port}"
+            statuses = []
+            for _ in range(3):
+                writer.write(request_bytes("GET", "/healthz", host))
+                await writer.drain()
+                statuses.append((await read_response(reader)).status)
+            writer.close()
+            return statuses
+
+        assert asyncio.run(go()) == [200, 200, 200]
+
+
+class TestErrorTaxonomyOverHttp:
+    """Every documented failure maps to its stable code over the wire."""
+
+    def test_syntax_error_is_400_aiql_syntax(self, served):
+        response = post_query(served, "proc p read")
+        env = api.from_json(response.body.decode())
+        assert response.status == 400 and env.code == "aiql.syntax"
+        assert not env.retryable
+
+    def test_semantic_error_is_400_aiql_semantic(self, served):
+        # p2 is never bound — a type/semantic failure, not a parse failure
+        response = post_query(served, "proc p1 read file f1\nreturn p2")
+        env = api.from_json(response.body.decode())
+        assert response.status == 400 and env.code == "aiql.semantic"
+
+    def test_malformed_payload_is_400_request_invalid(self, served):
+        response = call(served, "POST", "/v1/query", b"{not json")
+        env = api.from_json(response.body.decode())
+        assert response.status == 400 and env.code == "request.invalid"
+
+    def test_wrong_message_type_is_400_request_invalid(self, served):
+        body = api.HealthPayload().to_json().encode()
+        response = call(served, "POST", "/v1/query", body)
+        env = api.from_json(response.body.decode())
+        assert response.status == 400 and env.code == "request.invalid"
+
+    def test_unknown_route_is_404(self, served):
+        response = call(served, "GET", "/v2/everything")
+        env = api.from_json(response.body.decode())
+        assert response.status == 404 and env.code == "request.not_found"
+
+    def test_wrong_method_is_405(self, served):
+        response = call(served, "GET", "/v1/query")
+        env = api.from_json(response.body.decode())
+        assert response.status == 405 and env.code == "request.method"
+
+    def test_oversized_body_is_413(self, system):
+        server = AIQLServer(system, port=0)
+        # shrink the limit for the test without rebuilding the system
+        server.max_body_bytes = 512
+        handle = server.start_background()
+        try:
+            big = api.QueryRequest(text="x" * 2048).to_json().encode()
+            response = call(handle, "POST", "/v1/query", big)
+            env = api.from_json(response.body.decode())
+            assert response.status == 413 and env.code == "request.too_large"
+        finally:
+            handle.stop()
+
+    def test_alerts_route_over_plain_http_is_426(self, served):
+        response = call(served, "GET", "/v1/alerts")
+        env = api.from_json(response.body.decode())
+        assert response.status == 426 and env.code == "request.invalid"
+
+
+class _StubService:
+    """Stands in for QueryService: scripted results/failures per query.
+
+    Scripts run on a pool thread (like the real service) so a script may
+    block without stalling the server's event loop.
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self._pool = ThreadPoolExecutor(max_workers=4)
+
+    def submit(self, text):
+        def run():
+            outcome = self.script(text)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        return self._pool.submit(run)
+
+
+class _StubSystem:
+    """The slice of AIQLSystem the server touches, scriptable."""
+
+    def __init__(self, script, config=None):
+        self.config = config or SystemConfig()
+        self.service = _StubService(script)
+
+    def metrics_text(self):
+        return "# stub\n"
+
+    def metrics_snapshot(self):
+        return {}
+
+    def stats(self):
+        return {"events": 0}
+
+    def explain(self, text, analyze=True):
+        raise NotImplementedError
+
+    def subscribe(self, text, callback=None, window_s=None, name=None):
+        raise NotImplementedError
+
+    def unsubscribe(self, sub):
+        raise NotImplementedError
+
+
+class TestShardFailuresOverHttp:
+    def test_shard_timeout_is_503_retryable(self):
+        stub = _StubSystem(lambda text: ShardTimeout("shard 1 missed deadline"))
+        handle = AIQLServer(stub, port=0).start_background()
+        try:
+            response = post_query(handle, QUERY)
+            env = api.from_json(response.body.decode())
+            assert response.status == 503
+            assert env.code == "shard.timeout" and env.retryable
+        finally:
+            handle.stop()
+
+    def test_degraded_completeness_rides_the_last_page(self):
+        completeness = {
+            "missing_shards": (1,),
+            "lossy_shards": (),
+            "estimated_missed_rows": 12,
+            "total_shards": 2,
+        }
+
+        def script(text):
+            return ResultSet(
+                columns=("p1",),
+                rows=[("bash[1]",)],
+                meta={"completeness": completeness},
+            )
+
+        handle = AIQLServer(_StubSystem(script), port=0).start_background()
+        try:
+            response = post_query(handle, QUERY)
+            pages = decode_pages(response)
+            assert response.status == 200  # degraded reads are not errors
+            meta = pages[-1].meta
+            assert meta["completeness"]["missing_shards"] == (1,)
+            assert meta["completeness"]["estimated_missed_rows"] == 12
+        finally:
+            handle.stop()
+
+
+class TestOverloadOverHttp:
+    def test_saturation_answers_429_with_retry_after(self):
+        parked = Future()
+        release = Future()
+
+        def script(text):
+            if text == "park":  # only the designated query occupies the slot
+                parked.set_result(None)
+                release.result(timeout=30)
+            return ResultSet(columns=("a",), rows=[], meta={})
+
+        stub = _StubSystem(
+            script,
+            config=SystemConfig(
+                server_max_inflight=1,
+                server_queue_depth=0,
+            ),
+        )
+        handle = AIQLServer(stub, port=0).start_background()
+        try:
+            import threading
+
+            statuses = []
+
+            def fire():
+                statuses.append(post_query(handle, "park"))
+
+            first = threading.Thread(target=fire)
+            first.start()
+            parked.result(timeout=10)  # the one slot is now held
+            probe = post_query(handle, QUERY, client_id="probe")
+            assert probe.status == 429
+            env = api.from_json(probe.body.decode())
+            assert env.code == "server.overloaded" and env.retryable
+            assert env.retry_after_s and env.retry_after_s > 0
+            assert float(probe.header("retry-after")) > 0
+            release.set_result(None)
+            first.join(timeout=10)
+            assert statuses and statuses[0].status == 200
+        finally:
+            if not release.done():
+                release.set_result(None)
+            handle.stop()
+
+
+class TestObservabilityEndpoints:
+    def test_healthz(self, served):
+        response = call(served, "GET", "/healthz")
+        health = api.from_json(response.body.decode())
+        assert health == api.HealthPayload()
+
+    def test_metrics_exposition(self, served):
+        post_query(served, QUERY)
+        response = call(served, "GET", "/v1/metrics")
+        assert response.status == 200
+        assert b"aiql_http_requests_total" in response.body
+        assert response.header("content-type").startswith("text/plain")
+
+    def test_stats_payload(self, served):
+        response = call(served, "GET", "/v1/stats")
+        stats = api.from_json(response.body.decode())
+        assert isinstance(stats, api.StatsPayload)
+        server = stats.stats["server"]
+        assert server["requests"] > 0
+        assert server["schema_version"] == api.SCHEMA_VERSION
+
+    def test_explain_analyze(self, served):
+        from urllib.parse import quote
+
+        response = call(served, "GET", f"/v1/explain?q={quote(QUERY)}")
+        report = api.from_json(response.body.decode())
+        assert isinstance(report, api.ExplainReportPayload)
+        assert report.kind == "multievent" and report.trace is not None
+
+    def test_explain_static(self, served):
+        from urllib.parse import quote
+
+        response = call(
+            served, "GET", f"/v1/explain?q={quote(QUERY)}&analyze=0"
+        )
+        report = api.from_json(response.body.decode())
+        assert report.trace is None and report.plan
+
+    def test_explain_without_query_is_400(self, served):
+        response = call(served, "GET", "/v1/explain")
+        env = api.from_json(response.body.decode())
+        assert response.status == 400 and env.code == "request.invalid"
+
+    def test_explain_syntax_error_maps(self, served):
+        response = call(served, "GET", "/v1/explain?q=proc+p+read")
+        env = api.from_json(response.body.decode())
+        assert response.status == 400 and env.code == "aiql.syntax"
+
+
+class TestAlertWebSocket:
+    def test_subscribe_alert_unsubscribe(self, system, served):
+        async def go():
+            ws = await websocket.connect(served.host, served.port)
+            await ws.send_text(
+                api.SubscribeRequest(
+                    query=WATCH, name="t-watch", window_s=1e12
+                ).to_json()
+            )
+            ack = api.from_json(await ws.recv_text())
+            assert isinstance(ack, api.SubscribeAck)
+            assert ack.name == "t-watch" and ack.patterns == 1
+
+            # commit matching events through a live stream session
+            session = system.stream(batch_size=8)
+            proc = session.process(1, 4242, "dropper")
+            target = session.file(1, "/tmp/exfil")
+            for i in range(8):
+                session.append(1, 1e9 + i, "write", proc, target)
+            session.commit()
+
+            alert = None
+            deadline = asyncio.get_running_loop().time() + 20
+            while asyncio.get_running_loop().time() < deadline:
+                text = await asyncio.wait_for(ws.recv_text(), timeout=20)
+                message = api.from_json(text)
+                if isinstance(message, api.AlertMessage):
+                    alert = message
+                    break
+            assert alert is not None
+            assert alert.subscription == "t-watch" and alert.query
+            assert alert.events and "op" in alert.events[0]
+
+            await ws.send_text(api.UnsubscribeRequest(name="t-watch").to_json())
+            while True:
+                message = api.from_json(await ws.recv_text())
+                if not isinstance(message, api.AlertMessage):
+                    break
+            assert isinstance(message, api.SubscribeAck)
+            assert message.patterns == 0
+            await ws.close()
+
+        asyncio.run(go())
+
+    def test_bad_subscription_query_answers_envelope(self, served):
+        async def go():
+            ws = await websocket.connect(served.host, served.port)
+            await ws.send_text(
+                api.SubscribeRequest(query="proc p1 (").to_json()
+            )
+            env = api.from_json(await ws.recv_text())
+            assert isinstance(env, api.ErrorEnvelope)
+            assert env.code == "aiql.syntax"
+            await ws.close()
+
+        asyncio.run(go())
+
+    def test_unknown_unsubscribe_answers_envelope(self, served):
+        async def go():
+            ws = await websocket.connect(served.host, served.port)
+            await ws.send_text(api.UnsubscribeRequest(name="ghost").to_json())
+            env = api.from_json(await ws.recv_text())
+            assert isinstance(env, api.ErrorEnvelope)
+            assert env.code == "aiql.subscription"
+            await ws.close()
+
+        asyncio.run(go())
+
+    def test_unexpected_message_type_answers_envelope(self, served):
+        async def go():
+            ws = await websocket.connect(served.host, served.port)
+            await ws.send_text(api.HealthPayload().to_json())
+            env = api.from_json(await ws.recv_text())
+            assert isinstance(env, api.ErrorEnvelope)
+            assert env.code == "request.invalid"
+            await ws.close()
+
+        asyncio.run(go())
+
+    def test_disconnect_drops_the_subscription(self, system, served):
+        before = len(system.continuous.subscriptions)
+
+        async def go():
+            ws = await websocket.connect(served.host, served.port)
+            await ws.send_text(
+                api.SubscribeRequest(query=WATCH, name="droppy").to_json()
+            )
+            api.from_json(await ws.recv_text())
+            await ws.close()
+
+        asyncio.run(go())
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            if len(system.continuous.subscriptions) == before:
+                return
+            time.sleep(0.05)
+        assert len(system.continuous.subscriptions) == before
+
+
+class TestSystemServe:
+    def test_serve_returns_unstarted_server(self, system):
+        server = system.serve(port=0)
+        assert isinstance(server, AIQLServer)
+        assert server.port == 0  # not bound yet
+
+    def test_background_handle_binds_ephemeral_port(self, served):
+        assert served.port > 0

@@ -1,0 +1,151 @@
+"""HTTP/1.1 protocol layer: parsing, limits, chunked streaming."""
+
+import asyncio
+
+import pytest
+
+from repro.server.http import (
+    HttpProtocolError,
+    read_request,
+    read_response,
+    request_bytes,
+    send_chunked,
+    send_response,
+    split_host_port,
+)
+
+
+def _reader(data: bytes) -> asyncio.StreamReader:
+    # must run inside a loop — call only from within asyncio.run
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class _SinkWriter:
+    """Just enough StreamWriter for the send_* helpers."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk: bytes) -> None:
+        self.data.extend(chunk)
+
+    async def drain(self) -> None:
+        pass
+
+
+def _parse(raw: bytes, limit: int = 1024, **kwargs):
+    async def go():
+        return await read_request(_reader(raw), limit, **kwargs)
+
+    return asyncio.run(go())
+
+
+def _round_trip(send):
+    """Run ``send(writer)`` and parse what it wrote as a response."""
+
+    async def go():
+        sink = _SinkWriter()
+        await send(sink)
+        return await read_response(_reader(bytes(sink.data)))
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_body(self):
+        raw = (
+            b"POST /v1/query?x=1&y=a%20b HTTP/1.1\r\n"
+            b"Host: h\r\nContent-Length: 4\r\nX-Extra: v\r\n\r\nbody"
+        )
+        req = _parse(raw, peer="p")
+        assert req.method == "POST"
+        assert req.path == "/v1/query"
+        assert req.params == {"x": "1", "y": "a b"}
+        assert req.header("x-extra") == "v" and req.header("X-Extra") == "v"
+        assert req.body == b"body"
+        assert req.peer == "p"
+        assert req.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_request_line_is_400(self):
+        with pytest.raises(HttpProtocolError) as err:
+            _parse(b"GET /x")
+        assert err.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpProtocolError):
+            _parse(b"GET /x\r\n\r\n")
+
+    def test_unsupported_protocol_is_400(self):
+        with pytest.raises(HttpProtocolError):
+            _parse(b"GET /x SPDY/9\r\n\r\n")
+
+    def test_body_over_limit_is_413(self):
+        raw = b"POST /q HTTP/1.1\r\nContent-Length: 2048\r\n\r\n" + b"x" * 2048
+        with pytest.raises(HttpProtocolError) as err:
+            _parse(raw)
+        assert err.value.status == 413
+
+    def test_chunked_upload_rejected(self):
+        raw = b"POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(HttpProtocolError):
+            _parse(raw)
+
+    def test_bad_content_length_is_400(self):
+        for value in (b"nope", b"-5"):
+            raw = b"POST /q HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n"
+            with pytest.raises(HttpProtocolError):
+                _parse(raw)
+
+    def test_connection_close_disables_keep_alive(self):
+        req = _parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_http_10_defaults_to_close(self):
+        req = _parse(b"GET /x HTTP/1.0\r\n\r\n")
+        assert not req.keep_alive
+
+
+class TestResponses:
+    def test_fixed_response_round_trips(self):
+        resp = _round_trip(lambda w: send_response(w, 200, b'{"ok": 1}'))
+        assert resp.status == 200
+        assert resp.body == b'{"ok": 1}'
+        assert resp.header("content-type") == "application/json"
+
+    def test_chunked_response_round_trips(self):
+        async def chunks():
+            yield b'{"page": 0}\n'
+            yield b""  # empty pieces are skipped, not sent as terminator
+            yield b'{"page": 1}\n'
+
+        resp = _round_trip(lambda w: send_chunked(w, chunks()))
+        assert resp.status == 200
+        assert resp.body == b'{"page": 0}\n{"page": 1}\n'
+        assert resp.header("transfer-encoding") == "chunked"
+
+    def test_extra_headers_and_status(self):
+        resp = _round_trip(
+            lambda w: send_response(
+                w, 429, b"{}", extra_headers={"Retry-After": "1.5"}
+            )
+        )
+        assert resp.status == 429
+        assert resp.header("retry-after") == "1.5"
+
+
+class TestClientSide:
+    def test_request_bytes_parse_back(self):
+        raw = request_bytes("POST", "/v1/query", "h:1", b"xy")
+        req = _parse(raw)
+        assert req.method == "POST" and req.body == b"xy"
+        assert req.header("host") == "h:1"
+
+    def test_split_host_port(self):
+        assert split_host_port(("127.0.0.1", 9)) == "127.0.0.1:9"
+        assert split_host_port("weird") == "weird"

@@ -1,0 +1,133 @@
+"""RFC 6455 framing: codec, masking, control frames, handshake."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.server.websocket import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    WebSocket,
+    WebSocketError,
+    accept_key,
+    encode_frame,
+    read_frame,
+)
+
+
+def _reader(data: bytes) -> asyncio.StreamReader:
+    # must run inside a loop — call only from within asyncio.run
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class _SinkWriter:
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk: bytes) -> None:
+        self.data.extend(chunk)
+
+    async def drain(self) -> None:
+        pass
+
+
+def _read_one(data: bytes):
+    async def go():
+        return await read_frame(_reader(data))
+
+    return asyncio.run(go())
+
+
+def _with_ws(data: bytes, scenario, client: bool = False):
+    """Build a WebSocket over canned bytes inside a loop, run scenario."""
+
+    async def go():
+        sink = _SinkWriter()
+        ws = WebSocket(_reader(data), sink, client=client)
+        result = await scenario(ws)
+        return result, bytes(sink.data), ws
+
+    return asyncio.run(go())
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536])
+    def test_lengths_round_trip(self, size):
+        payload = bytes(i % 251 for i in range(size))
+        opcode, out = _read_one(encode_frame(OP_TEXT, payload))
+        assert opcode == OP_TEXT and out == payload
+
+    def test_masked_frames_unmask(self):
+        payload = b"masked payload"
+        frame = encode_frame(OP_TEXT, payload, mask=True)
+        # the wire bytes differ from the payload (masking applied)...
+        assert payload not in frame
+        opcode, out = _read_one(frame)
+        assert out == payload
+
+    def test_rsv_fragmented_rejected(self):
+        # FIN=0 with a data opcode — fragmentation is unsupported.
+        head = bytes([OP_TEXT, 0])
+        with pytest.raises(WebSocketError):
+            _read_one(head)
+
+    def test_accept_key_matches_rfc_example(self):
+        # RFC 6455 section 1.3 handshake example.
+        assert (
+            accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+
+class TestWebSocketRecv:
+    def test_text_then_close(self):
+        data = encode_frame(OP_TEXT, b"hello") + encode_frame(
+            OP_CLOSE, struct.pack("!H", 1000)
+        )
+
+        async def scenario(ws):
+            return await ws.recv_text(), await ws.recv_text()
+
+        (first, second), _, ws = _with_ws(data, scenario)
+        assert first == "hello"
+        assert second is None and ws.closed
+
+    def test_ping_is_ponged_transparently(self):
+        data = encode_frame(OP_PING, b"ka") + encode_frame(OP_TEXT, b"x")
+        text, wire, _ = _with_ws(data, lambda ws: ws.recv_text())
+        assert text == "x"
+        opcode, payload = _read_one(wire)
+        assert opcode == OP_PONG and payload == b"ka"
+
+    def test_pong_frames_ignored(self):
+        data = encode_frame(OP_PONG, b"") + encode_frame(OP_TEXT, b"y")
+        text, _, _ = _with_ws(data, lambda ws: ws.recv_text())
+        assert text == "y"
+
+    def test_eof_surfaces_as_none(self):
+        text, _, ws = _with_ws(b"", lambda ws: ws.recv_text())
+        assert text is None
+        assert ws.closed
+
+    def test_send_after_close_raises(self):
+        async def scenario(ws):
+            await ws.close()
+            with pytest.raises(WebSocketError):
+                await ws.send_text("nope")
+
+        _with_ws(b"", scenario)
+
+    def test_client_role_masks_outbound(self):
+        async def scenario(ws):
+            await ws.send_text("secret")
+
+        _, wire, _ = _with_ws(b"", scenario, client=True)
+        assert b"secret" not in wire  # masked on the wire
+        opcode, payload = _read_one(wire)
+        assert opcode == OP_TEXT and payload == b"secret"

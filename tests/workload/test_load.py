@@ -1,0 +1,118 @@
+"""Open-loop load client: percentiles, CO-free fleet, alert listener."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import AIQLSystem
+from repro.workload.load import AlertListener, percentile, run_fleet_sync
+
+QUERY = "agentid = 1\nproc p1 start proc p2\nreturn p1, p2"
+WATCH = "proc p1 write file f1 as evt1\nreturn p1, f1"
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.999) == 7.0
+
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(100)]
+        assert percentile(samples, 0.0) == 0.0
+        assert percentile(samples, 0.5) == 50.0
+        assert percentile(samples, 0.99) == 99.0
+
+    def test_never_reads_past_the_end(self):
+        assert percentile([1.0, 2.0], 0.999) == 2.0
+
+
+@pytest.fixture(scope="module")
+def served():
+    system = AIQLSystem(SystemConfig())
+    session = system.stream(batch_size=16)
+    proc = session.process(1, 100, "bash")
+    child = session.process(1, 101, "ls")
+    target = session.file(1, "/data/x")
+    for i in range(16):
+        session.append(1, 1e9 + 2 * i, "start", proc, child)
+        session.append(1, 1e9 + 2 * i + 1, "read", child, target)
+    session.commit()
+    handle = system.serve(port=0).start_background()
+    yield system, handle
+    handle.stop()
+    system.close()
+
+
+class TestRunFleet:
+    def test_small_fleet_round_trips(self, served):
+        _, handle = served
+        report = run_fleet_sync(
+            handle.host, handle.port, rate=40, duration_s=1.5,
+            queries=[QUERY], clients=4,
+        )
+        assert report.scheduled > 0
+        assert report.completed == report.scheduled
+        assert report.errors == 0 and report.rejected == 0
+        assert report.ok == report.completed
+        assert report.rows > 0  # the seeded start edges came back
+        assert len(report.latencies_ms) == report.ok
+        assert report.quantiles_ms()["p99"] > 0
+
+    def test_report_dict_shape(self, served):
+        _, handle = served
+        report = run_fleet_sync(
+            handle.host, handle.port, rate=20, duration_s=1.0,
+            queries=[QUERY], clients=2,
+        )
+        payload = report.to_dict()
+        for key in ("target_rate", "achieved_rate", "ok_rate", "scheduled",
+                    "ok", "rejected", "errors", "rows", "latency_ms"):
+            assert key in payload
+        assert set(payload["latency_ms"]) == {"p50", "p90", "p99", "p999", "max"}
+
+    def test_validation(self, served):
+        _, handle = served
+        with pytest.raises(ValueError):
+            run_fleet_sync(handle.host, handle.port, rate=0,
+                           duration_s=1, queries=[QUERY])
+        with pytest.raises(ValueError):
+            run_fleet_sync(handle.host, handle.port, rate=10,
+                           duration_s=1, queries=[])
+        with pytest.raises(ValueError):
+            run_fleet_sync(handle.host, handle.port, rate=10,
+                           duration_s=1, queries=[QUERY], clients=0)
+
+
+class TestAlertListener:
+    def test_receives_alerts_for_matching_commits(self, served):
+        system, handle = served
+        listener = AlertListener(
+            handle.host, handle.port, WATCH, name="load-test-watch",
+            window_s=1e12,
+        ).start()
+        assert listener.ack is not None
+        assert listener.ack.name == "load-test-watch"
+
+        session = system.stream(batch_size=4)
+        proc = session.process(1, 500, "dropper")
+        target = session.file(1, "/tmp/payload")
+        for i in range(4):
+            session.append(1, 2e9 + i, "write", proc, target)
+        session.commit()
+
+        import time
+
+        deadline = time.time() + 15
+        while time.time() < deadline and not listener.alerts:
+            time.sleep(0.05)
+        alerts = listener.stop()
+        assert alerts, "no alerts pushed for matching commits"
+        assert all(a.subscription == "load-test-watch" for a in alerts)
+
+    def test_start_raises_on_bad_subscription(self, served):
+        _, handle = served
+        listener = AlertListener(handle.host, handle.port, "proc p1 (")
+        with pytest.raises(RuntimeError):
+            listener.start()
